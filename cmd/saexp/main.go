@@ -1,0 +1,95 @@
+// Command saexp regenerates the tables and figures of "Avoiding
+// Synchronization in First-Order Methods for Sparse Convex Optimization"
+// (Devarakonda et al., IPDPS 2018) on synthetic dataset replicas and a
+// simulated Cray XC30.
+//
+// Usage:
+//
+//	saexp [flags] experiment...
+//
+// Experiments: table1 table2 fig2 table3 fig3 fig4 fig5 table5 ablations
+// all. Flags -scale and -iters trade fidelity for speed; -machine picks
+// the modeled platform (cray, ethernet, spark).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"saco/internal/bench"
+	"saco/internal/mpi"
+)
+
+func main() {
+	var (
+		scale   = flag.Float64("scale", 1, "dataset scale multiplier")
+		iters   = flag.Float64("iters", 1, "iteration-count multiplier")
+		seed    = flag.Uint64("seed", 0, "experiment seed (0 = default)")
+		machine = flag.String("machine", "cray", "modeled platform: cray, ethernet, spark")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: saexp [flags] {table1|table2|fig2|table3|fig3|fig4|fig5|table5|ablations|all}...")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	var mc mpi.Machine
+	switch *machine {
+	case "cray":
+		mc = mpi.CrayXC30()
+	case "ethernet":
+		mc = mpi.EthernetCluster()
+	case "spark":
+		mc = mpi.SparkLike()
+	default:
+		fmt.Fprintf(os.Stderr, "saexp: unknown machine %q\n", *machine)
+		os.Exit(2)
+	}
+	cfg := bench.Config{Scale: *scale, IterScale: *iters, Machine: mc, Out: os.Stdout, Seed: *seed}
+
+	type experiment struct {
+		name string
+		run  func(bench.Config) error
+	}
+	wrap2 := func(f func(bench.Config) (*bench.Fig2Result, error)) func(bench.Config) error {
+		return func(c bench.Config) error { _, err := f(c); return err }
+	}
+	exps := []experiment{
+		{"table1", func(c bench.Config) error { _, err := bench.Table1(c); return err }},
+		{"table2", func(c bench.Config) error { _, err := bench.Tables2and4(c); return err }},
+		{"table4", func(c bench.Config) error { _, err := bench.Tables2and4(c); return err }},
+		{"fig2", wrap2(bench.Fig2)},
+		{"table3", wrap2(bench.Table3)},
+		{"fig3", func(c bench.Config) error { _, err := bench.Fig3(c); return err }},
+		{"fig4", func(c bench.Config) error { _, err := bench.Fig4(c); return err }},
+		{"fig5", func(c bench.Config) error { _, err := bench.Fig5(c); return err }},
+		{"table5", func(c bench.Config) error { _, err := bench.Table5(c); return err }},
+		{"ablations", func(c bench.Config) error { _, err := bench.Ablations(c); return err }},
+	}
+	lookup := map[string]func(bench.Config) error{}
+	for _, e := range exps {
+		lookup[e.name] = e.run
+	}
+
+	requested := args
+	if len(args) == 1 && args[0] == "all" {
+		requested = []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "table5", "ablations"}
+	}
+	for _, name := range requested {
+		run, ok := lookup[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "saexp: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		start := time.Now()
+		if err := run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "saexp: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stdout, "\n[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

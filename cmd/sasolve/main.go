@@ -1,0 +1,147 @@
+// Command sasolve fits a Lasso or linear-SVM model to a LIBSVM-format
+// dataset with the (synchronization-avoiding) coordinate-descent solvers.
+//
+// Examples:
+//
+//	sasolve -task lasso -data train.svm -lambda-frac 0.1 -mu 8 -s 64 -accel -iters 5000
+//	sasolve -task svm -data train.svm -loss l2 -s 128 -iters 100000 -tol 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"saco"
+)
+
+func main() {
+	var (
+		dataPath   = flag.String("data", "", "LIBSVM input file (required)")
+		task       = flag.String("task", "lasso", "lasso or svm")
+		iters      = flag.Int("iters", 1000, "iterations H")
+		s          = flag.Int("s", 1, "recurrence unrolling parameter (1 = classical)")
+		seed       = flag.Uint64("seed", 42, "sampling seed")
+		outPath    = flag.String("out", "", "write the model vector here (text, one value per line)")
+		track      = flag.Int("track", 0, "print convergence every N iterations")
+		lambdaFrac = flag.Float64("lambda-frac", 0.1, "lasso: lambda as a fraction of ||A'b||_inf")
+		mu         = flag.Int("mu", 1, "lasso: block size")
+		accel      = flag.Bool("accel", false, "lasso: Nesterov acceleration")
+		lambda     = flag.Float64("lambda", 1, "svm: penalty parameter")
+		loss       = flag.String("loss", "l1", "svm: l1 (hinge) or l2 (squared hinge)")
+		tol        = flag.Float64("tol", 0, "svm: stop at this duality gap")
+		simP       = flag.Int("simulate", 0, "run on a simulated cluster with this many ranks (0 = sequential)")
+		machine    = flag.String("machine", "cray", "simulated platform: cray, ethernet, spark")
+	)
+	flag.Parse()
+	if *dataPath == "" {
+		fmt.Fprintln(os.Stderr, "sasolve: -data is required")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	a, b, err := saco.LoadLIBSVM(*dataPath, 0)
+	fail(err)
+	fmt.Printf("loaded %s: %d points, %d features, %.4g%% nonzero\n",
+		*dataPath, a.M, a.N, 100*a.Density())
+
+	cluster := saco.Cluster{P: *simP}
+	if *simP > 0 {
+		switch *machine {
+		case "cray":
+			cluster.Machine = saco.CrayXC30()
+		case "ethernet":
+			cluster.Machine = saco.EthernetCluster()
+		case "spark":
+			cluster.Machine = saco.SparkLike()
+		default:
+			fmt.Fprintf(os.Stderr, "sasolve: unknown machine %q\n", *machine)
+			os.Exit(2)
+		}
+	}
+
+	var x []float64
+	switch *task {
+	case "lasso":
+		cols := a.ToCSC()
+		lam := *lambdaFrac * saco.LambdaMax(cols, b)
+		opt := saco.LassoOptions{
+			Lambda: lam, BlockSize: *mu, Iters: *iters, S: *s,
+			Accelerated: *accel, Seed: *seed, TrackEvery: *track,
+		}
+		if *simP > 0 {
+			res, err := saco.SimulateLasso(a, b, opt, cluster)
+			fail(err)
+			fmt.Printf("simulated P=%d (%s): modeled time %.4es, %d messages, %d words\n",
+				*simP, cluster.Machine.Name, res.ModeledSeconds(),
+				res.Stats.TotalMsgs(), res.Stats.TotalWords())
+			fmt.Printf("final objective %.6e  (lambda=%.4g)\n", res.Objective, lam)
+			x = res.X
+			break
+		}
+		res, err := saco.Lasso(cols, b, opt)
+		fail(err)
+		for _, p := range res.History {
+			fmt.Printf("iter %8d  objective %.6e\n", p.Iter, p.Value)
+		}
+		fmt.Printf("final objective %.6e  selected features %d/%d  (lambda=%.4g)\n",
+			res.Objective, res.NNZ(), a.N, lam)
+		x = res.X
+	case "svm":
+		l := saco.SVML1
+		if *loss == "l2" {
+			l = saco.SVML2
+		}
+		opt := saco.SVMOptions{
+			Lambda: *lambda, Loss: l, Iters: *iters, S: *s, Seed: *seed,
+			TrackEvery: *track, Tol: *tol,
+		}
+		if *simP > 0 {
+			res, err := saco.SimulateSVM(a, b, opt, cluster)
+			fail(err)
+			fmt.Printf("simulated P=%d (%s): modeled time %.4es, %d messages, %d words\n",
+				*simP, cluster.Machine.Name, res.ModeledSeconds(),
+				res.Stats.TotalMsgs(), res.Stats.TotalWords())
+			fmt.Printf("final duality gap %.6e after %d iterations\n", res.Gap, res.Iters)
+			x = res.X
+			break
+		}
+		res, err := saco.SVM(a, b, opt)
+		fail(err)
+		for _, p := range res.History {
+			fmt.Printf("iter %8d  primal %.6e  dual %.6e  gap %.6e\n", p.Iter, p.Primal, p.Dual, p.Gap)
+		}
+		fmt.Printf("final duality gap %.6e after %d iterations, %d support vectors\n",
+			res.Gap, res.Iters, res.SupportVectors())
+		x = res.X
+	case "pegasos":
+		res, err := saco.PegasosSVM(a, b, saco.SVMOptions{
+			Lambda: *lambda, Iters: *iters, Seed: *seed, TrackEvery: *track,
+		})
+		fail(err)
+		for _, p := range res.History {
+			fmt.Printf("iter %8d  primal %.6e\n", p.Iter, p.Primal)
+		}
+		fmt.Printf("final primal objective %.6e (SGD baseline, no certificate)\n", res.Primal)
+		x = res.X
+	default:
+		fmt.Fprintf(os.Stderr, "sasolve: unknown task %q (lasso, svm, pegasos)\n", *task)
+		os.Exit(2)
+	}
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		fail(err)
+		for _, v := range x {
+			fmt.Fprintf(f, "%.17g\n", v)
+		}
+		fail(f.Close())
+		fmt.Printf("model written to %s\n", *outPath)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sasolve: %v\n", err)
+		os.Exit(1)
+	}
+}

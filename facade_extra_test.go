@@ -1,0 +1,63 @@
+package saco_test
+
+import (
+	"testing"
+
+	"saco"
+)
+
+func TestPublicAPILassoPath(t *testing.T) {
+	data := saco.Regression("path", 11, 200, 80, 0.15, 6, 0.05)
+	cols := data.Cols()
+	lmax := saco.LambdaMax(cols, data.B)
+	path, err := saco.LassoPath(cols, data.B, []float64{0.5 * lmax, 0.05 * lmax}, saco.LassoOptions{
+		Iters: 300, BlockSize: 4, Accelerated: true, Seed: 1, S: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 2 || path[1].NNZ < path[0].NNZ {
+		t.Fatalf("path shape wrong: %+v", path)
+	}
+}
+
+func TestPublicAPICASVM(t *testing.T) {
+	data := saco.Classification("ca", 21, 200, 40, 0.2, 0.02)
+	model, err := saco.TrainCASVM(data.AsCSR(), data.B, saco.CASVMOptions{
+		Clusters: 3,
+		Seed:     1,
+		Local:    saco.SVMOptions{Lambda: 1, Iters: 3000, Seed: 2, S: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := model.PredictAll(data.AsCSR())
+	correct := 0
+	for i, s := range scores {
+		if s*data.B[i] > 0 {
+			correct++
+		}
+	}
+	if correct < 140 {
+		t.Fatalf("CA-SVM accuracy %d/200 too low", correct)
+	}
+}
+
+func TestPublicAPIPredictAccuracy(t *testing.T) {
+	data := saco.Classification("pa", 13, 250, 60, 0.25, 0.02)
+	res, err := saco.SVM(data.Rows(), data.B, saco.SVMOptions{Lambda: 1, Iters: 8000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	margins := saco.Predict(data.Rows(), res.X)
+	if len(margins) != 250 {
+		t.Fatalf("Predict length %d", len(margins))
+	}
+	acc := saco.Accuracy(data.Rows(), data.B, res.X)
+	if acc < 0.85 {
+		t.Fatalf("accuracy %v too low", acc)
+	}
+	if saco.Accuracy(data.Rows(), nil, res.X) != 0 {
+		t.Fatal("empty-label accuracy should be 0")
+	}
+}

@@ -1,0 +1,239 @@
+// Package casvm implements the communication-eliminating SVM of You et
+// al. ("CA-SVM", IPDPS 2015), which the paper discusses in §II: a k-means
+// clustering pass partitions the data so that each processor trains an
+// independent local SVM with no further communication, trading accuracy
+// for the removed synchronization. The paper observes that "CA-SVM uses a
+// local SVM solver which can be replaced with our SA-variant" — this
+// package does exactly that, using the (SA-)dual-coordinate-descent
+// solver of internal/core as the local trainer, so the two
+// communication-reduction strategies compose.
+package casvm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"saco/internal/core"
+	"saco/internal/mat"
+	"saco/internal/rng"
+	"saco/internal/sparse"
+)
+
+// Options configures a CA-SVM training run.
+type Options struct {
+	// Clusters is the number of k-means partitions (the processor count
+	// of the original CA-SVM).
+	Clusters int
+	// KMeansIters bounds the Lloyd iterations (default 10).
+	KMeansIters int
+	// Seed drives centroid initialization.
+	Seed uint64
+	// Local configures the per-cluster dual CD solver; its S field makes
+	// the local solver synchronization-avoiding.
+	Local core.SVMOptions
+}
+
+// Model is a trained CA-SVM: one linear model per cluster, dispatched by
+// nearest centroid.
+type Model struct {
+	Centroids []*centroid
+	Weights   [][]float64 // per-cluster primal vectors
+	// PureLabel[c] is nonzero when cluster c contained a single class; the
+	// cluster then predicts that label constantly (no linear model can).
+	PureLabel []float64
+	// ClusterSizes records how many training points landed in each
+	// cluster (diagnostic for degenerate clusterings).
+	ClusterSizes []int
+}
+
+// centroid is a dense cluster center with its cached squared norm.
+type centroid struct {
+	v      []float64
+	normSq float64
+}
+
+// Train clusters the rows of a and fits one local SVM per cluster.
+func Train(a *sparse.CSR, b []float64, opt Options) (*Model, error) {
+	m, n := a.Dims()
+	if len(b) != m {
+		return nil, fmt.Errorf("casvm: len(b)=%d for %d rows", len(b), m)
+	}
+	if opt.Clusters <= 0 {
+		return nil, errors.New("casvm: Clusters must be positive")
+	}
+	if opt.Clusters > m {
+		return nil, fmt.Errorf("casvm: %d clusters for %d points", opt.Clusters, m)
+	}
+	if opt.KMeansIters <= 0 {
+		opt.KMeansIters = 10
+	}
+
+	assign, centroids := kmeansRows(a, opt.Clusters, opt.KMeansIters, opt.Seed)
+
+	model := &Model{
+		Centroids:    centroids,
+		ClusterSizes: make([]int, opt.Clusters),
+		PureLabel:    make([]float64, opt.Clusters),
+	}
+	model.Weights = make([][]float64, opt.Clusters)
+	for c := 0; c < opt.Clusters; c++ {
+		var rows []int
+		for i, ci := range assign {
+			if ci == c {
+				rows = append(rows, i)
+			}
+		}
+		model.ClusterSizes[c] = len(rows)
+		if len(rows) == 0 {
+			model.Weights[c] = make([]float64, n)
+			continue
+		}
+		sub, subLabels := extractRows(a, b, rows)
+		if oneClass(subLabels) {
+			// A pure cluster needs no solver: it predicts its label.
+			model.Weights[c] = make([]float64, n)
+			model.PureLabel[c] = subLabels[0]
+			continue
+		}
+		lopt := opt.Local
+		if lopt.Lambda == 0 {
+			lopt.Lambda = 1
+		}
+		if lopt.Iters == 0 {
+			lopt.Iters = 10 * len(rows)
+		}
+		res, err := core.SVM(sub, subLabels, lopt)
+		if err != nil {
+			return nil, err
+		}
+		model.Weights[c] = res.X
+	}
+	return model, nil
+}
+
+// Predict returns the decision value for one sparse row (given as index/
+// value pairs): the local model of the nearest centroid scores it.
+func (md *Model) Predict(idx []int, val []float64) float64 {
+	c := md.nearest(idx, val)
+	if l := md.PureLabel[c]; l != 0 {
+		return l
+	}
+	var s float64
+	w := md.Weights[c]
+	for k, j := range idx {
+		s += w[j] * val[k]
+	}
+	return s
+}
+
+// PredictAll scores every row of a matrix.
+func (md *Model) PredictAll(a *sparse.CSR) []float64 {
+	out := make([]float64, a.M)
+	for i := 0; i < a.M; i++ {
+		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+		out[i] = md.Predict(a.ColIdx[lo:hi], a.Val[lo:hi])
+	}
+	return out
+}
+
+// nearest returns the centroid index minimizing squared distance
+// ‖x‖² − 2x·c + ‖c‖² (the ‖x‖² term is common, so only the last two are
+// compared).
+func (md *Model) nearest(idx []int, val []float64) int {
+	best, bestScore := 0, math.Inf(1)
+	for c, cen := range md.Centroids {
+		var dot float64
+		for k, j := range idx {
+			dot += cen.v[j] * val[k]
+		}
+		if score := cen.normSq - 2*dot; score < bestScore {
+			best, bestScore = c, score
+		}
+	}
+	return best
+}
+
+// kmeansRows is Lloyd's algorithm over sparse rows with dense centroids,
+// k-means++-style seeding from distinct random rows.
+func kmeansRows(a *sparse.CSR, k, iters int, seed uint64) ([]int, []*centroid) {
+	m, n := a.Dims()
+	r := rng.New(seed)
+	centroids := make([]*centroid, k)
+	for c, row := range r.SampleK(m, k) {
+		v := make([]float64, n)
+		for p := a.RowPtr[row]; p < a.RowPtr[row+1]; p++ {
+			v[a.ColIdx[p]] = a.Val[p]
+		}
+		centroids[c] = &centroid{v: v, normSq: mat.Nrm2Sq(v)}
+	}
+	assign := make([]int, m)
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i := 0; i < m; i++ {
+			lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+			best, bestScore := 0, math.Inf(1)
+			for c, cen := range centroids {
+				var dot float64
+				for p := lo; p < hi; p++ {
+					dot += cen.v[a.ColIdx[p]] * a.Val[p]
+				}
+				if score := cen.normSq - 2*dot; score < bestScore {
+					best, bestScore = c, score
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && it > 0 {
+			break
+		}
+		// Recompute centroids.
+		counts := make([]int, k)
+		for c := range centroids {
+			mat.Fill(centroids[c].v, 0)
+		}
+		for i := 0; i < m; i++ {
+			c := assign[i]
+			counts[c]++
+			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+				centroids[c].v[a.ColIdx[p]] += a.Val[p]
+			}
+		}
+		for c := range centroids {
+			if counts[c] > 0 {
+				mat.Scal(1/float64(counts[c]), centroids[c].v)
+			}
+			centroids[c].normSq = mat.Nrm2Sq(centroids[c].v)
+		}
+	}
+	return assign, centroids
+}
+
+// extractRows builds the sub-matrix and labels of the selected rows.
+func extractRows(a *sparse.CSR, b []float64, rows []int) (*sparse.CSR, []float64) {
+	rowPtr := make([]int, len(rows)+1)
+	var colIdx []int
+	var val []float64
+	labels := make([]float64, len(rows))
+	for k, i := range rows {
+		labels[k] = b[i]
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			colIdx = append(colIdx, a.ColIdx[p])
+			val = append(val, a.Val[p])
+		}
+		rowPtr[k+1] = len(val)
+	}
+	return &sparse.CSR{M: len(rows), N: a.N, RowPtr: rowPtr, ColIdx: colIdx, Val: val}, labels
+}
+
+func oneClass(labels []float64) bool {
+	for _, l := range labels[1:] {
+		if l != labels[0] {
+			return false
+		}
+	}
+	return true
+}

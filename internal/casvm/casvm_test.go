@@ -1,0 +1,167 @@
+package casvm
+
+import (
+	"testing"
+
+	"saco/internal/core"
+	"saco/internal/datagen"
+	"saco/internal/rng"
+	"saco/internal/sparse"
+)
+
+// blobData builds two well-separated Gaussian blobs per class so that
+// k-means finds meaningful structure (the regime CA-SVM targets).
+func blobData(seed uint64, m, n int) (*sparse.CSR, []float64) {
+	r := rng.New(seed)
+	coo := sparse.NewCOO(m, n)
+	b := make([]float64, m)
+	for i := 0; i < m; i++ {
+		cls := i % 2
+		blob := (i / 2) % 2 // two blobs per class at different offsets
+		b[i] = float64(2*cls - 1)
+		base := cls*6 + blob*3
+		for j := 0; j < 4; j++ {
+			coo.Add(i, (base+j)%n, 2+0.3*r.NormFloat64())
+		}
+		// Background noise features.
+		for _, j := range r.SampleK(n, 2) {
+			coo.Add(i, j, 0.2*r.NormFloat64())
+		}
+	}
+	return coo.ToCSR(), b
+}
+
+func accuracy(scores, b []float64) float64 {
+	correct := 0
+	for i, s := range scores {
+		if s*b[i] > 0 {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(b))
+}
+
+func TestCASVMTrainsAccurateLocalModels(t *testing.T) {
+	a, b := blobData(1, 400, 30)
+	model, err := Train(a, b, Options{
+		Clusters: 4,
+		Seed:     2,
+		Local:    core.SVMOptions{Lambda: 1, Iters: 4000, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(model.Weights) != 4 || len(model.Centroids) != 4 {
+		t.Fatal("model shape wrong")
+	}
+	total := 0
+	for _, sz := range model.ClusterSizes {
+		total += sz
+	}
+	if total != 400 {
+		t.Fatalf("cluster sizes sum to %d", total)
+	}
+	acc := accuracy(model.PredictAll(a), b)
+	if acc < 0.9 {
+		t.Fatalf("training accuracy %v too low", acc)
+	}
+}
+
+// The §II composition claim: the local solver can be the SA variant, and
+// the result is unchanged relative to the classical local solver.
+func TestCASVMWithSALocalSolver(t *testing.T) {
+	a, b := blobData(4, 300, 24)
+	base := Options{Clusters: 3, Seed: 5, Local: core.SVMOptions{Lambda: 1, Iters: 3000, Seed: 6}}
+	classic, err := Train(a, b, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saOpt := base
+	saOpt.Local.S = 100
+	sa, err := Train(a, b, saOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range classic.Weights {
+		for j := range classic.Weights[c] {
+			d := classic.Weights[c][j] - sa.Weights[c][j]
+			if d < -1e-7 || d > 1e-7 {
+				t.Fatalf("cluster %d weight %d differs: %v vs %v",
+					c, j, classic.Weights[c][j], sa.Weights[c][j])
+			}
+		}
+	}
+}
+
+// CA-SVM trades accuracy for communication: on non-clusterable data it
+// must still work, and on clusterable data it should approach the global
+// solver.
+func TestCASVMVersusGlobalSVM(t *testing.T) {
+	a, b := blobData(7, 400, 30)
+	global, err := core.SVM(a, b, core.SVMOptions{Lambda: 1, Iters: 8000, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	margins := make([]float64, 400)
+	a.MulVec(global.X, margins)
+	globalAcc := accuracy(margins, b)
+
+	model, err := Train(a, b, Options{Clusters: 4, Seed: 9, Local: core.SVMOptions{Lambda: 1, Iters: 4000, Seed: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	caAcc := accuracy(model.PredictAll(a), b)
+	if caAcc < globalAcc-0.12 {
+		t.Fatalf("CA-SVM accuracy %v too far below global %v", caAcc, globalAcc)
+	}
+}
+
+func TestCASVMDegenerateClusters(t *testing.T) {
+	// All-positive tiny dataset: pure clusters take the constant-model
+	// path and prediction must not crash.
+	d := datagen.Classification("pure", 11, 30, 10, 0.4, 0.01)
+	for i := range d.B {
+		d.B[i] = 1
+	}
+	model, err := Train(d.CSR, d.B, Options{Clusters: 2, Seed: 12, Local: core.SVMOptions{Lambda: 1, Iters: 100, Seed: 13}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := model.PredictAll(d.CSR)
+	for i, s := range scores {
+		if s < 0 {
+			t.Fatalf("pure-positive cluster predicted negative at %d", i)
+		}
+	}
+}
+
+func TestCASVMValidation(t *testing.T) {
+	a, b := blobData(14, 20, 10)
+	if _, err := Train(a, b, Options{Clusters: 0}); err == nil {
+		t.Fatal("expected cluster-count error")
+	}
+	if _, err := Train(a, b, Options{Clusters: 100}); err == nil {
+		t.Fatal("expected too-many-clusters error")
+	}
+	if _, err := Train(a, b[:3], Options{Clusters: 2}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestKMeansAssignsAllPointsAndConverges(t *testing.T) {
+	a, _ := blobData(15, 200, 20)
+	assign, cents := kmeansRows(a, 4, 20, 16)
+	if len(assign) != 200 || len(cents) != 4 {
+		t.Fatal("kmeans output shape")
+	}
+	seen := make(map[int]bool)
+	for _, c := range assign {
+		if c < 0 || c >= 4 {
+			t.Fatalf("assignment %d out of range", c)
+		}
+		seen[c] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("kmeans collapsed to one cluster on blob data")
+	}
+}

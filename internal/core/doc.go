@@ -1,0 +1,29 @@
+// Package core implements the paper's primary contribution in sequential
+// form: randomized (block) coordinate descent solvers for sparse proximal
+// least squares (Lasso-family) and dual linear SVM, together with their
+// synchronization-avoiding (SA) reformulations.
+//
+// The four Lasso-side methods follow the paper's naming:
+//
+//	CD      — coordinate descent, µ = 1             (LassoOptions{BlockSize: 1})
+//	BCD     — block coordinate descent, µ > 1
+//	accCD   — accelerated CD (Nesterov / Fercoq–Richtárik), Alg. 1 with µ = 1
+//	accBCD  — accelerated BCD, Alg. 1
+//
+// and each gains an SA variant (Alg. 2) by setting S > 1: the recurrences
+// are unrolled S steps, every distributed reduction is hoisted into one
+// batched (S·µ)×(S·µ) Gram computation, and the inner loop applies the
+// correction sums of eqs. (3)–(5). The SVM side implements the dual
+// coordinate-descent method of Hsieh et al. (Alg. 3) and SA-SVM (Alg. 4,
+// eqs. 14–15) for both the L1 and L2 hinge losses.
+//
+// The SA reformulations only rearrange arithmetic, so with the same seed
+// an SA run reproduces the classical iterate sequence up to floating-point
+// roundoff (the paper's Table III: final relative objective differences at
+// machine precision). The tests in this package verify that invariant
+// directly.
+//
+// This package is deliberately communication-free; package dist runs the
+// same mathematics over the simulated message-passing runtime and charges
+// the costs of Table I.
+package core

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"saco/internal/mat"
+)
+
+func residualOf(a ColMatrix, b, x []float64) []float64 {
+	m, _ := a.Dims()
+	r := make([]float64, m)
+	a.MulVec(x, r)
+	mat.Axpy(-1, b, r)
+	return r
+}
+
+func TestLassoDualityGapNonnegativeAndShrinks(t *testing.T) {
+	a, b, lambda := testProblem(40)
+	_, n := a.Dims()
+
+	// At x = 0 the gap is large (equals the full suboptimality bound).
+	zero := make([]float64, n)
+	g0 := LassoDualityGap(a, b, zero, residualOf(a, b, zero), lambda)
+	if g0 <= 0 {
+		t.Fatalf("gap at zero = %v, want positive", g0)
+	}
+
+	// After optimization the gap must be far smaller and nonnegative.
+	res, err := Lasso(a, b, LassoOptions{Lambda: lambda, Iters: 4000, BlockSize: 4, Accelerated: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := LassoDualityGap(a, b, res.X, residualOf(a, b, res.X), lambda)
+	if g < 0 {
+		t.Fatalf("gap = %v, violates weak duality", g)
+	}
+	if g > 0.01*g0 {
+		t.Fatalf("gap %v did not shrink from %v", g, g0)
+	}
+}
+
+// The gap upper-bounds true suboptimality: P(x) − P(x_best) <= gap(x).
+func TestLassoDualityGapBoundsSuboptimality(t *testing.T) {
+	a, b, lambda := testProblem(41)
+	best, err := Lasso(a, b, LassoOptions{Lambda: lambda, Iters: 6000, BlockSize: 4, Accelerated: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rough, err := Lasso(a, b, LassoOptions{Lambda: lambda, Iters: 150, BlockSize: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := LassoDualityGap(a, b, rough.X, residualOf(a, b, rough.X), lambda)
+	subopt := rough.Objective - best.Objective
+	if subopt > gap+1e-9 {
+		t.Fatalf("suboptimality %v exceeds certificate %v", subopt, gap)
+	}
+}
+
+func TestLassoDualityGapZeroResidualEdge(t *testing.T) {
+	// Perfectly fit data (b = A·x, λ small): the gap at the fit is ~λ‖x‖₁
+	// minus the dual correlation term and must not be NaN.
+	a, b, _ := testProblem(42)
+	_, n := a.Dims()
+	x := make([]float64, n)
+	gap := LassoDualityGap(a, b, x, residualOf(a, b, x), 0)
+	if math.IsNaN(gap) || gap < 0 {
+		t.Fatalf("gap = %v for lambda = 0", gap)
+	}
+}

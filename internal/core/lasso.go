@@ -1,0 +1,273 @@
+package core
+
+import (
+	"math"
+
+	"saco/internal/mat"
+	"saco/internal/rng"
+)
+
+// Lasso solves min_x ½‖Ax−b‖² + g(x) with randomized (block) coordinate
+// descent. Options select plain vs accelerated (Alg. 1) and classical vs
+// synchronization-avoiding (Alg. 2, S > 1) variants; all four share the
+// coordinate-sampling and step-size rules so that SA and classical runs
+// with equal seeds produce the same iterate sequence in exact arithmetic.
+func Lasso(a ColMatrix, b []float64, opt LassoOptions) (*LassoResult, error) {
+	m, n := a.Dims()
+	if err := opt.validate(m, n, len(b)); err != nil {
+		return nil, err
+	}
+	if opt.Accelerated {
+		if opt.S > 1 {
+			return lassoAccSA(a, b, opt)
+		}
+		return lassoAcc(a, b, opt)
+	}
+	if opt.S > 1 {
+		return lassoPlainSA(a, b, opt)
+	}
+	return lassoPlain(a, b, opt)
+}
+
+// BlockSampler yields the coordinate block of each iteration: either µ
+// uniform draws without replacement or one whole group. It is exported
+// for package dist, which must reproduce the exact sampling sequence of
+// the sequential solvers (the replicated-seed discipline).
+type BlockSampler struct {
+	r      *rng.Stream
+	n, mu  int
+	groups [][]int
+}
+
+// NewBlockSampler builds the sampler for the given options and feature
+// count.
+func NewBlockSampler(opt *LassoOptions, n int) *BlockSampler {
+	return &BlockSampler{r: rng.New(opt.Seed), n: n, mu: opt.mu(), groups: opt.Groups}
+}
+
+// Next returns the next sampled block (Alg. 1 line 5 / Alg. 2 line 6).
+func (s *BlockSampler) Next() []int {
+	if s.groups != nil {
+		return s.groups[s.r.Intn(len(s.groups))]
+	}
+	return s.r.SampleK(s.n, s.mu)
+}
+
+// NumBlocks returns q, the block count of the acceleration schedule
+// (Alg. 1 line 3: q = ⌈n/µ⌉, or the number of groups).
+func (s *BlockSampler) NumBlocks() int {
+	if s.groups != nil {
+		return len(s.groups)
+	}
+	return (s.n + s.mu - 1) / s.mu
+}
+
+// Theta0 returns the initial acceleration parameter (Alg. 1 line 2:
+// θ₀ = µ/n; 1/#groups under group sampling).
+func (s *BlockSampler) Theta0() float64 {
+	if s.groups != nil {
+		return 1 / float64(len(s.groups))
+	}
+	return float64(s.mu) / float64(s.n)
+}
+
+// MaxBlock returns the largest block size the solver must buffer for.
+func (s *BlockSampler) MaxBlock() int {
+	if s.groups == nil {
+		return s.mu
+	}
+	m := 0
+	for _, g := range s.groups {
+		if len(g) > m {
+			m = len(g)
+		}
+	}
+	return m
+}
+
+// BigEta is the step size used when a sampled block has only zero
+// columns (λmax = 0): the proximal step with an effectively infinite step
+// drives the block to the penalty's minimizer without producing NaNs from
+// ∞·0 products.
+const BigEta = 1e300
+
+// lassoPlain is classical (non-accelerated) CD/BCD: proximal gradient on
+// the sampled block with the optimal step 1/λmax(A_IᵀA_I), maintaining
+// the residual r = A·x − b.
+func lassoPlain(a ColMatrix, b []float64, opt LassoOptions) (*LassoResult, error) {
+	m, n := a.Dims()
+	g := opt.Regularizer()
+	smp := NewBlockSampler(&opt, n)
+
+	x := make([]float64, n)
+	if opt.X0 != nil {
+		copy(x, opt.X0)
+	}
+	r := make([]float64, m)
+	a.MulVec(x, r)
+	mat.Axpy(-1, b, r) // r = A·x0 − b
+
+	muMax := smp.MaxBlock()
+	gram := mat.NewDense(muMax, muMax)
+	grad := make([]float64, muMax)
+	w := make([]float64, muMax)
+	gv := make([]float64, muMax)
+	delta := make([]float64, muMax)
+
+	res := &LassoResult{Iters: opt.Iters}
+	for h := 1; h <= opt.Iters; h++ {
+		idx := smp.Next()
+		mu := len(idx)
+		gb := mat.NewDenseData(mu, mu, gram.Data[:mu*mu])
+		a.ColGram(idx, gb)
+		v := blockLargestEig(gb)
+		a.ColTMulVec(idx, r, grad[:mu])
+		mat.Gather(w[:mu], x, idx)
+		var eta float64
+		if v > 0 {
+			eta = 1 / v
+			for k := 0; k < mu; k++ {
+				gv[k] = w[k] - eta*grad[k]
+			}
+		} else {
+			eta = BigEta
+			copy(gv[:mu], w[:mu])
+		}
+		g.Prox(eta, gv[:mu])
+		for k := 0; k < mu; k++ {
+			delta[k] = gv[k] - w[k]
+		}
+		mat.ScatterAdd(x, delta[:mu], idx)
+		a.ColMulAdd(idx, delta[:mu], r)
+		if opt.TrackEvery > 0 && h%opt.TrackEvery == 0 {
+			res.History = append(res.History, TracePoint{Iter: h, Value: LassoObjective(r, x, g)})
+		}
+	}
+	res.X = x
+	res.Objective = LassoObjective(r, x, g)
+	return res, nil
+}
+
+// lassoAcc is Alg. 1: accelerated (acc)BCD with the Fercoq–Richtárik
+// θ-schedule. State: z, y ∈ Rⁿ and their images ỹ = A·y, z̃ = A·z − b.
+func lassoAcc(a ColMatrix, b []float64, opt LassoOptions) (*LassoResult, error) {
+	m, n := a.Dims()
+	g := opt.Regularizer()
+	smp := NewBlockSampler(&opt, n)
+	q := float64(smp.NumBlocks())
+	theta := smp.Theta0() // line 2
+
+	z := make([]float64, n)
+	if opt.X0 != nil {
+		copy(z, opt.X0) // x₀ = θ₀²·y₀ + z₀ with y₀ = 0
+	}
+	y := make([]float64, n)
+	zt := make([]float64, m) // z̃ = A·z − b
+	a.MulVec(z, zt)
+	mat.Axpy(-1, b, zt)
+	yt := make([]float64, m) // ỹ = A·y = 0
+
+	muMax := smp.MaxBlock()
+	gram := mat.NewDense(muMax, muMax)
+	ry := make([]float64, muMax)
+	rz := make([]float64, muMax)
+	w := make([]float64, muMax)
+	gv := make([]float64, muMax)
+	delta := make([]float64, muMax)
+	scaled := make([]float64, muMax)
+
+	res := &LassoResult{Iters: opt.Iters}
+	for h := 1; h <= opt.Iters; h++ {
+		idx := smp.Next()
+		mu := len(idx)
+		gb := mat.NewDenseData(mu, mu, gram.Data[:mu*mu])
+		a.ColGram(idx, gb) // line 8
+		v := blockLargestEig(gb)
+
+		// line 9: r = A_hᵀ(θ²ỹ + z̃), assembled from two products so the
+		// m-vector θ²ỹ + z̃ is never materialized.
+		a.ColTMulVec(idx, yt, ry[:mu])
+		a.ColTMulVec(idx, zt, rz[:mu])
+		th2 := theta * theta
+		mat.Gather(w[:mu], z, idx)
+		var eta float64
+		if v > 0 {
+			eta = 1 / (q * theta * v) // line 11
+			for k := 0; k < mu; k++ {
+				gv[k] = w[k] - eta*(th2*ry[k]+rz[k]) // line 12
+			}
+		} else {
+			eta = BigEta
+			copy(gv[:mu], w[:mu])
+		}
+		g.Prox(eta, gv[:mu]) // line 13 (soft threshold for L1)
+		for k := 0; k < mu; k++ {
+			delta[k] = gv[k] - w[k]
+		}
+
+		// lines 14–17: vector updates.
+		d := (1 - q*theta) / th2
+		mat.ScatterAdd(z, delta[:mu], idx)
+		a.ColMulAdd(idx, delta[:mu], zt)
+		mat.ScatterAxpy(-d, y, delta[:mu], idx)
+		for k := 0; k < mu; k++ {
+			scaled[k] = -d * delta[k]
+		}
+		a.ColMulAdd(idx, scaled[:mu], yt)
+
+		// line 18: θ advance.
+		theta = NextTheta(theta)
+
+		if opt.TrackEvery > 0 && h%opt.TrackEvery == 0 {
+			res.History = append(res.History, TracePoint{Iter: h, Value: accObjective(theta, y, z, yt, zt, g)})
+		}
+	}
+	res.X = accSolution(theta, y, z)
+	rfinal := make([]float64, m)
+	accResidual(theta, yt, zt, rfinal)
+	res.Objective = LassoObjective(rfinal, res.X, g)
+	return res, nil
+}
+
+// blockLargestEig returns λmax of the µ×µ Gram block (Alg. 1 line 10),
+// with the scalar fast path for CD.
+func blockLargestEig(g *mat.Dense) float64 {
+	if g.R == 1 {
+		return g.Data[0]
+	}
+	return mat.LargestEigSym(g)
+}
+
+// NextTheta advances the acceleration parameter (Alg. 1 line 18):
+// θ⁺ = (√(θ⁴+4θ²) − θ²)/2.
+func NextTheta(theta float64) float64 {
+	t2 := theta * theta
+	return (math.Sqrt(t2*t2+4*t2) - t2) / 2
+}
+
+// accSolution reconstructs x = θ²·y + z (Alg. 1 line 19).
+func accSolution(theta float64, y, z []float64) []float64 {
+	x := make([]float64, len(z))
+	th2 := theta * theta
+	for i := range x {
+		x[i] = th2*y[i] + z[i]
+	}
+	return x
+}
+
+// accResidual writes A·x − b = θ²·ỹ + z̃ into dst.
+func accResidual(theta float64, yt, zt, dst []float64) {
+	th2 := theta * theta
+	for i := range dst {
+		dst[i] = th2*yt[i] + zt[i]
+	}
+}
+
+// accObjective evaluates the implicit iterate's objective without
+// disturbing solver state.
+func accObjective(theta float64, y, z, yt, zt []float64, g Regularizer) float64 {
+	x := accSolution(theta, y, z)
+	r := make([]float64, len(yt))
+	accResidual(theta, yt, zt, r)
+	return LassoObjective(r, x, g)
+}

@@ -1,0 +1,354 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"saco/internal/datagen"
+	"saco/internal/mat"
+	"saco/internal/sparse"
+)
+
+// testProblem builds a small planted Lasso problem and a reasonable λ.
+func testProblem(seed uint64) (ColMatrix, []float64, float64) {
+	d := datagen.Regression("test", seed, 120, 80, 0.15, 6, 0.02)
+	a := d.CSR.ToCSC()
+	lambda := 0.1 * LambdaMaxL1(a, d.B)
+	return a, d.B, lambda
+}
+
+func relDiff(a, b float64) float64 {
+	return math.Abs(a-b) / math.Max(1e-300, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestLassoValidation(t *testing.T) {
+	a, b, lambda := testProblem(1)
+	bad := []LassoOptions{
+		{Lambda: lambda, Iters: 0},
+		{Lambda: -1, Iters: 10},
+		{Lambda: lambda, Iters: 10, BlockSize: 1000},
+		{Lambda: lambda, Iters: 10, X0: make([]float64, 3)},
+		{Lambda: lambda, Iters: 10, Groups: [][]int{{}}},
+		{Lambda: lambda, Iters: 10, Groups: [][]int{{0}, {0}}},
+		{Lambda: lambda, Iters: 10, Groups: [][]int{{99999}}},
+	}
+	for i, opt := range bad {
+		if _, err := Lasso(a, b, opt); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+	if _, err := Lasso(a, b[:5], LassoOptions{Lambda: lambda, Iters: 10}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestLassoConvergesAllVariants(t *testing.T) {
+	a, b, lambda := testProblem(2)
+	start := 0.5 * mat.Nrm2Sq(b) // objective at x = 0
+	for _, cfg := range []struct {
+		name string
+		opt  LassoOptions
+	}{
+		{"CD", LassoOptions{Lambda: lambda, Iters: 800, BlockSize: 1, Seed: 3}},
+		{"BCD", LassoOptions{Lambda: lambda, Iters: 400, BlockSize: 8, Seed: 3}},
+		{"accCD", LassoOptions{Lambda: lambda, Iters: 800, BlockSize: 1, Accelerated: true, Seed: 3}},
+		{"accBCD", LassoOptions{Lambda: lambda, Iters: 400, BlockSize: 8, Accelerated: true, Seed: 3}},
+		{"SA-CD", LassoOptions{Lambda: lambda, Iters: 800, BlockSize: 1, S: 16, Seed: 3}},
+		{"SA-accBCD", LassoOptions{Lambda: lambda, Iters: 400, BlockSize: 8, S: 16, Accelerated: true, Seed: 3}},
+	} {
+		res, err := Lasso(a, b, cfg.opt)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.name, err)
+		}
+		if math.IsNaN(res.Objective) || res.Objective >= 0.5*start {
+			t.Fatalf("%s: objective %v did not decrease well below start %v", cfg.name, res.Objective, start)
+		}
+		if res.NNZ() == 0 || res.NNZ() == len(res.X) {
+			t.Fatalf("%s: solution sparsity degenerate (nnz=%d)", cfg.name, res.NNZ())
+		}
+	}
+}
+
+// TestSAEquivalence is the paper's central numerical claim (Fig. 2, Table
+// III): the SA rearrangement reproduces the classical iterate sequence up
+// to roundoff, for every variant and for s values up to (and beyond) the
+// iteration count.
+func TestSAEquivalence(t *testing.T) {
+	a, b, lambda := testProblem(4)
+	for _, acc := range []bool{false, true} {
+		for _, mu := range []int{1, 4} {
+			base := LassoOptions{Lambda: lambda, Iters: 300, BlockSize: mu, Accelerated: acc, Seed: 7, TrackEvery: 50}
+			ref, err := Lasso(a, b, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range []int{2, 7, 64, 1000} {
+				opt := base
+				opt.S = s
+				got, err := Lasso(a, b, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d := relDiff(got.Objective, ref.Objective); d > 1e-9 {
+					t.Fatalf("acc=%v µ=%d s=%d: objective rel diff %v", acc, mu, s, d)
+				}
+				for i := range ref.X {
+					if math.Abs(got.X[i]-ref.X[i]) > 1e-7*(1+math.Abs(ref.X[i])) {
+						t.Fatalf("acc=%v µ=%d s=%d: x[%d] = %v vs %v", acc, mu, s, i, got.X[i], ref.X[i])
+					}
+				}
+				for k := range ref.History {
+					if d := relDiff(got.History[k].Value, ref.History[k].Value); d > 1e-8 {
+						t.Fatalf("acc=%v µ=%d s=%d: history[%d] rel diff %v", acc, mu, s, k, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSAEquivalenceMachinePrecision reproduces Table III: final relative
+// objective error at machine-precision scale for a long run.
+func TestSAEquivalenceMachinePrecision(t *testing.T) {
+	a, b, lambda := testProblem(5)
+	base := LassoOptions{Lambda: lambda, Iters: 2000, BlockSize: 1, Accelerated: true, Seed: 11}
+	ref, err := Lasso(a, b, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := base
+	sa.S = 1000
+	got, err := Lasso(a, b, sa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := relDiff(got.Objective, ref.Objective); d > 1e-16 {
+		// Table III reports errors of order 1e-16–1e-17; allow a couple of
+		// decades of slack for a different platform.
+		if d > 1e-11 {
+			t.Fatalf("final relative objective error %v far above machine precision", d)
+		}
+		t.Logf("final relative objective error %.3e (Table III scale: ~1e-16)", d)
+	}
+}
+
+// Plain (non-accelerated) proximal BCD with the exact block Lipschitz
+// step is a descent method: the objective never increases.
+func TestPlainBCDMonotone(t *testing.T) {
+	a, b, lambda := testProblem(6)
+	opt := LassoOptions{Lambda: lambda, Iters: 300, BlockSize: 4, Seed: 13, TrackEvery: 1}
+	res, err := Lasso(a, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for _, p := range res.History {
+		if p.Value > prev*(1+1e-12) {
+			t.Fatalf("objective increased at iter %d: %v -> %v", p.Iter, prev, p.Value)
+		}
+		prev = p.Value
+	}
+}
+
+func TestLambdaMaxGivesZeroSolution(t *testing.T) {
+	a, b, _ := testProblem(7)
+	lambda := 1.001 * LambdaMaxL1(a, b)
+	for _, acc := range []bool{false, true} {
+		res, err := Lasso(a, b, LassoOptions{Lambda: lambda, Iters: 200, BlockSize: 2, Accelerated: acc, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range res.X {
+			if v != 0 {
+				t.Fatalf("acc=%v: x[%d] = %v, want exact 0 at λ > λmax", acc, i, v)
+			}
+		}
+	}
+}
+
+func TestZeroColumnsHandled(t *testing.T) {
+	// A matrix whose second half of columns is entirely zero: sampled
+	// blocks regularly hit λmax = 0 and must not produce NaNs.
+	coo := sparse.NewCOO(30, 20)
+	for i := 0; i < 30; i++ {
+		coo.Add(i, i%10, 1+float64(i%3))
+	}
+	a := coo.ToCSC()
+	b := make([]float64, 30)
+	for i := range b {
+		b[i] = float64(i%5) - 2
+	}
+	for _, acc := range []bool{false, true} {
+		for _, s := range []int{1, 4} {
+			res, err := Lasso(a, b, LassoOptions{Lambda: 0.01, Iters: 150, BlockSize: 3, Accelerated: acc, S: s, Seed: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.IsNaN(res.Objective) {
+				t.Fatalf("acc=%v s=%d: NaN objective", acc, s)
+			}
+			for j := 10; j < 20; j++ {
+				if res.X[j] != 0 {
+					t.Fatalf("acc=%v s=%d: zero-column coordinate %d = %v", acc, s, j, res.X[j])
+				}
+			}
+		}
+	}
+}
+
+func TestGroupLassoSolver(t *testing.T) {
+	d := datagen.Regression("test", 8, 100, 24, 0.3, 4, 0.02)
+	a := d.CSR.ToCSC()
+	groups := make([][]int, 6)
+	for g := range groups {
+		for j := 0; j < 4; j++ {
+			groups[g] = append(groups[g], g*4+j)
+		}
+	}
+	lambda := 0.2 * LambdaMaxL1(a, d.B)
+	opt := LassoOptions{
+		Reg:         GroupLasso{Lambda: lambda, Groups: groups},
+		Groups:      groups,
+		Iters:       400,
+		Accelerated: true,
+		Seed:        5,
+	}
+	res, err := Lasso(a, d.B, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.Objective) {
+		t.Fatal("NaN objective")
+	}
+	// Group sparsity: every group is either all-zero or not; at least one
+	// group should be zeroed at this λ, and the solution must be nontrivial.
+	zeroGroups := 0
+	for _, g := range groups {
+		nz := 0
+		for _, j := range g {
+			if res.X[j] != 0 {
+				nz++
+			}
+		}
+		if nz == 0 {
+			zeroGroups++
+		}
+	}
+	if res.NNZ() == 0 {
+		t.Fatal("trivial solution")
+	}
+	if zeroGroups == 0 {
+		t.Log("no group fully zeroed; group-lasso still converged")
+	}
+	// SA equivalence under group sampling too.
+	sa := opt
+	sa.S = 16
+	got, err := Lasso(a, d.B, sa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := relDiff(got.Objective, res.Objective); d > 1e-9 {
+		t.Fatalf("group SA rel diff %v", d)
+	}
+}
+
+func TestElasticNetSolver(t *testing.T) {
+	a, b, lambda := testProblem(9)
+	opt := LassoOptions{
+		Reg:         ElasticNet{Lambda: lambda, Alpha: 0.7},
+		Iters:       400,
+		BlockSize:   4,
+		Accelerated: true,
+		Seed:        6,
+	}
+	res, err := Lasso(a, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := 0.5 * mat.Nrm2Sq(b)
+	if res.Objective >= start {
+		t.Fatalf("elastic net did not descend: %v vs %v", res.Objective, start)
+	}
+	sa := opt
+	sa.S = 32
+	got, err := Lasso(a, b, sa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := relDiff(got.Objective, res.Objective); d > 1e-9 {
+		t.Fatalf("elastic net SA rel diff %v", d)
+	}
+}
+
+func TestWarmStart(t *testing.T) {
+	a, b, lambda := testProblem(10)
+	long, err := Lasso(a, b, LassoOptions{Lambda: lambda, Iters: 400, BlockSize: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := Lasso(a, b, LassoOptions{Lambda: lambda, Iters: 50, BlockSize: 4, Seed: 1, X0: long.X})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm-started from a good point, the objective must stay comparable.
+	if short.Objective > long.Objective*1.05+1e-9 {
+		t.Fatalf("warm start regressed: %v vs %v", short.Objective, long.Objective)
+	}
+}
+
+func TestDenseColsPath(t *testing.T) {
+	d := datagen.DenseRegression("test", 11, 60, 40, 4, 0.05)
+	a := sparse.DenseCols{A: d.Dense}
+	lambda := 0.1 * LambdaMaxL1(a, d.B)
+	ref, err := Lasso(a, d.B, LassoOptions{Lambda: lambda, Iters: 200, BlockSize: 4, Accelerated: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := Lasso(a, d.B, LassoOptions{Lambda: lambda, Iters: 200, BlockSize: 4, Accelerated: true, Seed: 3, S: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := relDiff(sa.Objective, ref.Objective); d > 1e-9 {
+		t.Fatalf("dense SA rel diff %v", d)
+	}
+}
+
+func TestAcceleratedBeatsPlainOnIterations(t *testing.T) {
+	// The paper's Fig. 2/3 observation: accelerated methods converge
+	// faster per iteration. Compare objectives after the same iteration
+	// budget on a problem hard enough to show the gap.
+	d := datagen.Regression("test", 12, 300, 200, 0.1, 10, 0.01)
+	a := d.CSR.ToCSC()
+	lambda := 0.05 * LambdaMaxL1(a, d.B)
+	iters := 1500
+	plain, err := Lasso(a, d.B, LassoOptions{Lambda: lambda, Iters: iters, BlockSize: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Lasso(a, d.B, LassoOptions{Lambda: lambda, Iters: iters, BlockSize: 4, Accelerated: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Objective > plain.Objective*1.02 {
+		t.Fatalf("accelerated (%v) not competitive with plain (%v)", acc.Objective, plain.Objective)
+	}
+}
+
+func TestHistoryTracking(t *testing.T) {
+	a, b, lambda := testProblem(13)
+	res, err := Lasso(a, b, LassoOptions{Lambda: lambda, Iters: 100, BlockSize: 2, Seed: 1, TrackEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != 10 {
+		t.Fatalf("history length %d, want 10", len(res.History))
+	}
+	for k, p := range res.History {
+		if p.Iter != (k+1)*10 {
+			t.Fatalf("history[%d].Iter = %d", k, p.Iter)
+		}
+	}
+	if res.Iters != 100 {
+		t.Fatalf("Iters = %d", res.Iters)
+	}
+}

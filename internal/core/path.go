@@ -1,0 +1,55 @@
+package core
+
+import (
+	"errors"
+	"sort"
+)
+
+// PathPoint is one solution along a regularization path.
+type PathPoint struct {
+	Lambda    float64
+	X         []float64
+	Objective float64
+	NNZ       int
+}
+
+// LassoPath solves the Lasso problem for a decreasing sequence of λ
+// values, warm-starting each solve from the previous solution — the
+// standard homotopy strategy for exploring sparsity levels (the use case
+// behind the paper's Lasso benchmarks). Lambdas are sorted descending
+// internally; opt.Lambda and opt.Reg are overridden per point, all other
+// options (including S for synchronization-avoiding solves) apply to
+// every point.
+func LassoPath(a ColMatrix, b []float64, lambdas []float64, opt LassoOptions) ([]PathPoint, error) {
+	if len(lambdas) == 0 {
+		return nil, errors.New("core: LassoPath needs at least one lambda")
+	}
+	for _, l := range lambdas {
+		if l < 0 {
+			return nil, errors.New("core: negative lambda in path")
+		}
+	}
+	sorted := append([]float64(nil), lambdas...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+
+	out := make([]PathPoint, 0, len(sorted))
+	var warm []float64
+	for _, lambda := range sorted {
+		o := opt
+		o.Lambda = lambda
+		o.Reg = nil // the path is defined for the L1 penalty
+		o.X0 = warm
+		res, err := Lasso(a, b, o)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PathPoint{
+			Lambda:    lambda,
+			X:         res.X,
+			Objective: res.Objective,
+			NNZ:       res.NNZ(),
+		})
+		warm = res.X
+	}
+	return out, nil
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestLassoPathBasics(t *testing.T) {
+	a, b, _ := testProblem(20)
+	lmax := LambdaMaxL1(a, b)
+	lambdas := []float64{0.05 * lmax, 0.5 * lmax, 0.2 * lmax, 1.2 * lmax}
+	path, err := LassoPath(a, b, lambdas, LassoOptions{
+		BlockSize: 4, Iters: 300, Accelerated: true, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 4 {
+		t.Fatalf("path length %d", len(path))
+	}
+	// Sorted descending in lambda.
+	for i := 1; i < len(path); i++ {
+		if path[i].Lambda >= path[i-1].Lambda {
+			t.Fatal("path not sorted descending")
+		}
+	}
+	// Above lambda-max the solution is exactly zero; at the smallest
+	// lambda it should be the densest.
+	if path[0].NNZ != 0 {
+		t.Fatalf("nnz at lambda > lambda_max is %d, want 0", path[0].NNZ)
+	}
+	if path[len(path)-1].NNZ <= path[1].NNZ {
+		t.Fatalf("sparsity did not grow along the path: %d vs %d",
+			path[len(path)-1].NNZ, path[1].NNZ)
+	}
+	// Objectives decrease with lambda (weaker penalty, richer model).
+	for i := 1; i < len(path); i++ {
+		if path[i].Objective > path[i-1].Objective*1.0001 {
+			t.Fatalf("objective increased along path at %d", i)
+		}
+	}
+}
+
+func TestLassoPathSAMatchesClassic(t *testing.T) {
+	a, b, _ := testProblem(21)
+	lmax := LambdaMaxL1(a, b)
+	lambdas := []float64{0.3 * lmax, 0.1 * lmax}
+	base := LassoOptions{BlockSize: 2, Iters: 200, Accelerated: true, Seed: 9}
+	classic, err := LassoPath(a, b, lambdas, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := base
+	sa.S = 25
+	got, err := LassoPath(a, b, lambdas, sa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range classic {
+		if d := relDiff(got[i].Objective, classic[i].Objective); d > 1e-9 {
+			t.Fatalf("path point %d: SA rel diff %v", i, d)
+		}
+		if got[i].NNZ != classic[i].NNZ {
+			t.Fatalf("path point %d: support size %d vs %d", i, got[i].NNZ, classic[i].NNZ)
+		}
+	}
+}
+
+func TestLassoPathErrors(t *testing.T) {
+	a, b, _ := testProblem(22)
+	if _, err := LassoPath(a, b, nil, LassoOptions{Iters: 10}); err == nil {
+		t.Fatal("expected empty-lambdas error")
+	}
+	if _, err := LassoPath(a, b, []float64{-1}, LassoOptions{Iters: 10}); err == nil {
+		t.Fatal("expected negative-lambda error")
+	}
+	if _, err := LassoPath(a, b, []float64{1}, LassoOptions{Iters: 0}); err == nil {
+		t.Fatal("expected option validation error")
+	}
+}

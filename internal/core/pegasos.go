@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math"
+
+	"saco/internal/rng"
+)
+
+// PegasosSVM is a primal stochastic-subgradient SVM solver
+// (Shalev-Shwartz et al., "Pegasos"), included as the baseline from the
+// algorithm family of P-packSVM, the prior synchronization-avoiding SVM
+// the paper compares against in §II. It minimizes the same objective as
+// the dual solvers, P(x) = ½‖x‖² + λ·Σ max(0, 1 − bᵢAᵢx), via the
+// equivalent scaling f(x) = P(x)/(λm): regularization λp = 1/(λm),
+// step ηt = 1/(λp·t), followed by projection onto the ‖x‖ ≤ 1/√λp ball.
+//
+// The returned result carries the primal objective trajectory; Alpha is
+// nil and Dual/Gap are zero since a primal method certifies nothing —
+// which is itself the practical argument for the dual CD methods the
+// paper builds on.
+func PegasosSVM(a RowMatrix, b []float64, opt SVMOptions) (*SVMResult, error) {
+	m, n := a.Dims()
+	if err := opt.validate(m, len(b)); err != nil {
+		return nil, err
+	}
+	r := rng.New(opt.Seed)
+	lambdaP := 1 / (opt.Lambda * float64(m))
+	radius := 1 / math.Sqrt(lambdaP)
+
+	x := make([]float64, n)
+	margin := make([]float64, 1)
+	row := make([]int, 1)
+	scale := 1.0 // x is stored as scale·x to make the shrink step O(1)
+	res := &SVMResult{Iters: opt.Iters}
+	xnorm2 := 0.0 // running ‖x‖² of the stored (unscaled) vector
+
+	materialize := func() {
+		if scale != 1 {
+			for i := range x {
+				x[i] *= scale
+			}
+			xnorm2 *= scale * scale
+			scale = 1
+		}
+	}
+
+	for t := 1; t <= opt.Iters; t++ {
+		i := r.Intn(m)
+		row[0] = i
+		a.RowMulVec(row, x, margin)
+		mrg := scale * margin[0] * b[i]
+		// Shrink step: x ← (1 − ηλp)·x = (1 − 1/t)·x, folded into scale.
+		scale *= 1 - 1/float64(t)
+		if scale == 0 { // t == 1
+			scale = 1
+			for j := range x {
+				x[j] = 0
+			}
+			xnorm2 = 0
+		}
+		if mrg < 1 {
+			// Subgradient step on the hinge term: x += ηt·bᵢ·Aᵢ.
+			eta := 1 / (lambdaP * float64(t))
+			materialize()
+			// Update running norm before and after via the row's change.
+			before := xnorm2
+			var rowSq, rowDot float64
+			a.RowMulVec(row, x, margin)
+			rowDot = margin[0]
+			rowSq = a.RowNormSq(i)
+			a.RowTAxpy(i, eta*b[i], x)
+			xnorm2 = before + 2*eta*b[i]*rowDot + eta*eta*rowSq
+		}
+		// Projection onto the ball of radius 1/√λp.
+		nrm := math.Sqrt(math.Max(0, xnorm2)) * scale
+		if nrm > radius {
+			scale *= radius / nrm
+		}
+		if opt.TrackEvery > 0 && t%opt.TrackEvery == 0 {
+			materialize()
+			p := pegasosPrimal(a, b, x, opt.Lambda, opt.Loss)
+			res.History = append(res.History, GapPoint{Iter: t, Primal: p})
+		}
+	}
+	materialize()
+	res.X = x
+	res.Primal = pegasosPrimal(a, b, x, opt.Lambda, opt.Loss)
+	return res, nil
+}
+
+func pegasosPrimal(a RowMatrix, b, x []float64, lambda float64, loss SVMLoss) float64 {
+	m, _ := a.Dims()
+	margins := make([]float64, m)
+	a.MulVec(x, margins)
+	p, _, _ := SVMObjectives(x, make([]float64, m), margins, b, lambda, 0, loss)
+	return p
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPegasosConvergesTowardDualCD(t *testing.T) {
+	a, b := svmProblem(60)
+	dual, err := SVM(a, b, SVMOptions{Lambda: 1, Iters: 30000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peg, err := PegasosSVM(a, b, SVMOptions{Lambda: 1, Iters: 60000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(peg.Primal) || peg.Primal <= 0 {
+		t.Fatalf("pegasos primal = %v", peg.Primal)
+	}
+	// SGD converges slowly; within 25% of the dual-CD primal suffices to
+	// show both optimize the same objective.
+	if peg.Primal > 1.25*dual.Primal {
+		t.Fatalf("pegasos primal %v too far above dual CD %v", peg.Primal, dual.Primal)
+	}
+	// The dual method with its certificate must be at least as good.
+	if dual.Primal > peg.Primal*1.05 {
+		t.Fatalf("dual CD primal %v worse than SGD %v", dual.Primal, peg.Primal)
+	}
+}
+
+func TestPegasosObjectiveDecreasesOverall(t *testing.T) {
+	a, b := svmProblem(61)
+	res, err := PegasosSVM(a, b, SVMOptions{Lambda: 1, Iters: 20000, Seed: 3, TrackEvery: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != 5 {
+		t.Fatalf("history %d", len(res.History))
+	}
+	first, last := res.History[0].Primal, res.History[len(res.History)-1].Primal
+	if !(last < first) {
+		t.Fatalf("objective did not decrease: %v -> %v", first, last)
+	}
+}
+
+func TestPegasosDeterministic(t *testing.T) {
+	a, b := svmProblem(62)
+	r1, err := PegasosSVM(a, b, SVMOptions{Lambda: 0.5, Iters: 5000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := PegasosSVM(a, b, SVMOptions{Lambda: 0.5, Iters: 5000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.X {
+		if r1.X[i] != r2.X[i] {
+			t.Fatal("pegasos not deterministic")
+		}
+	}
+}
+
+func TestPegasosValidation(t *testing.T) {
+	a, b := svmProblem(63)
+	if _, err := PegasosSVM(a, b, SVMOptions{Lambda: 0, Iters: 10}); err == nil {
+		t.Fatal("expected lambda validation error")
+	}
+	if _, err := PegasosSVM(a, b, SVMOptions{Lambda: 1, Iters: 0}); err == nil {
+		t.Fatal("expected iters validation error")
+	}
+}
+
+func TestPegasosTrainsUsableClassifier(t *testing.T) {
+	a, b := svmProblem(64)
+	res, err := PegasosSVM(a, b, SVMOptions{Lambda: 1, Iters: 40000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := a.Dims()
+	margins := make([]float64, m)
+	a.MulVec(res.X, margins)
+	correct := 0
+	for i, v := range margins {
+		if v*b[i] > 0 {
+			correct++
+		}
+	}
+	if correct < m*4/5 {
+		t.Fatalf("accuracy %d/%d too low", correct, m)
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"saco/internal/datagen"
+)
+
+// TestQuickSAEquivalenceLasso is the randomized version of the central
+// invariant: for random problem shapes, block sizes, unrolling factors
+// and seeds, SA and classical Lasso agree to roundoff.
+func TestQuickSAEquivalenceLasso(t *testing.T) {
+	f := func(seed uint64, mRaw, nRaw, muRaw, sRaw uint8, acc bool) bool {
+		m := 20 + int(mRaw)%80
+		n := 10 + int(nRaw)%60
+		mu := 1 + int(muRaw)%min(4, n)
+		s := 2 + int(sRaw)%40
+		d := datagen.Regression("q", seed, m, n, 0.2, max(2, n/10), 0.05)
+		a := d.CSR.ToCSC()
+		lambda := 0.1 * LambdaMaxL1(a, d.B)
+		base := LassoOptions{Lambda: lambda, BlockSize: mu, Iters: 60, Accelerated: acc, Seed: seed}
+		ref, err := Lasso(a, d.B, base)
+		if err != nil {
+			return false
+		}
+		sa := base
+		sa.S = s
+		got, err := Lasso(a, d.B, sa)
+		if err != nil {
+			return false
+		}
+		return relDiff(got.Objective, ref.Objective) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSAEquivalenceSVM: the SVM counterpart over random shapes,
+// losses and unrolling factors.
+func TestQuickSAEquivalenceSVM(t *testing.T) {
+	f := func(seed uint64, mRaw, nRaw, sRaw uint8, l2 bool) bool {
+		m := 20 + int(mRaw)%80
+		n := 10 + int(nRaw)%60
+		s := 2 + int(sRaw)%60
+		d := datagen.Classification("q", seed, m, n, 0.2, 0.1)
+		loss := SVML1
+		if l2 {
+			loss = SVML2
+		}
+		base := SVMOptions{Lambda: 1, Loss: loss, Iters: 300, Seed: seed}
+		ref, err := SVM(d.CSR, d.B, base)
+		if err != nil {
+			return false
+		}
+		sa := base
+		sa.S = s
+		got, err := SVM(d.CSR, d.B, sa)
+		if err != nil {
+			return false
+		}
+		for i := range ref.Alpha {
+			if math.Abs(got.Alpha[i]-ref.Alpha[i]) > 1e-8*(1+math.Abs(ref.Alpha[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLassoGapCertificate: the duality gap is nonnegative at
+// arbitrary points of random problems (weak duality can never break).
+func TestQuickLassoGapCertificate(t *testing.T) {
+	f := func(seed uint64, itersRaw uint8) bool {
+		d := datagen.Regression("q", seed, 60, 40, 0.25, 4, 0.05)
+		a := d.CSR.ToCSC()
+		lambda := 0.2 * LambdaMaxL1(a, d.B)
+		res, err := Lasso(a, d.B, LassoOptions{
+			Lambda: lambda, BlockSize: 2, Iters: 1 + int(itersRaw), Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		gap := LassoDualityGap(a, d.B, res.X, residualOf(a, d.B, res.X), lambda)
+		return gap >= 0 && !math.IsNaN(gap)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

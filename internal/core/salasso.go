@@ -1,0 +1,258 @@
+package core
+
+import "saco/internal/mat"
+
+// This file implements the synchronization-avoiding Lasso solvers
+// (Alg. 2). The recurrences of Alg. 1 are unrolled s steps: all matrix
+// products that would require a reduction in the distributed setting —
+// the blocks A_{sk+j}ᵀA_{sk+t} of the (sµ)×(sµ) Gram matrix G = YᵀY and
+// the products Yᵀỹ_sk, Yᵀz̃_sk — are computed once per outer iteration
+// (lines 10–12). The inner loop then reconstructs each iteration's
+// gradient from those batched quantities via the correction sums of
+// eqs. (3)–(5) and performs only communication-free updates.
+//
+// The replicated vectors z, y are updated in place every inner step
+// (Alg. 2 lines 19, 21): reading z[idx] therefore yields exactly the
+// I_jᵀz_sk + Σ_t I_jᵀI_t·Δz_t collision sum of eq. (4). The partitioned
+// images z̃, ỹ are likewise updated in place (lines 20, 22) but never read
+// by the inner loop — only the hoisted products are — which is what makes
+// the rearrangement communication-free in the distributed setting.
+
+// saBatch holds the per-outer-iteration batch state shared by the plain
+// and accelerated SA solvers.
+type saBatch struct {
+	blocks  [][]int // the s sampled index blocks
+	offsets []int   // block start offsets in the concatenated index list
+	cols    []int   // concatenation of blocks
+	gram    *mat.Dense
+}
+
+// sample draws sb blocks and assembles the concatenated column list.
+func (bt *saBatch) sample(smp *BlockSampler, sb int) {
+	bt.blocks = bt.blocks[:0]
+	bt.offsets = bt.offsets[:0]
+	bt.cols = bt.cols[:0]
+	for j := 0; j < sb; j++ {
+		blk := smp.Next()
+		bt.offsets = append(bt.offsets, len(bt.cols))
+		bt.blocks = append(bt.blocks, blk)
+		bt.cols = append(bt.cols, blk...)
+	}
+}
+
+// diagBlock copies the j-th diagonal µ×µ block of the batched Gram matrix
+// into dst (the A_{sk+j}ᵀA_{sk+j} of Alg. 2 line 14).
+func (bt *saBatch) diagBlock(j int, dst *mat.Dense) {
+	off := bt.offsets[j]
+	mu := len(bt.blocks[j])
+	k := bt.gram.C
+	for a := 0; a < mu; a++ {
+		copy(dst.Row(a)[:mu], bt.gram.Data[(off+a)*k+off:(off+a)*k+off+mu])
+	}
+}
+
+// crossApply accumulates dst[a] += scale · Σ_b G[jOff+a, tOff+b]·coef[b],
+// the G_{j,t}·Δz_t terms of eqs. (3) and (5).
+func (bt *saBatch) crossApply(j, t int, scale float64, coef, dst []float64) {
+	if scale == 0 {
+		return
+	}
+	jOff, tOff := bt.offsets[j], bt.offsets[t]
+	muJ, muT := len(bt.blocks[j]), len(bt.blocks[t])
+	k := bt.gram.C
+	for a := 0; a < muJ; a++ {
+		row := bt.gram.Data[(jOff+a)*k+tOff : (jOff+a)*k+tOff+muT]
+		var s float64
+		for bIdx, c := range coef[:muT] {
+			s += row[bIdx] * c
+		}
+		dst[a] += scale * s
+	}
+}
+
+// lassoPlainSA is the synchronization-avoiding plain CD/BCD. Gradients of
+// the inner iterations are A_jᵀr_sk + Σ_{t<j} G_{j,t}·Δx_t (the
+// non-accelerated specialization of eq. (3), where r is the residual).
+func lassoPlainSA(a ColMatrix, b []float64, opt LassoOptions) (*LassoResult, error) {
+	m, n := a.Dims()
+	g := opt.Regularizer()
+	smp := NewBlockSampler(&opt, n)
+	s := opt.S
+
+	x := make([]float64, n)
+	if opt.X0 != nil {
+		copy(x, opt.X0)
+	}
+	r := make([]float64, m)
+	a.MulVec(x, r)
+	mat.Axpy(-1, b, r)
+
+	muMax := smp.MaxBlock()
+	kMax := s * muMax
+	bt := &saBatch{gram: mat.NewDense(kMax, kMax)}
+	rP := make([]float64, kMax)      // hoisted A_jᵀ·r_sk for all j
+	deltas := mat.NewDense(s, muMax) // Δx_t of the current batch
+	diag := mat.NewDense(muMax, muMax)
+	grad := make([]float64, muMax)
+	w := make([]float64, muMax)
+	gv := make([]float64, muMax)
+
+	res := &LassoResult{Iters: opt.Iters}
+	for h := 0; h < opt.Iters; {
+		sb := min(s, opt.Iters-h)
+		bt.sample(smp, sb)
+		k := len(bt.cols)
+		bt.gram = mat.NewDenseData(k, k, bt.gram.Data[:k*k])
+		// Lines 10–12: the one batched "communication" of the outer step.
+		a.ColGram(bt.cols, bt.gram)
+		a.ColTMulVec(bt.cols, r, rP[:k])
+
+		for j := 0; j < sb; j++ {
+			idx := bt.blocks[j]
+			mu := len(idx)
+			db := mat.NewDenseData(mu, mu, diag.Data[:mu*mu])
+			bt.diagBlock(j, db)
+			v := blockLargestEig(db)
+
+			copy(grad[:mu], rP[bt.offsets[j]:bt.offsets[j]+mu])
+			for t := 0; t < j; t++ {
+				bt.crossApply(j, t, 1, deltas.Row(t), grad[:mu])
+			}
+			mat.Gather(w[:mu], x, idx)
+			var eta float64
+			if v > 0 {
+				eta = 1 / v
+				for a2 := 0; a2 < mu; a2++ {
+					gv[a2] = w[a2] - eta*grad[a2]
+				}
+			} else {
+				eta = BigEta
+				copy(gv[:mu], w[:mu])
+			}
+			g.Prox(eta, gv[:mu])
+			d := deltas.Row(j)
+			for a2 := 0; a2 < mu; a2++ {
+				d[a2] = gv[a2] - w[a2]
+			}
+			mat.ScatterAdd(x, d[:mu], idx)
+			a.ColMulAdd(idx, d[:mu], r)
+			h++
+			if opt.TrackEvery > 0 && h%opt.TrackEvery == 0 {
+				res.History = append(res.History, TracePoint{Iter: h, Value: LassoObjective(r, x, g)})
+			}
+		}
+	}
+	res.X = x
+	res.Objective = LassoObjective(r, x, g)
+	return res, nil
+}
+
+// lassoAccSA is Alg. 2: synchronization-avoiding accelerated (acc)BCD.
+func lassoAccSA(a ColMatrix, b []float64, opt LassoOptions) (*LassoResult, error) {
+	m, n := a.Dims()
+	g := opt.Regularizer()
+	smp := NewBlockSampler(&opt, n)
+	q := float64(smp.NumBlocks())
+	s := opt.S
+
+	z := make([]float64, n)
+	if opt.X0 != nil {
+		copy(z, opt.X0)
+	}
+	y := make([]float64, n)
+	zt := make([]float64, m)
+	a.MulVec(z, zt)
+	mat.Axpy(-1, b, zt)
+	yt := make([]float64, m)
+
+	muMax := smp.MaxBlock()
+	kMax := s * muMax
+	bt := &saBatch{gram: mat.NewDense(kMax, kMax)}
+	ytP := make([]float64, kMax) // Yᵀỹ_sk (Alg. 2 line 12)
+	ztP := make([]float64, kMax) // Yᵀz̃_sk
+	deltas := mat.NewDense(s, muMax)
+	dCoef := make([]float64, s) // d_t = (1−qθ_{sk+t−1})/θ²_{sk+t−1}
+	thetas := make([]float64, s+1)
+	diag := mat.NewDense(muMax, muMax)
+	rvec := make([]float64, muMax)
+	w := make([]float64, muMax)
+	gv := make([]float64, muMax)
+	scaled := make([]float64, muMax)
+
+	theta := smp.Theta0()
+	res := &LassoResult{Iters: opt.Iters}
+	for h := 0; h < opt.Iters; {
+		sb := min(s, opt.Iters-h)
+		bt.sample(smp, sb)
+		k := len(bt.cols)
+		bt.gram = mat.NewDenseData(k, k, bt.gram.Data[:k*k])
+		// Lines 9–12: θ schedule for the batch and the batched products.
+		thetas[0] = theta
+		for j := 1; j <= sb; j++ {
+			thetas[j] = NextTheta(thetas[j-1])
+		}
+		a.ColGram(bt.cols, bt.gram)
+		a.ColTMulVec(bt.cols, yt, ytP[:k])
+		a.ColTMulVec(bt.cols, zt, ztP[:k])
+
+		for j := 0; j < sb; j++ {
+			idx := bt.blocks[j]
+			mu := len(idx)
+			db := mat.NewDenseData(mu, mu, diag.Data[:mu*mu])
+			bt.diagBlock(j, db)
+			v := blockLargestEig(db) // line 14
+
+			thPrev := thetas[j]
+			th2 := thPrev * thPrev
+			// Eq. (3): r_j = θ²ỹ'_j + z̃'_j − Σ_t (θ²·d_t − 1)·G_{j,t}·Δz_t.
+			off := bt.offsets[j]
+			for a2 := 0; a2 < mu; a2++ {
+				rvec[a2] = th2*ytP[off+a2] + ztP[off+a2]
+			}
+			for t := 0; t < j; t++ {
+				bt.crossApply(j, t, -(th2*dCoef[t] - 1), deltas.Row(t), rvec[:mu])
+			}
+
+			// Eq. (4): reading the in-place-updated z yields the collision
+			// sum I_jᵀz_sk + Σ I_jᵀI_t·Δz_t.
+			mat.Gather(w[:mu], z, idx)
+			var eta float64
+			if v > 0 {
+				eta = 1 / (q * thPrev * v) // line 15
+				for a2 := 0; a2 < mu; a2++ {
+					gv[a2] = w[a2] - eta*rvec[a2]
+				}
+			} else {
+				eta = BigEta
+				copy(gv[:mu], w[:mu])
+			}
+			g.Prox(eta, gv[:mu])
+			d := deltas.Row(j)
+			for a2 := 0; a2 < mu; a2++ {
+				d[a2] = gv[a2] - w[a2] // eq. (5)
+			}
+
+			// Lines 19–22: communication-free updates.
+			dj := (1 - q*thPrev) / th2
+			dCoef[j] = dj
+			mat.ScatterAdd(z, d[:mu], idx)
+			a.ColMulAdd(idx, d[:mu], zt)
+			mat.ScatterAxpy(-dj, y, d[:mu], idx)
+			for a2 := 0; a2 < mu; a2++ {
+				scaled[a2] = -dj * d[a2]
+			}
+			a.ColMulAdd(idx, scaled[:mu], yt)
+
+			h++
+			if opt.TrackEvery > 0 && h%opt.TrackEvery == 0 {
+				res.History = append(res.History, TracePoint{Iter: h, Value: accObjective(thetas[j+1], y, z, yt, zt, g)})
+			}
+		}
+		theta = thetas[sb]
+	}
+	res.X = accSolution(theta, y, z)
+	rfinal := make([]float64, m)
+	accResidual(theta, yt, zt, rfinal)
+	res.Objective = LassoObjective(rfinal, res.X, g)
+	return res, nil
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"saco/internal/mat"
+	"saco/internal/rng"
+)
+
+// SVM trains a linear SVM by dual coordinate descent (Hsieh et al.,
+// Alg. 3) or its synchronization-avoiding reformulation (Alg. 4, S > 1).
+// It returns the primal weight vector x, the dual solution α, and the
+// duality gap — the convergence certificate of Fig. 5.
+func SVM(a RowMatrix, b []float64, opt SVMOptions) (*SVMResult, error) {
+	m, _ := a.Dims()
+	if err := opt.validate(m, len(b)); err != nil {
+		return nil, err
+	}
+	if opt.S > 1 {
+		return svmSA(a, b, opt)
+	}
+	return svmClassic(a, b, opt)
+}
+
+// svmState holds the shared solver state and the bookkeeping for duality
+// gap tracking and early stopping.
+type svmState struct {
+	a      RowMatrix
+	b      []float64
+	opt    *SVMOptions
+	gamma  float64
+	nu     float64
+	alpha  []float64
+	x      []float64
+	res    *SVMResult
+	margin []float64 // scratch for A·x in gap evaluation
+}
+
+func newSVMState(a RowMatrix, b []float64, opt *SVMOptions) *svmState {
+	m, n := a.Dims()
+	st := &svmState{a: a, b: b, opt: opt, res: &SVMResult{}}
+	st.gamma, st.nu = opt.gammaNu()
+	st.alpha = make([]float64, m)
+	st.x = make([]float64, n)
+	st.margin = make([]float64, m)
+	if opt.Alpha0 != nil {
+		copy(st.alpha, opt.Alpha0)
+		// Line 2: x₀ = Σ bᵢαᵢAᵢᵀ.
+		for i, ai := range st.alpha {
+			if ai != 0 {
+				a.RowTAxpy(i, ai*b[i], st.x)
+			}
+		}
+	}
+	return st
+}
+
+// update applies the projected-Newton coordinate step of Alg. 3 lines
+// 9–15 given the gradient g and curvature eta for coordinate i, returning
+// the dual step θ.
+func (st *svmState) update(i int, g, eta float64) float64 {
+	ai := st.alpha[i]
+	// Line 9: projected gradient; zero means the coordinate is already
+	// optimal under its box constraint.
+	if gt := clip(ai-g, 0, st.nu) - ai; gt == 0 {
+		return 0
+	}
+	theta := clip(ai-g/eta, 0, st.nu) - ai // line 11
+	if theta != 0 {
+		st.alpha[i] += theta                  // line 14
+		st.a.RowTAxpy(i, theta*st.b[i], st.x) // line 15: x += θ·bᵢ·Aᵢᵀ
+	}
+	return theta
+}
+
+// trackGap records the duality gap at iteration h; it reports whether the
+// tolerance (if any) has been reached.
+func (st *svmState) trackGap(h int) bool {
+	st.a.MulVec(st.x, st.margin)
+	p, d, gap := SVMObjectives(st.x, st.alpha, st.margin, st.b, st.opt.Lambda, st.gamma, st.opt.Loss)
+	st.res.History = append(st.res.History, GapPoint{Iter: h, Primal: p, Dual: d, Gap: gap})
+	return st.opt.Tol > 0 && gap <= st.opt.Tol
+}
+
+// finish computes the final objectives and assembles the result.
+func (st *svmState) finish(iters int) *SVMResult {
+	st.a.MulVec(st.x, st.margin)
+	p, d, gap := SVMObjectives(st.x, st.alpha, st.margin, st.b, st.opt.Lambda, st.gamma, st.opt.Loss)
+	st.res.X = st.x
+	st.res.Alpha = st.alpha
+	st.res.Primal, st.res.Dual, st.res.Gap = p, d, gap
+	st.res.Iters = iters
+	return st.res
+}
+
+// svmClassic is Alg. 3: one dual coordinate per iteration, one reduction
+// per iteration in the distributed setting (lines 7–8).
+func svmClassic(a RowMatrix, b []float64, opt SVMOptions) (*SVMResult, error) {
+	m, _ := a.Dims()
+	st := newSVMState(a, b, &opt)
+	r := rng.New(opt.Seed)
+	one := make([]float64, 1)
+	row := make([]int, 1)
+	for h := 1; h <= opt.Iters; h++ {
+		i := r.Intn(m) // line 4
+		row[0] = i
+		eta := a.RowNormSq(i) + st.gamma // line 7
+		a.RowMulVec(row, st.x, one)
+		g := b[i]*one[0] - 1 + st.gamma*st.alpha[i] // line 8
+		st.update(i, g, eta)
+		if opt.TrackEvery > 0 && h%opt.TrackEvery == 0 {
+			if st.trackGap(h) {
+				return st.finish(h), nil
+			}
+		}
+	}
+	return st.finish(opt.Iters), nil
+}
+
+// svmSA is Alg. 4: the coordinate recurrences are unrolled S steps. One
+// batched computation per outer iteration produces the s×s Gram matrix
+// G = YYᵀ + γI over the sampled rows and the hoisted products x'_j =
+// A_j·x_sk (lines 9–10); the inner loop reconstructs each gradient via
+// eq. (15) and performs communication-free updates. Reading the in-place
+// updated α yields the collision sum β of eq. (14).
+func svmSA(a RowMatrix, b []float64, opt SVMOptions) (*SVMResult, error) {
+	m, _ := a.Dims()
+	st := newSVMState(a, b, &opt)
+	r := rng.New(opt.Seed)
+	s := opt.S
+	rows := make([]int, s)
+	gram := mat.NewDense(s, s)
+	xP := make([]float64, s)
+	thetaStep := make([]float64, s)
+
+	for h := 0; h < opt.Iters; {
+		sb := min(s, opt.Iters-h)
+		for j := 0; j < sb; j++ {
+			rows[j] = r.Intn(m) // line 5 (same draws as Alg. 3)
+		}
+		gb := mat.NewDenseData(sb, sb, gram.Data[:sb*sb])
+		// Lines 9–10: the one batched "communication" of the outer step.
+		a.RowGram(rows[:sb], gb)
+		for j := 0; j < sb; j++ {
+			gb.Set(j, j, gb.At(j, j)+st.gamma)
+		}
+		a.RowMulVec(rows[:sb], st.x, xP[:sb])
+
+		for j := 0; j < sb; j++ {
+			i := rows[j]
+			eta := gb.At(j, j) // line 11: η_j = diag(G)_j
+			// Eq. (15): A_j·x_{sk+j−1} = x'_j + Σ_{t<j} θ_t·b_t·G_{j,t}.
+			dot := xP[j]
+			for t := 0; t < j; t++ {
+				if thetaStep[t] != 0 {
+					dot += thetaStep[t] * b[rows[t]] * gb.At(j, t)
+				}
+			}
+			g := b[i]*dot - 1 + st.gamma*st.alpha[i]
+			thetaStep[j] = st.update(i, g, eta)
+			h++
+			if opt.TrackEvery > 0 && h%opt.TrackEvery == 0 {
+				if st.trackGap(h) {
+					return st.finish(h), nil
+				}
+			}
+		}
+	}
+	return st.finish(opt.Iters), nil
+}

@@ -1,0 +1,134 @@
+// Package libsvm reads and writes the LIBSVM sparse text format used by
+// every dataset in the paper's evaluation (Tables II and IV):
+//
+//	<label> <index>:<value> <index>:<value> ...
+//
+// Indices are 1-based and strictly increasing within a line; lines
+// starting with '#' and blank lines are ignored. The reader streams, so
+// url-scale files do not need to fit in memory twice.
+package libsvm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"saco/internal/sparse"
+)
+
+// Read parses a LIBSVM stream. n is the number of features; pass 0 to
+// infer it from the largest index seen.
+func Read(r io.Reader, n int) (*sparse.CSR, []float64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26) // rows can be wide (url: 3M features)
+	var (
+		rowPtr = []int{0}
+		colIdx []int
+		vals   []float64
+		labels []float64
+		maxCol = -1
+		lineNo = 0
+	)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		label, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("libsvm: line %d: bad label %q: %v", lineNo, fields[0], err)
+		}
+		labels = append(labels, label)
+		prev := -1
+		for _, f := range fields[1:] {
+			colon := strings.IndexByte(f, ':')
+			if colon <= 0 {
+				return nil, nil, fmt.Errorf("libsvm: line %d: bad feature %q", lineNo, f)
+			}
+			idx, err := strconv.Atoi(f[:colon])
+			if err != nil || idx < 1 {
+				return nil, nil, fmt.Errorf("libsvm: line %d: bad index %q", lineNo, f[:colon])
+			}
+			v, err := strconv.ParseFloat(f[colon+1:], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("libsvm: line %d: bad value %q: %v", lineNo, f[colon+1:], err)
+			}
+			col := idx - 1
+			if col <= prev {
+				return nil, nil, fmt.Errorf("libsvm: line %d: indices not strictly increasing", lineNo)
+			}
+			prev = col
+			if col > maxCol {
+				maxCol = col
+			}
+			if v != 0 {
+				colIdx = append(colIdx, col)
+				vals = append(vals, v)
+			}
+		}
+		rowPtr = append(rowPtr, len(vals))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("libsvm: %v", err)
+	}
+	if n == 0 {
+		n = maxCol + 1
+	} else if maxCol >= n {
+		return nil, nil, fmt.Errorf("libsvm: index %d exceeds declared features %d", maxCol+1, n)
+	}
+	a, err := sparse.NewCSR(len(labels), n, rowPtr, colIdx, vals)
+	if err != nil {
+		return nil, nil, err
+	}
+	return a, labels, nil
+}
+
+// ReadFile reads a LIBSVM file from disk.
+func ReadFile(path string, n int) (*sparse.CSR, []float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return Read(f, n)
+}
+
+// Write emits a in LIBSVM format with the given labels.
+func Write(w io.Writer, a *sparse.CSR, labels []float64) error {
+	if len(labels) != a.M {
+		return fmt.Errorf("libsvm: %d labels for %d rows", len(labels), a.M)
+	}
+	bw := bufio.NewWriter(w)
+	for i := 0; i < a.M; i++ {
+		if _, err := fmt.Fprintf(bw, "%g", labels[i]); err != nil {
+			return err
+		}
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if _, err := fmt.Fprintf(bw, " %d:%g", a.ColIdx[k]+1, a.Val[k]); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes a LIBSVM file to disk.
+func WriteFile(path string, a *sparse.CSR, labels []float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, a, labels); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,71 @@
+package mat
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotPD reports that a matrix handed to Cholesky was not (numerically)
+// positive definite.
+var ErrNotPD = errors.New("mat: matrix is not positive definite")
+
+// Cholesky computes the lower-triangular factor L with A = L·Lᵀ for a
+// symmetric positive-definite matrix. The strict upper triangle of the
+// result is zero. It is used by tests to validate Gram matrices and by
+// diagnostics that solve small regularized systems.
+func Cholesky(a *Dense) (*Dense, error) {
+	n := a.R
+	if a.C != n {
+		return nil, errors.New("mat: Cholesky requires a square matrix")
+	}
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			ljk := l.At(j, k)
+			d -= ljk * ljk
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPD
+		}
+		d = math.Sqrt(d)
+		l.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/d)
+		}
+	}
+	return l, nil
+}
+
+// CholeskySolve solves A·x = b given the Cholesky factor L of A,
+// overwriting nothing; it returns a fresh solution vector.
+func CholeskySolve(l *Dense, b []float64) []float64 {
+	n := l.R
+	if len(b) != n {
+		panic("mat: CholeskySolve length mismatch")
+	}
+	// Forward substitution L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		row := l.Row(i)
+		for k := 0; k < i; k++ {
+			s -= row[k] * y[k]
+		}
+		y[i] = s / row[i]
+	}
+	// Back substitution Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}

@@ -1,0 +1,72 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCholeskyKnown(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{4, 2, 2, 3})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L = [[2,0],[1,sqrt2]]
+	if !almostEq(l.At(0, 0), 2, 1e-14) || !almostEq(l.At(1, 0), 1, 1e-14) {
+		t.Fatalf("L = %v", l.Data)
+	}
+	if l.At(0, 1) != 0 {
+		t.Fatal("upper triangle not zero")
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{1, 2, 2, 1}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); err != ErrNotPD {
+		t.Fatalf("err = %v, want ErrNotPD", err)
+	}
+	if _, err := Cholesky(NewDense(2, 3)); err == nil {
+		t.Fatal("expected error for non-square input")
+	}
+}
+
+// Property: reconstruct A = L·Lᵀ and solve A·x = b correctly.
+func TestCholeskyFactorSolveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		// SPD via AᵀA + I.
+		g := randPSD(rng, n)
+		for i := 0; i < n; i++ {
+			g.Set(i, i, g.At(i, i)+1)
+		}
+		l, err := Cholesky(g)
+		if err != nil {
+			return false
+		}
+		// Reconstruction check.
+		recon := NewDense(n, n)
+		Gemm(1, l, l.T(), 0, recon)
+		if MaxAbsDiff(recon, g) > 1e-8 {
+			return false
+		}
+		// Solve check.
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := make([]float64, n)
+		Gemv(1, g, xTrue, 0, b)
+		x := CholeskySolve(l, b)
+		for i := range x {
+			if !almostEq(x[i], xTrue[i], 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

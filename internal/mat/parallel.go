@@ -1,0 +1,134 @@
+package mat
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers is the default worker count for the shared-memory parallel
+// kernels. Solvers running inside the simulated distributed runtime use
+// the sequential kernels (one goroutine per rank already saturates the
+// machine); the sequential laptop API uses these to speed up large dense
+// workloads such as the epsilon- and gisette-like datasets.
+var Workers = runtime.GOMAXPROCS(0)
+
+// parallelFor splits [0,n) into contiguous chunks and runs body(lo,hi) on
+// each from its own goroutine. It runs inline when n is small or only one
+// worker is configured, so callers never pay goroutine overhead on the
+// tiny Gram-block operations that dominate the inner loops.
+func parallelFor(n, minChunk int, body func(lo, hi int)) {
+	w := Workers
+	if w > n/minChunk {
+		w = n / minChunk
+	}
+	if w <= 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// GemvParallel computes y = alpha*A*x + beta*y across Workers goroutines,
+// partitioning rows of A. Row partitioning keeps the output regions
+// disjoint, so no synchronization beyond the final join is needed.
+func GemvParallel(alpha float64, a *Dense, x []float64, beta float64, y []float64) {
+	if len(x) != a.C || len(y) != a.R {
+		panic("mat: GemvParallel shape mismatch")
+	}
+	parallelFor(a.R, 256, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := a.Row(i)
+			var s float64
+			for j, v := range row {
+				s += v * x[j]
+			}
+			y[i] = alpha*s + beta*y[i]
+		}
+	})
+}
+
+// GemmTNParallel computes C = alpha*Aᵀ*B + beta*C, partitioning the
+// columns of A (rows of C) across workers. Each worker owns a disjoint
+// row band of C, so updates race-free. This is the parallel Gram-assembly
+// kernel used by the sequential SA solvers for large batches.
+func GemmTNParallel(alpha float64, a, b *Dense, beta float64, c *Dense) {
+	if a.R != b.R || c.R != a.C || c.C != b.C {
+		panic("mat: GemmTNParallel shape mismatch")
+	}
+	if beta != 1 {
+		if beta == 0 {
+			c.Zero()
+		} else {
+			Scal(beta, c.Data)
+		}
+	}
+	parallelFor(a.C, 8, func(lo, hi int) {
+		for k := 0; k < a.R; k++ {
+			arow := a.Row(k)
+			brow := b.Row(k)
+			for i := lo; i < hi; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				Axpy(alpha*av, brow, c.Row(i))
+			}
+		}
+	})
+}
+
+// DotParallel returns xᵀy computed in parallel chunks. The chunked
+// reduction changes the summation order relative to Dot, so results can
+// differ from Dot by O(ε); the distributed solvers therefore never use it
+// for replicated state, only the shared-memory API does.
+func DotParallel(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("mat: DotParallel length mismatch")
+	}
+	n := len(x)
+	w := Workers
+	if w <= 1 || n < 4096 {
+		return Dot(x, y)
+	}
+	partial := make([]float64, w)
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for g := 0; g < w; g++ {
+		lo := g * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(g, lo, hi int) {
+			defer wg.Done()
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += x[i] * y[i]
+			}
+			partial[g] = s
+		}(g, lo, hi)
+	}
+	wg.Wait()
+	var s float64
+	for _, p := range partial {
+		s += p
+	}
+	return s
+}

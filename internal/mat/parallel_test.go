@@ -1,0 +1,79 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGemvParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randDense(rng, 1200, 37)
+	x := make([]float64, 37)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y1 := make([]float64, 1200)
+	y2 := make([]float64, 1200)
+	Gemv(1.3, a, x, 0, y1)
+	GemvParallel(1.3, a, x, 0, y2)
+	for i := range y1 {
+		if y1[i] != y2[i] {
+			t.Fatalf("row %d: parallel %v != sequential %v", i, y2[i], y1[i])
+		}
+	}
+}
+
+func TestGemmTNParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := randDense(rng, 300, 24)
+	b := randDense(rng, 300, 18)
+	c1 := NewDense(24, 18)
+	c2 := NewDense(24, 18)
+	GemmTN(1, a, b, 0, c1)
+	GemmTNParallel(1, a, b, 0, c2)
+	if d := MaxAbsDiff(c1, c2); d > 1e-12 {
+		t.Fatalf("parallel GemmTN differs by %v", d)
+	}
+}
+
+func TestDotParallelCloseToSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 100000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	if !almostEq(Dot(x, y), DotParallel(x, y), 1e-9) {
+		t.Fatalf("DotParallel = %v, Dot = %v", DotParallel(x, y), Dot(x, y))
+	}
+}
+
+func TestParallelForSmallRunsInline(t *testing.T) {
+	var calls int
+	parallelFor(3, 256, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 3 {
+			t.Fatalf("inline chunk = [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	n := 10000
+	seen := make([]int32, n)
+	parallelFor(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			seen[i]++
+		}
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of x and y.
+// It panics if the lengths differ.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: Dot length mismatch %d != %d", len(x), len(y)))
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x in place.
+// It panics if the lengths differ.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: Axpy length mismatch %d != %d", len(x), len(y)))
+	}
+	if alpha == 0 {
+		return
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scal scales x by alpha in place.
+func Scal(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Nrm2 returns the Euclidean norm of x, guarding against overflow
+// and underflow by scaling (as in the reference BLAS dnrm2).
+func Nrm2(x []float64) float64 {
+	var scale, ssq float64
+	ssq = 1
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		a := math.Abs(v)
+		if scale < a {
+			r := scale / a
+			ssq = 1 + ssq*r*r
+			scale = a
+		} else {
+			r := a / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// Nrm2Sq returns the squared Euclidean norm of x. Unlike Nrm2 it does not
+// guard against overflow; the solvers use it on well-scaled residuals where
+// the straightforward sum is faster and deterministic.
+func Nrm2Sq(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}
+
+// Asum returns the sum of absolute values of x (the L1 norm).
+func Asum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// AmaxAbs returns the maximum absolute value in x, or 0 for an empty slice.
+func AmaxAbs(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Add computes dst = x + y element-wise.
+// It panics if the lengths differ.
+func Add(dst, x, y []float64) {
+	if len(x) != len(y) || len(dst) != len(x) {
+		panic("mat: Add length mismatch")
+	}
+	for i := range dst {
+		dst[i] = x[i] + y[i]
+	}
+}
+
+// Sub computes dst = x - y element-wise.
+// It panics if the lengths differ.
+func Sub(dst, x, y []float64) {
+	if len(x) != len(y) || len(dst) != len(x) {
+		panic("mat: Sub length mismatch")
+	}
+	for i := range dst {
+		dst[i] = x[i] - y[i]
+	}
+}
+
+// Copy copies src into dst and panics if the lengths differ. It exists so
+// call sites read as linear algebra rather than builtin slice plumbing.
+func Copy(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("mat: Copy length mismatch")
+	}
+	copy(dst, src)
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Gather copies src[idx[k]] into dst[k]. dst must have length len(idx).
+func Gather(dst, src []float64, idx []int) {
+	if len(dst) != len(idx) {
+		panic("mat: Gather length mismatch")
+	}
+	for k, j := range idx {
+		dst[k] = src[j]
+	}
+}
+
+// ScatterAdd performs dst[idx[k]] += v[k]. v must have length len(idx).
+func ScatterAdd(dst, v []float64, idx []int) {
+	if len(v) != len(idx) {
+		panic("mat: ScatterAdd length mismatch")
+	}
+	for k, j := range idx {
+		dst[j] += v[k]
+	}
+}
+
+// ScatterAxpy performs dst[idx[k]] += alpha*v[k].
+func ScatterAxpy(alpha float64, dst, v []float64, idx []int) {
+	if len(v) != len(idx) {
+		panic("mat: ScatterAxpy length mismatch")
+	}
+	for k, j := range idx {
+		dst[j] += alpha * v[k]
+	}
+}

@@ -1,0 +1,221 @@
+package mpi
+
+import "fmt"
+
+// Op selects the combining operator of a reduction.
+type Op int
+
+// Reduction operators.
+const (
+	Sum Op = iota
+	Max
+)
+
+func (o Op) combine(dst, src []float64) {
+	switch o {
+	case Sum:
+		for i, v := range src {
+			dst[i] += v
+		}
+	case Max:
+		for i, v := range src {
+			if v > dst[i] {
+				dst[i] = v
+			}
+		}
+	default:
+		panic(fmt.Sprintf("mpi: unknown op %d", o))
+	}
+}
+
+// Collective tags combine a per-rank sequence number with the collective
+// kind (tag = -(8·seq + kind)) so that a mismatched program — one rank in
+// a Bcast while another is in a Reduce — panics instead of exchanging
+// wrong data. SPMD programs execute the same collective sequence on every
+// rank, keeping the counters aligned. Negative tags keep the collective
+// namespace disjoint from user point-to-point tags (>= 0).
+const (
+	kindReduce = iota
+	kindBcast
+	kindBarrier
+	kindGather
+)
+
+func (c *Comm) collTag(kind int) int {
+	c.seq++
+	return -(c.seq*8 + kind)
+}
+
+// Reduce combines data from all ranks with op, leaving the result in data
+// on root. Non-root ranks' buffers hold partial combines afterwards and
+// must be treated as scratch. Binomial tree: ⌈log₂P⌉ rounds, each moving
+// len(data) words, so the latency per call is O(log P) — the L term of
+// Table I.
+func (c *Comm) Reduce(root int, op Op, data []float64) {
+	p, r := c.world.p, c.rank
+	if p == 1 {
+		return
+	}
+	tag := c.collTag(kindReduce)
+	// Rotate so the algorithm always reduces to virtual rank 0.
+	vr := (r - root + p) % p
+	for dist := 1; dist < p; dist <<= 1 {
+		if vr&dist != 0 {
+			dst := ((vr - dist) + root) % p
+			c.Send(dst, tag, data)
+			return
+		}
+		if vr+dist < p {
+			src := ((vr + dist) + root) % p
+			in := c.Recv(src, tag)
+			c.Compute(float64(len(data))) // combine cost: one op per word
+			op.combine(data, in)
+		}
+	}
+}
+
+// Bcast sends root's data to all ranks, in place. Binomial tree, ⌈log₂P⌉
+// rounds.
+func (c *Comm) Bcast(root int, data []float64) {
+	p, r := c.world.p, c.rank
+	if p == 1 {
+		return
+	}
+	tag := c.collTag(kindBcast)
+	vr := (r - root + p) % p
+	// Find the top of the power-of-two range covering p.
+	top := 1
+	for top < p {
+		top <<= 1
+	}
+	// Receive once from the parent, then forward down the tree.
+	recvd := vr == 0
+	for dist := top >> 1; dist >= 1; dist >>= 1 {
+		if !recvd && vr&dist != 0 {
+			if vr&(dist-1) == 0 { // it is our turn this round
+				src := ((vr - dist) + root) % p
+				in := c.Recv(src, tag)
+				copy(data, in)
+				recvd = true
+			}
+			continue
+		}
+		if recvd && vr&(dist-1) == 0 && vr+dist < p {
+			dst := ((vr + dist) + root) % p
+			c.Send(dst, tag, data)
+		}
+	}
+}
+
+// Allreduce combines data across ranks with op and leaves the identical
+// result on every rank. It is implemented as Reduce to rank 0 followed by
+// Bcast, which guarantees bitwise-identical results on all ranks — the
+// property the solvers rely on to keep replicated vectors consistent
+// (Fig. 1 step 4: "Sum reduce dot-products and replicate on all
+// processors").
+func (c *Comm) Allreduce(op Op, data []float64) {
+	if c.world.p == 1 {
+		return
+	}
+	// Reduce leaves partial combines in non-root buffers, but the Bcast
+	// overwrites them with the root's result, so data can be reduced in
+	// place.
+	c.Reduce(0, op, data)
+	c.Bcast(0, data)
+}
+
+// AllreduceScalar is Allreduce for a single value, returning the result.
+func (c *Comm) AllreduceScalar(op Op, v float64) float64 {
+	buf := c.scratch1()
+	buf[0] = v
+	c.Allreduce(op, buf)
+	return buf[0]
+}
+
+// Barrier blocks until every rank has entered it. Dissemination algorithm:
+// ⌈log₂P⌉ rounds of zero-word messages, so a barrier costs about α·log₂P —
+// this is exactly the per-iteration synchronization cost the SA methods
+// amortize.
+func (c *Comm) Barrier() {
+	p, r := c.world.p, c.rank
+	if p == 1 {
+		return
+	}
+	tag := c.collTag(kindBarrier)
+	for dist := 1; dist < p; dist <<= 1 {
+		dst := (r + dist) % p
+		src := (r - dist + p) % p
+		c.Send(dst, tag, nil)
+		c.Recv(src, tag)
+	}
+}
+
+// Gather concatenates equal-length blocks on root: the result holds rank
+// i's block at offset i*len(local). Non-root ranks return nil. Binomial
+// tree with doubling block ranges.
+func (c *Comm) Gather(root int, local []float64) []float64 {
+	p, r := c.world.p, c.rank
+	blk := len(local)
+	if p == 1 {
+		out := make([]float64, blk)
+		copy(out, local)
+		return out
+	}
+	tag := c.collTag(kindGather)
+	vr := (r - root + p) % p
+	// acc holds the blocks of a contiguous virtual-rank range [vr, ...).
+	acc := make([]float64, blk, blk*nextPow2(p))
+	copy(acc, local)
+	for dist := 1; dist < p; dist <<= 1 {
+		if vr&dist != 0 {
+			dst := ((vr - dist) + root) % p
+			c.Send(dst, tag, acc)
+			break
+		}
+		if vr+dist < p {
+			src := ((vr + dist) + root) % p
+			in := c.Recv(src, tag)
+			acc = append(acc, in...)
+		}
+	}
+	if vr != 0 {
+		return nil
+	}
+	// acc is ordered by virtual rank; rotate back to actual rank order.
+	out := make([]float64, blk*p)
+	for v := 0; v < p; v++ {
+		actual := (v + root) % p
+		copy(out[actual*blk:(actual+1)*blk], acc[v*blk:(v+1)*blk])
+	}
+	return out
+}
+
+// Allgather concatenates equal-length blocks and replicates the result on
+// every rank (Gather to rank 0 followed by Bcast).
+func (c *Comm) Allgather(local []float64) []float64 {
+	p := c.world.p
+	blk := len(local)
+	full := c.Gather(0, local)
+	if c.rank != 0 {
+		full = make([]float64, blk*p)
+	}
+	c.Bcast(0, full)
+	return full
+}
+
+// scratch1 returns the reusable single-element buffer for scalar
+// reductions, avoiding a heap allocation per call in tight solver loops.
+func (c *Comm) scratch1() []float64 {
+	if c.one == nil {
+		c.one = make([]float64, 1)
+	}
+	return c.one
+}
+
+func nextPow2(p int) int {
+	n := 1
+	for n < p {
+		n <<= 1
+	}
+	return n
+}

@@ -1,0 +1,256 @@
+// Package mpi is a small message-passing runtime that stands in for MPI in
+// the paper's experiments. Ranks are goroutines, messages are Go channels,
+// and collectives are binomial trees, so a "cluster" runs inside one
+// process with real parallelism and real synchronization costs.
+//
+// Alongside real execution the runtime maintains a virtual clock per rank
+// in an α-β-γ machine model (see Machine). Every message advances the
+// sender's and receiver's clocks by α + β·words; every Compute call
+// advances the caller's clock by γ·flops. The maximum clock over ranks is
+// the modeled parallel running time — the quantity Figures 3 and 4 of the
+// paper plot. This is how a 12,288-core Cray XC30 experiment is reproduced
+// faithfully in shape on a laptop: the counts of messages, words and flops
+// are exact, and the machine constants are presets.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// message is one point-to-point transfer, carrying the sender's virtual
+// clock at completion of the send so the receiver can align.
+type message struct {
+	data  []float64
+	tag   int
+	clock float64
+}
+
+// World owns the channel mesh and per-rank statistics for one simulated
+// cluster run.
+type World struct {
+	p       int
+	machine Machine
+	chans   [][]chan message // chans[src][dst]
+	stats   []RankStats
+}
+
+// RankStats is the per-rank accounting of one run.
+type RankStats struct {
+	Clock    float64 // virtual seconds: total modeled time of this rank
+	CompTime float64 // virtual seconds spent computing
+	CommTime float64 // virtual seconds in messaging (transfer + wait)
+	Flops    float64 // flops charged
+	Msgs     int64   // messages sent
+	Words    int64   // 8-byte words sent
+}
+
+// Stats summarizes a completed run.
+type Stats struct {
+	PerRank []RankStats
+	Wall    time.Duration // real elapsed time of the goroutine run
+}
+
+// MaxClock returns the modeled parallel running time: the maximum virtual
+// clock over ranks (the critical path through the message DAG).
+func (s *Stats) MaxClock() float64 {
+	var m float64
+	for _, r := range s.PerRank {
+		if r.Clock > m {
+			m = r.Clock
+		}
+	}
+	return m
+}
+
+// MaxComm returns the largest per-rank communication time. The paper's
+// Fig. 4e–h communication speedups are ratios of this quantity.
+func (s *Stats) MaxComm() float64 {
+	var m float64
+	for _, r := range s.PerRank {
+		if r.CommTime > m {
+			m = r.CommTime
+		}
+	}
+	return m
+}
+
+// MaxComp returns the largest per-rank computation time.
+func (s *Stats) MaxComp() float64 {
+	var m float64
+	for _, r := range s.PerRank {
+		if r.CompTime > m {
+			m = r.CompTime
+		}
+	}
+	return m
+}
+
+// TotalMsgs returns the total number of messages sent by all ranks.
+func (s *Stats) TotalMsgs() int64 {
+	var n int64
+	for _, r := range s.PerRank {
+		n += r.Msgs
+	}
+	return n
+}
+
+// TotalWords returns the total number of words sent by all ranks.
+func (s *Stats) TotalWords() int64 {
+	var n int64
+	for _, r := range s.PerRank {
+		n += r.Words
+	}
+	return n
+}
+
+// Comm is one rank's handle into the world. All methods are called from
+// that rank's goroutine only.
+type Comm struct {
+	world *World
+	rank  int
+	st    RankStats
+	seq   int       // collective sequence number (SPMD-aligned)
+	one   []float64 // scratch for scalar reductions
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.world.p }
+
+// Machine returns the cost model in effect.
+func (c *Comm) Machine() Machine { return c.world.machine }
+
+// Elapsed returns this rank's virtual clock in seconds.
+func (c *Comm) Elapsed() float64 { return c.st.Clock }
+
+// Run executes body on p ranks and returns the per-rank statistics. It is
+// the moral equivalent of mpirun: body is the SPMD program. The first
+// error returned by any rank aborts the run's result (after all goroutines
+// finish, so no rank is left blocked on a channel forever — programs are
+// expected to be deterministic SPMD and fail collectively).
+func Run(p int, m Machine, body func(c *Comm) error) (*Stats, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("mpi: Run with p=%d", p)
+	}
+	w := &World{p: p, machine: m, stats: make([]RankStats, p)}
+	w.chans = make([][]chan message, p)
+	for i := range w.chans {
+		w.chans[i] = make([]chan message, p)
+		for j := range w.chans[i] {
+			// Capacity bounds the number of in-flight messages per
+			// ordered pair. Binomial-tree collectives need 1; a margin
+			// is kept for pipelined point-to-point use.
+			w.chans[i][j] = make(chan message, 64)
+		}
+	}
+	errs := make([]error, p)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			comm := &Comm{world: w, rank: rank}
+			errs[rank] = body(comm)
+			w.stats[rank] = comm.st
+		}(r)
+	}
+	wg.Wait()
+	stats := &Stats{PerRank: w.stats, Wall: time.Since(start)}
+	for _, err := range errs {
+		if err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// Send transfers a copy of data to rank dst with the given tag. Copying
+// makes messages immutable in flight, so callers may reuse buffers freely
+// (the copy is also what a real NIC DMA would do). The sender's clock
+// advances by α + β·len(data): sends are not overlapped, matching the
+// non-offloaded MPI the paper benchmarks.
+func (c *Comm) Send(dst, tag int, data []float64) {
+	if dst == c.rank {
+		panic("mpi: Send to self")
+	}
+	m := c.world.machine
+	cost := m.Alpha + m.Beta*float64(len(data))
+	c.st.Clock += cost
+	c.st.CommTime += cost
+	c.st.Msgs++
+	c.st.Words += int64(len(data))
+	payload := make([]float64, len(data))
+	copy(payload, data)
+	c.world.chans[c.rank][dst] <- message{data: payload, tag: tag, clock: c.st.Clock}
+}
+
+// Recv blocks until the next message from src arrives and returns its
+// payload. The receiver's clock advances to at least the message's arrival
+// time (sender completion), so waiting is charged as communication. Recv
+// panics if the arriving tag does not match, which catches mismatched SPMD
+// programs immediately instead of silently misdelivering.
+func (c *Comm) Recv(src, tag int) []float64 {
+	msg := <-c.world.chans[src][c.rank]
+	if msg.tag != tag {
+		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, src, msg.tag))
+	}
+	before := c.st.Clock
+	if msg.clock > c.st.Clock {
+		c.st.Clock = msg.clock
+	}
+	c.st.CommTime += c.st.Clock - before
+	return msg.data
+}
+
+// Compute charges flops of local work at the streaming (BLAS-1 / sparse)
+// rate. The caller performs the actual arithmetic itself; Compute only
+// advances the virtual clock.
+func (c *Comm) Compute(flops float64) {
+	t := flops * c.world.machine.GammaStream
+	c.st.Clock += t
+	c.st.CompTime += t
+	c.st.Flops += flops
+}
+
+// ComputeBlocked charges flops of blocked (BLAS-3-like) work with the
+// given working set. If the working set exceeds the machine's cache the
+// streaming rate applies — the cache knee behind the paper's observation
+// that computation speedups of SA vanish for very large s.
+func (c *Comm) ComputeBlocked(flops float64, workingSetWords int) {
+	t := flops * c.world.machine.gammaFor(true, workingSetWords)
+	c.st.Clock += t
+	c.st.CompTime += t
+	c.st.Flops += flops
+}
+
+// StatsMark is a snapshot of a rank's cost accounting, used with Restore
+// to exclude instrumentation (objective tracking, convergence checks) from
+// the modeled time and traffic of a solver run. All ranks must mark and
+// restore around the same collective sequence to stay consistent.
+type StatsMark struct{ st RankStats }
+
+// Mark snapshots this rank's cost state.
+func (c *Comm) Mark() StatsMark { return StatsMark{st: c.st} }
+
+// Restore rewinds this rank's cost state to a snapshot.
+func (c *Comm) Restore(m StatsMark) { c.st = m.st }
+
+// BlockRange splits n items over p ranks as evenly as possible and returns
+// the half-open range owned by rank r. The first n%p ranks receive one
+// extra item. It is the 1D partitioner used for both the row-partitioned
+// Lasso layout and the column-partitioned SVM layout.
+func BlockRange(n, p, r int) (lo, hi int) {
+	base := n / p
+	rem := n % p
+	lo = r*base + min(r, rem)
+	hi = lo + base
+	if r < rem {
+		hi++
+	}
+	return lo, hi
+}

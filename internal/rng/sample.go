@@ -1,0 +1,55 @@
+package rng
+
+// SampleK draws k distinct integers uniformly from [0, n) in O(k) time and
+// space using a sparse partial Fisher–Yates shuffle (swaps tracked in a
+// map instead of materializing the n-element permutation). This is the
+// "choose µ coordinates uniformly at random without replacement" step of
+// Alg. 1 line 5 / Alg. 2 line 6; O(k) matters because the solvers sample
+// every iteration from feature counts up to the url replica's 10⁵–10⁶.
+//
+// The returned indices are in draw order (not sorted), which is the order
+// the algorithms consume them in; identical seeds give identical draws on
+// every rank.
+func (r *Stream) SampleK(n, k int) []int {
+	if k < 0 || k > n {
+		panic("rng: SampleK k out of range")
+	}
+	out := make([]int, k)
+	swaps := make(map[int]int, k)
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		vi, ok := swaps[i]
+		if !ok {
+			vi = i
+		}
+		vj, ok := swaps[j]
+		if !ok {
+			vj = j
+		}
+		out[i] = vj
+		swaps[j] = vi
+		// swaps[i] no longer matters: position i is never revisited.
+	}
+	return out
+}
+
+// Perm returns a full random permutation of [0, n).
+func (r *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes xs in place.
+func (r *Stream) Shuffle(xs []int) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}

@@ -1,0 +1,178 @@
+package sparse
+
+import (
+	"fmt"
+
+	"saco/internal/mat"
+)
+
+// CSC is a compressed sparse column matrix. Column j occupies the
+// half-open range [ColPtr[j], ColPtr[j+1]) of RowIdx and Val, with RowIdx
+// strictly increasing within a column. It is the working format of the
+// Lasso solvers, which sample columns every iteration.
+type CSC struct {
+	M, N   int
+	ColPtr []int
+	RowIdx []int
+	Val    []float64
+}
+
+// Dims returns (rows, columns).
+func (a *CSC) Dims() (int, int) { return a.M, a.N }
+
+// NNZ returns the number of stored nonzeros.
+func (a *CSC) NNZ() int { return len(a.Val) }
+
+// ColNNZ returns the number of nonzeros in column j.
+func (a *CSC) ColNNZ(j int) int { return a.ColPtr[j+1] - a.ColPtr[j] }
+
+// ColNormSq returns ‖A_:j‖², the 1×1 Gram matrix of coordinate descent.
+func (a *CSC) ColNormSq(j int) float64 {
+	var s float64
+	for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+		s += a.Val[p] * a.Val[p]
+	}
+	return s
+}
+
+// ColTMulVec computes dst[k] = A_:cols[k] · v, i.e. dst = A_Sᵀ·v. This is
+// the dot-product step of Fig. 1 (lines 8–9 of Alg. 1); in the distributed
+// layout each rank calls it on its local row block and the results are
+// summed by an Allreduce.
+func (a *CSC) ColTMulVec(cols []int, v []float64, dst []float64) {
+	if len(v) != a.M || len(dst) != len(cols) {
+		panic(fmt.Sprintf("sparse: ColTMulVec shape mismatch A=%dx%d len(v)=%d", a.M, a.N, len(v)))
+	}
+	for k, j := range cols {
+		var s float64
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			s += a.Val[p] * v[a.RowIdx[p]]
+		}
+		dst[k] = s
+	}
+}
+
+// ColMulAdd computes v += A_S·coef, the residual update z̃ += A_h·Δz
+// (Alg. 1 line 15). coef[k] multiplies column cols[k].
+func (a *CSC) ColMulAdd(cols []int, coef []float64, v []float64) {
+	if len(v) != a.M || len(coef) != len(cols) {
+		panic("sparse: ColMulAdd shape mismatch")
+	}
+	for k, j := range cols {
+		c := coef[k]
+		if c == 0 {
+			continue
+		}
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			v[a.RowIdx[p]] += c * a.Val[p]
+		}
+	}
+}
+
+// ColGram computes dst = A_SᵀA_S for the column set S (|S|×|S|): the µ×µ
+// Gram matrix of Alg. 1 line 8, or the sµ×sµ batched Gram matrix of
+// Alg. 2 line 11 when S concatenates s sampled blocks. Only the upper
+// triangle is computed and then mirrored, matching the paper's footnote 3
+// (symmetry halves the flops and message size).
+func (a *CSC) ColGram(cols []int, dst *mat.Dense) {
+	s := len(cols)
+	if dst.R != s || dst.C != s {
+		panic("sparse: ColGram dst shape mismatch")
+	}
+	for i := 0; i < s; i++ {
+		ci := cols[i]
+		for j := i; j < s; j++ {
+			v := a.colDot(ci, cols[j])
+			dst.Set(i, j, v)
+			dst.Set(j, i, v)
+		}
+	}
+}
+
+// colDot returns A_:i · A_:j via a sorted merge of the two columns.
+func (a *CSC) colDot(i, j int) float64 {
+	p, pEnd := a.ColPtr[i], a.ColPtr[i+1]
+	q, qEnd := a.ColPtr[j], a.ColPtr[j+1]
+	var s float64
+	for p < pEnd && q < qEnd {
+		rp, rq := a.RowIdx[p], a.RowIdx[q]
+		switch {
+		case rp == rq:
+			s += a.Val[p] * a.Val[q]
+			p++
+			q++
+		case rp < rq:
+			p++
+		default:
+			q++
+		}
+	}
+	return s
+}
+
+// MulVec computes y = A·x by column accumulation.
+func (a *CSC) MulVec(x, y []float64) {
+	if len(x) != a.N || len(y) != a.M {
+		panic("sparse: CSC.MulVec shape mismatch")
+	}
+	mat.Fill(y, 0)
+	for j := 0; j < a.N; j++ {
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			y[a.RowIdx[p]] += xj * a.Val[p]
+		}
+	}
+}
+
+// MulVecT computes y = Aᵀ·x.
+func (a *CSC) MulVecT(x, y []float64) {
+	if len(x) != a.M || len(y) != a.N {
+		panic("sparse: CSC.MulVecT shape mismatch")
+	}
+	for j := 0; j < a.N; j++ {
+		var s float64
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			s += a.Val[p] * x[a.RowIdx[p]]
+		}
+		y[j] = s
+	}
+}
+
+// ToCSR converts to compressed sparse row format.
+func (a *CSC) ToCSR() *CSR {
+	rowPtr := make([]int, a.M+1)
+	for _, r := range a.RowIdx {
+		rowPtr[r+1]++
+	}
+	for i := 0; i < a.M; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	colIdx := make([]int, a.NNZ())
+	val := make([]float64, a.NNZ())
+	next := make([]int, a.M)
+	copy(next, rowPtr[:a.M])
+	for j := 0; j < a.N; j++ {
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			r := a.RowIdx[p]
+			q := next[r]
+			colIdx[q] = j
+			val[q] = a.Val[p]
+			next[r]++
+		}
+	}
+	return &CSR{M: a.M, N: a.N, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+}
+
+// ToDense expands to a dense matrix.
+func (a *CSC) ToDense() *mat.Dense {
+	d := mat.NewDense(a.M, a.N)
+	for j := 0; j < a.N; j++ {
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			d.Set(a.RowIdx[p], j, a.Val[p])
+		}
+	}
+	return d
+}

@@ -1,0 +1,137 @@
+package sparse
+
+import (
+	"fmt"
+
+	"saco/internal/mat"
+)
+
+// DenseCols adapts a dense matrix to the column-sampling access pattern of
+// the Lasso solvers, so dense datasets (epsilon, gisette, leu in the paper)
+// flow through the same code path as sparse ones.
+type DenseCols struct{ A *mat.Dense }
+
+// Dims returns (rows, columns).
+func (d DenseCols) Dims() (int, int) { return d.A.R, d.A.C }
+
+// ColNormSq returns ‖A_:j‖².
+func (d DenseCols) ColNormSq(j int) float64 {
+	var s float64
+	for i := 0; i < d.A.R; i++ {
+		v := d.A.At(i, j)
+		s += v * v
+	}
+	return s
+}
+
+// ColTMulVec computes dst = A_Sᵀ·v.
+func (d DenseCols) ColTMulVec(cols []int, v []float64, dst []float64) {
+	if len(v) != d.A.R || len(dst) != len(cols) {
+		panic(fmt.Sprintf("sparse: DenseCols.ColTMulVec shape mismatch A=%dx%d len(v)=%d", d.A.R, d.A.C, len(v)))
+	}
+	for k := range dst {
+		dst[k] = 0
+	}
+	for i := 0; i < d.A.R; i++ {
+		vi := v[i]
+		if vi == 0 {
+			continue
+		}
+		row := d.A.Row(i)
+		for k, j := range cols {
+			dst[k] += row[j] * vi
+		}
+	}
+}
+
+// ColMulAdd computes v += A_S·coef.
+func (d DenseCols) ColMulAdd(cols []int, coef []float64, v []float64) {
+	if len(v) != d.A.R || len(coef) != len(cols) {
+		panic("sparse: DenseCols.ColMulAdd shape mismatch")
+	}
+	for i := 0; i < d.A.R; i++ {
+		row := d.A.Row(i)
+		var s float64
+		for k, j := range cols {
+			s += row[j] * coef[k]
+		}
+		v[i] += s
+	}
+}
+
+// ColGram computes dst = A_SᵀA_S, exploiting symmetry.
+func (d DenseCols) ColGram(cols []int, dst *mat.Dense) {
+	s := len(cols)
+	if dst.R != s || dst.C != s {
+		panic("sparse: DenseCols.ColGram dst shape mismatch")
+	}
+	dst.Zero()
+	for i := 0; i < d.A.R; i++ {
+		row := d.A.Row(i)
+		for a := 0; a < s; a++ {
+			va := row[cols[a]]
+			if va == 0 {
+				continue
+			}
+			drow := dst.Row(a)
+			for b := a; b < s; b++ {
+				drow[b] += va * row[cols[b]]
+			}
+		}
+	}
+	for i := 1; i < s; i++ {
+		for j := 0; j < i; j++ {
+			dst.Set(i, j, dst.At(j, i))
+		}
+	}
+}
+
+// MulVec computes y = A·x.
+func (d DenseCols) MulVec(x, y []float64) { mat.Gemv(1, d.A, x, 0, y) }
+
+// MulVecT computes y = Aᵀ·x.
+func (d DenseCols) MulVecT(x, y []float64) { mat.GemvT(1, d.A, x, 0, y) }
+
+// DenseRows adapts a dense matrix to the row-sampling access pattern of
+// the dual coordinate-descent SVM solvers.
+type DenseRows struct{ A *mat.Dense }
+
+// Dims returns (rows, columns).
+func (d DenseRows) Dims() (int, int) { return d.A.R, d.A.C }
+
+// RowNormSq returns ‖A_row‖².
+func (d DenseRows) RowNormSq(row int) float64 { return mat.Nrm2Sq(d.A.Row(row)) }
+
+// RowMulVec computes dst[k] = A_{rows[k]}·x.
+func (d DenseRows) RowMulVec(rows []int, x []float64, dst []float64) {
+	if len(x) != d.A.C || len(dst) != len(rows) {
+		panic("sparse: DenseRows.RowMulVec shape mismatch")
+	}
+	for k, r := range rows {
+		dst[k] = mat.Dot(d.A.Row(r), x)
+	}
+}
+
+// RowTAxpy performs x += alpha·A_rowᵀ.
+func (d DenseRows) RowTAxpy(row int, alpha float64, x []float64) {
+	mat.Axpy(alpha, d.A.Row(row), x)
+}
+
+// RowGram computes dst = A_R·AᵀR.
+func (d DenseRows) RowGram(rows []int, dst *mat.Dense) {
+	s := len(rows)
+	if dst.R != s || dst.C != s {
+		panic("sparse: DenseRows.RowGram dst shape mismatch")
+	}
+	for i := 0; i < s; i++ {
+		ri := d.A.Row(rows[i])
+		for j := i; j < s; j++ {
+			v := mat.Dot(ri, d.A.Row(rows[j]))
+			dst.Set(i, j, v)
+			dst.Set(j, i, v)
+		}
+	}
+}
+
+// MulVec computes y = A·x.
+func (d DenseRows) MulVec(x, y []float64) { mat.Gemv(1, d.A, x, 0, y) }

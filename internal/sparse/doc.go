@@ -1,0 +1,17 @@
+// Package sparse implements the compressed sparse row (CSR) and column
+// (CSC) matrix formats and the access kernels the synchronization-avoiding
+// coordinate-descent solvers require:
+//
+//   - column sampling: extract µ (or s·µ) columns and form Gram matrices
+//     AᵀS·A_S and products AᵀS·v (the Lasso side, 1D-row partitioned),
+//   - row sampling: extract rows and form Gram matrices A_R·AᵀR and
+//     products A_R·x (the SVM side, 1D-column partitioned),
+//   - slicing by row/column ranges, which is how the distributed runtime
+//     partitions a global matrix across ranks.
+//
+// The paper stores all datasets in 3-array CSR (§IV-B); this package also
+// keeps CSC because the Lasso solvers sample columns, which is the natural
+// CSC access pattern. Index arrays are int and values float64. Within each
+// row (CSR) or column (CSC) the indices are strictly increasing, which the
+// merge-based sparse dot products rely on; constructors enforce it.
+package sparse

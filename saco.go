@@ -1,0 +1,236 @@
+// Package saco (Synchronization-Avoiding Convex Optimization) is a Go
+// implementation of the solvers from
+//
+//	Devarakonda, Fountoulakis, Demmel, Mahoney.
+//	"Avoiding Synchronization in First-Order Methods for Sparse Convex
+//	Optimization." IPDPS 2018 (arXiv:1712.06047).
+//
+// It provides randomized (block) coordinate descent for sparse proximal
+// least squares (Lasso, elastic net, group lasso) and dual coordinate
+// descent for linear SVM (hinge and squared hinge), each in a classical
+// per-iteration-synchronizing form and a synchronization-avoiding (SA)
+// form that communicates once every s iterations while producing the
+// same iterate sequence up to floating-point roundoff.
+//
+// Three ways to run a solver:
+//
+//   - sequentially on this machine: Lasso, SVM;
+//   - on the built-in simulated cluster (goroutine ranks, binomial-tree
+//     collectives, Cray XC30 cost model): SimulateLasso, SimulateSVM;
+//   - through the experiment harness regenerating the paper's tables and
+//     figures: cmd/saexp.
+//
+// Quickstart:
+//
+//	data := saco.Regression("demo", 1, 1000, 500, 0.05, 10, 0.1)
+//	lambda := 0.1 * saco.LambdaMax(data.Cols(), data.B)
+//	res, err := saco.Lasso(data.Cols(), data.B, saco.LassoOptions{
+//		Lambda: lambda, BlockSize: 8, Iters: 2000, Accelerated: true, S: 64,
+//	})
+package saco
+
+import (
+	"saco/internal/casvm"
+	"saco/internal/core"
+	"saco/internal/datagen"
+	"saco/internal/dist"
+	"saco/internal/libsvm"
+	"saco/internal/mpi"
+	"saco/internal/sparse"
+)
+
+// Core solver types, re-exported from the implementation packages.
+type (
+	// LassoOptions configures the Lasso-family solvers (see core docs).
+	LassoOptions = core.LassoOptions
+	// LassoResult is the Lasso solver output.
+	LassoResult = core.LassoResult
+	// SVMOptions configures the dual coordinate-descent SVM solvers.
+	SVMOptions = core.SVMOptions
+	// SVMResult is the SVM solver output.
+	SVMResult = core.SVMResult
+	// SVMLoss selects hinge (SVML1) or squared hinge (SVML2).
+	SVMLoss = core.SVMLoss
+	// Regularizer is a convex penalty with a proximal operator.
+	Regularizer = core.Regularizer
+	// L1 is the Lasso penalty λ‖x‖₁.
+	L1 = core.L1
+	// ElasticNet is λ(α‖x‖₁ + (1−α)/2‖x‖₂²).
+	ElasticNet = core.ElasticNet
+	// GroupLasso is λ·Σ_g‖x_g‖₂ over disjoint groups.
+	GroupLasso = core.GroupLasso
+	// ColMatrix is the column-sampling access the Lasso solvers need.
+	ColMatrix = core.ColMatrix
+	// RowMatrix is the row-sampling access the SVM solvers need.
+	RowMatrix = core.RowMatrix
+	// TracePoint is one tracked objective value.
+	TracePoint = core.TracePoint
+	// GapPoint is one tracked duality-gap measurement.
+	GapPoint = core.GapPoint
+)
+
+// Hinge-loss selectors.
+const (
+	SVML1 = core.SVML1
+	SVML2 = core.SVML2
+)
+
+// Matrix and dataset types.
+type (
+	// CSR is a compressed sparse row matrix (implements RowMatrix).
+	CSR = sparse.CSR
+	// CSC is a compressed sparse column matrix (implements ColMatrix).
+	CSC = sparse.CSC
+	// COO is a coordinate-format sparse matrix builder.
+	COO = sparse.COO
+	// Dataset is a generated or loaded problem instance.
+	Dataset = datagen.Dataset
+)
+
+// Simulated-cluster types.
+type (
+	// Machine is the α-β-γ cost model of the simulated platform.
+	Machine = mpi.Machine
+	// Cluster configures a simulated distributed run.
+	Cluster = dist.Options
+	// DistLassoResult is the outcome of SimulateLasso.
+	DistLassoResult = dist.LassoResult
+	// DistSVMResult is the outcome of SimulateSVM.
+	DistSVMResult = dist.SVMResult
+	// TimedPoint is a convergence point stamped with modeled seconds.
+	TimedPoint = dist.TimedPoint
+)
+
+// Lasso solves min ½‖Ax−b‖² + g(x) sequentially. Set opt.S > 1 for the
+// synchronization-avoiding variant, opt.Accelerated for accCD/accBCD.
+func Lasso(a ColMatrix, b []float64, opt LassoOptions) (*LassoResult, error) {
+	return core.Lasso(a, b, opt)
+}
+
+// SVM trains a linear SVM by dual coordinate descent sequentially.
+func SVM(a RowMatrix, b []float64, opt SVMOptions) (*SVMResult, error) {
+	return core.SVM(a, b, opt)
+}
+
+// SimulateLasso runs the distributed Lasso solver on a simulated cluster
+// (1D-row partitioning, Fig. 1 of the paper).
+func SimulateLasso(a *CSR, b []float64, opt LassoOptions, cluster Cluster) (*DistLassoResult, error) {
+	return dist.Lasso(a, b, opt, cluster)
+}
+
+// SimulateSVM runs the distributed SVM solver on a simulated cluster
+// (1D-column partitioning).
+func SimulateSVM(a *CSR, b []float64, opt SVMOptions, cluster Cluster) (*DistSVMResult, error) {
+	return dist.SVM(a, b, opt, cluster)
+}
+
+// LambdaMax returns ‖Aᵀb‖_∞, the smallest λ with an all-zero Lasso
+// solution; experiments typically use a fraction of it.
+func LambdaMax(a ColMatrix, b []float64) float64 { return core.LambdaMaxL1(a, b) }
+
+// CrayXC30 models the paper's evaluation platform.
+func CrayXC30() Machine { return mpi.CrayXC30() }
+
+// EthernetCluster models a commodity 10 GbE cluster.
+func EthernetCluster() Machine { return mpi.EthernetCluster() }
+
+// SparkLike models a bulk-synchronous analytics framework with
+// millisecond synchronization latency (§VII).
+func SparkLike() Machine { return mpi.SparkLike() }
+
+// NewCOO returns an m×n coordinate-format builder; convert with ToCSR.
+func NewCOO(m, n int) *COO { return sparse.NewCOO(m, n) }
+
+// LoadLIBSVM reads a LIBSVM-format file (the format of every dataset in
+// the paper's Tables II and IV). features = 0 infers the width.
+func LoadLIBSVM(path string, features int) (*CSR, []float64, error) {
+	return libsvm.ReadFile(path, features)
+}
+
+// SaveLIBSVM writes a matrix and labels in LIBSVM format.
+func SaveLIBSVM(path string, a *CSR, labels []float64) error {
+	return libsvm.WriteFile(path, a, labels)
+}
+
+// Regression generates a synthetic sparse regression problem with a
+// planted k-sparse model: b = A·x* + sigma·noise.
+func Regression(name string, seed uint64, m, n int, density float64, k int, sigma float64) *Dataset {
+	return datagen.Regression(name, seed, m, n, density, k, sigma)
+}
+
+// Classification generates a synthetic sparse binary classification
+// problem with a planted separator.
+func Classification(name string, seed uint64, m, n int, density, sigma float64) *Dataset {
+	return datagen.Classification(name, seed, m, n, density, sigma)
+}
+
+// Replica generates a named stand-in for one of the paper's LIBSVM
+// datasets (url, news20, covtype, epsilon, leu, w1a, duke,
+// news20.binary, rcv1.binary, gisette, leu.binary); see internal/datagen.
+func Replica(name string, scale float64, seed uint64) (*Dataset, error) {
+	return datagen.Replica(name, scale, seed)
+}
+
+// PathPoint is one solution along a Lasso regularization path.
+type PathPoint = core.PathPoint
+
+// LassoPath solves the Lasso problem along a descending λ sequence with
+// warm starts; the SA options apply to every solve.
+func LassoPath(a ColMatrix, b []float64, lambdas []float64, opt LassoOptions) ([]PathPoint, error) {
+	return core.LassoPath(a, b, lambdas, opt)
+}
+
+// PegasosSVM is the primal stochastic-subgradient baseline (the P-packSVM
+// family of the paper's §II); it optimizes the same objective as SVM but
+// offers no duality-gap certificate.
+func PegasosSVM(a RowMatrix, b []float64, opt SVMOptions) (*SVMResult, error) {
+	return core.PegasosSVM(a, b, opt)
+}
+
+// CA-SVM types: the communication-eliminating scheme of You et al. (§II)
+// with this library's (SA-)dual-CD as the local solver.
+type (
+	// CASVMOptions configures TrainCASVM.
+	CASVMOptions = casvm.Options
+	// CASVMModel is a trained clustered SVM.
+	CASVMModel = casvm.Model
+)
+
+// TrainCASVM k-means-partitions the data and trains one local SVM per
+// cluster with zero inter-cluster communication, trading accuracy for
+// the eliminated synchronization (CA-SVM, IPDPS 2015). Set
+// opt.Local.S > 1 to make each local solver synchronization-avoiding —
+// the composition the paper suggests in §II.
+func TrainCASVM(a *CSR, b []float64, opt CASVMOptions) (*CASVMModel, error) {
+	return casvm.Train(a, b, opt)
+}
+
+// LassoDualityGap returns a rigorous suboptimality certificate for an L1
+// solution x with residual r = A·x − b.
+func LassoDualityGap(a ColMatrix, b, x, r []float64, lambda float64) float64 {
+	return core.LassoDualityGap(a, b, x, r, lambda)
+}
+
+// Predict returns the decision values A·x for a fitted model.
+func Predict(a RowMatrix, x []float64) []float64 {
+	m, _ := a.Dims()
+	out := make([]float64, m)
+	a.MulVec(x, out)
+	return out
+}
+
+// Accuracy returns the fraction of labels whose sign the model x
+// predicts correctly (binary classification with ±1 labels).
+func Accuracy(a RowMatrix, b, x []float64) float64 {
+	if len(b) == 0 {
+		return 0
+	}
+	margins := Predict(a, x)
+	correct := 0
+	for i, v := range margins {
+		if v*b[i] > 0 {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(b))
+}
