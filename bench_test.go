@@ -23,9 +23,15 @@ func benchDense(n int, data []float64) *mat.Dense { return mat.NewDenseData(n, n
 
 // benchCfg is the reduced-scale configuration used by every artifact
 // benchmark. Scale/IterScale trade fidelity for wall time; cmd/saexp runs
-// the same code at full scale.
+// the same code at full scale, and -short (the CI bench-smoke job)
+// shrinks the presets further.
 func benchCfg() bench.Config {
-	return bench.Config{Scale: 0.05, IterScale: 0.05, Seed: 99}
+	cfg := bench.Config{Scale: 0.05, IterScale: 0.05, Seed: 99}
+	if testing.Short() {
+		cfg.Scale = 0.02
+		cfg.IterScale = 0.02
+	}
+	return cfg
 }
 
 // BenchmarkTable1CostModel evaluates the Table I closed forms.

@@ -30,10 +30,15 @@ func main() {
 		lambda     = flag.Float64("lambda", 1, "svm: penalty parameter")
 		loss       = flag.String("loss", "l1", "svm: l1 (hinge) or l2 (squared hinge)")
 		tol        = flag.Float64("tol", 0, "svm: stop at this duality gap")
-		simP       = flag.Int("simulate", 0, "run on a simulated cluster with this many ranks (0 = sequential)")
+		simP       = flag.Int("simulate", 0, "run on a simulated cluster with this many ranks (0 = local)")
 		machine    = flag.String("machine", "cray", "simulated platform: cray, ethernet, spark")
+		workers    = flag.Int("workers", 0, "local solves: multicore backend width (0 = sequential, -1 = all cores)")
 	)
 	flag.Parse()
+	var exec saco.Exec
+	if *workers != 0 {
+		exec = saco.Multicore(*workers)
+	}
 	if *dataPath == "" {
 		fmt.Fprintln(os.Stderr, "sasolve: -data is required")
 		flag.PrintDefaults()
@@ -66,7 +71,7 @@ func main() {
 		lam := *lambdaFrac * saco.LambdaMax(cols, b)
 		opt := saco.LassoOptions{
 			Lambda: lam, BlockSize: *mu, Iters: *iters, S: *s,
-			Accelerated: *accel, Seed: *seed, TrackEvery: *track,
+			Accelerated: *accel, Seed: *seed, TrackEvery: *track, Exec: exec,
 		}
 		if *simP > 0 {
 			res, err := saco.SimulateLasso(a, b, opt, cluster)
@@ -93,7 +98,7 @@ func main() {
 		}
 		opt := saco.SVMOptions{
 			Lambda: *lambda, Loss: l, Iters: *iters, S: *s, Seed: *seed,
-			TrackEvery: *track, Tol: *tol,
+			TrackEvery: *track, Tol: *tol, Exec: exec,
 		}
 		if *simP > 0 {
 			res, err := saco.SimulateSVM(a, b, opt, cluster)
@@ -115,7 +120,7 @@ func main() {
 		x = res.X
 	case "pegasos":
 		res, err := saco.PegasosSVM(a, b, saco.SVMOptions{
-			Lambda: *lambda, Iters: *iters, Seed: *seed, TrackEvery: *track,
+			Lambda: *lambda, Iters: *iters, Seed: *seed, TrackEvery: *track, Exec: exec,
 		})
 		fail(err)
 		for _, p := range res.History {

@@ -43,6 +43,29 @@ func TestPublicAPICASVM(t *testing.T) {
 	}
 }
 
+func TestPublicAPIMulticoreBackend(t *testing.T) {
+	data := saco.Regression("mc", 31, 300, 120, 0.15, 8, 0.05)
+	lambda := 0.1 * saco.LambdaMax(data.Cols(), data.B)
+	opt := saco.LassoOptions{Lambda: lambda, BlockSize: 8, Iters: 400, S: 32, Accelerated: true, Seed: 2}
+	seq, err := saco.Lasso(data.Cols(), data.B, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Exec = saco.Multicore(0) // all cores
+	par, err := saco.Lasso(data.Cols(), data.B, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Objective != seq.Objective {
+		t.Fatalf("multicore objective %v != sequential %v", par.Objective, seq.Objective)
+	}
+	for i := range par.X {
+		if par.X[i] != seq.X[i] {
+			t.Fatalf("multicore X[%d] differs", i)
+		}
+	}
+}
+
 func TestPublicAPIPredictAccuracy(t *testing.T) {
 	data := saco.Classification("pa", 13, 250, 60, 0.25, 0.02)
 	res, err := saco.SVM(data.Rows(), data.B, saco.SVMOptions{Lambda: 1, Iters: 8000, Seed: 2})

@@ -1,0 +1,3 @@
+module saco
+
+go 1.24.0

@@ -6,9 +6,17 @@ import (
 	"testing"
 )
 
-// quickCfg keeps every experiment at smoke-test scale.
+// quickCfg keeps every experiment at smoke-test scale; -short (the CI
+// test job) shrinks the replicas and iteration budgets further so the
+// whole harness finishes in seconds, while full paper-scale runs stay
+// reachable through cmd/saexp.
 func quickCfg(buf *bytes.Buffer) Config {
-	return Config{Scale: 0.03, IterScale: 0.02, Out: buf, Seed: 7}
+	cfg := Config{Scale: 0.03, IterScale: 0.02, Out: buf, Seed: 7}
+	if testing.Short() {
+		cfg.Scale = 0.02
+		cfg.IterScale = 0.01
+	}
+	return cfg
 }
 
 func TestFig2Quick(t *testing.T) {

@@ -30,8 +30,14 @@ type Options struct {
 	// Seed drives centroid initialization.
 	Seed uint64
 	// Local configures the per-cluster dual CD solver; its S field makes
-	// the local solver synchronization-avoiding.
+	// the local solver synchronization-avoiding, and its Exec field picks
+	// the kernel backend inside each local solve.
 	Local core.SVMOptions
+	// Workers fans the independent per-cluster training runs (and the
+	// k-means assignment scans) across a shared-memory pool; 0 or 1
+	// trains sequentially. Cluster results are independent, so the model
+	// is identical for every worker count.
+	Workers int
 }
 
 // Model is a trained CA-SVM: one linear model per cluster, dispatched by
@@ -69,7 +75,7 @@ func Train(a *sparse.CSR, b []float64, opt Options) (*Model, error) {
 		opt.KMeansIters = 10
 	}
 
-	assign, centroids := kmeansRows(a, opt.Clusters, opt.KMeansIters, opt.Seed)
+	assign, centroids := kmeansRows(a, opt.Clusters, opt.KMeansIters, opt.Seed, opt.Workers)
 
 	model := &Model{
 		Centroids:    centroids,
@@ -77,37 +83,48 @@ func Train(a *sparse.CSR, b []float64, opt Options) (*Model, error) {
 		PureLabel:    make([]float64, opt.Clusters),
 	}
 	model.Weights = make([][]float64, opt.Clusters)
-	for c := 0; c < opt.Clusters; c++ {
-		var rows []int
-		for i, ci := range assign {
-			if ci == c {
-				rows = append(rows, i)
+	rowsByCluster := make([][]int, opt.Clusters)
+	for i, ci := range assign {
+		rowsByCluster[ci] = append(rowsByCluster[ci], i)
+	}
+	// The per-cluster solves are CA-SVM's whole point: zero inter-cluster
+	// communication, so they fan out across the pool embarrassingly. Each
+	// iteration writes only its own cluster's model slots.
+	errs := make([]error, opt.Clusters)
+	mat.ParallelForWorkers(opt.Workers, opt.Clusters, 1, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			rows := rowsByCluster[c]
+			model.ClusterSizes[c] = len(rows)
+			if len(rows) == 0 {
+				model.Weights[c] = make([]float64, n)
+				continue
 			}
+			sub, subLabels := extractRows(a, b, rows)
+			if oneClass(subLabels) {
+				// A pure cluster needs no solver: it predicts its label.
+				model.Weights[c] = make([]float64, n)
+				model.PureLabel[c] = subLabels[0]
+				continue
+			}
+			lopt := opt.Local
+			if lopt.Lambda == 0 {
+				lopt.Lambda = 1
+			}
+			if lopt.Iters == 0 {
+				lopt.Iters = 10 * len(rows)
+			}
+			res, err := core.SVM(sub, subLabels, lopt)
+			if err != nil {
+				errs[c] = err
+				continue
+			}
+			model.Weights[c] = res.X
 		}
-		model.ClusterSizes[c] = len(rows)
-		if len(rows) == 0 {
-			model.Weights[c] = make([]float64, n)
-			continue
-		}
-		sub, subLabels := extractRows(a, b, rows)
-		if oneClass(subLabels) {
-			// A pure cluster needs no solver: it predicts its label.
-			model.Weights[c] = make([]float64, n)
-			model.PureLabel[c] = subLabels[0]
-			continue
-		}
-		lopt := opt.Local
-		if lopt.Lambda == 0 {
-			lopt.Lambda = 1
-		}
-		if lopt.Iters == 0 {
-			lopt.Iters = 10 * len(rows)
-		}
-		res, err := core.SVM(sub, subLabels, lopt)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		model.Weights[c] = res.X
 	}
 	return model, nil
 }
@@ -155,8 +172,11 @@ func (md *Model) nearest(idx []int, val []float64) int {
 }
 
 // kmeansRows is Lloyd's algorithm over sparse rows with dense centroids,
-// k-means++-style seeding from distinct random rows.
-func kmeansRows(a *sparse.CSR, k, iters int, seed uint64) ([]int, []*centroid) {
+// k-means++-style seeding from distinct random rows. The assignment scan
+// — every row against every centroid, by far the dominant cost — fans
+// out across workers; each row's nearest centroid is independent, so the
+// clustering is identical for every worker count.
+func kmeansRows(a *sparse.CSR, k, iters int, seed uint64, workers int) ([]int, []*centroid) {
 	m, n := a.Dims()
 	r := rng.New(seed)
 	centroids := make([]*centroid, k)
@@ -168,22 +188,28 @@ func kmeansRows(a *sparse.CSR, k, iters int, seed uint64) ([]int, []*centroid) {
 		centroids[c] = &centroid{v: v, normSq: mat.Nrm2Sq(v)}
 	}
 	assign := make([]int, m)
+	next := make([]int, m)
 	for it := 0; it < iters; it++ {
-		changed := false
-		for i := 0; i < m; i++ {
-			lo, hi := a.RowPtr[i], a.RowPtr[i+1]
-			best, bestScore := 0, math.Inf(1)
-			for c, cen := range centroids {
-				var dot float64
-				for p := lo; p < hi; p++ {
-					dot += cen.v[a.ColIdx[p]] * a.Val[p]
+		mat.ParallelForWorkers(workers, m, 256, func(ilo, ihi int) {
+			for i := ilo; i < ihi; i++ {
+				lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+				best, bestScore := 0, math.Inf(1)
+				for c, cen := range centroids {
+					var dot float64
+					for p := lo; p < hi; p++ {
+						dot += cen.v[a.ColIdx[p]] * a.Val[p]
+					}
+					if score := cen.normSq - 2*dot; score < bestScore {
+						best, bestScore = c, score
+					}
 				}
-				if score := cen.normSq - 2*dot; score < bestScore {
-					best, bestScore = c, score
-				}
+				next[i] = best
 			}
-			if assign[i] != best {
-				assign[i] = best
+		})
+		changed := false
+		for i, b := range next {
+			if assign[i] != b {
+				assign[i] = b
 				changed = true
 			}
 		}

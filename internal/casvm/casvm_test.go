@@ -150,7 +150,7 @@ func TestCASVMValidation(t *testing.T) {
 
 func TestKMeansAssignsAllPointsAndConverges(t *testing.T) {
 	a, _ := blobData(15, 200, 20)
-	assign, cents := kmeansRows(a, 4, 20, 16)
+	assign, cents := kmeansRows(a, 4, 20, 16, 1)
 	if len(assign) != 200 || len(cents) != 4 {
 		t.Fatal("kmeans output shape")
 	}

@@ -1,0 +1,43 @@
+package casvm
+
+import (
+	"testing"
+
+	"saco/internal/core"
+)
+
+// TestTrainWorkerInvariant pins the cluster-parallel training contract:
+// every cluster's local solve is independent, so the model is identical
+// for any worker count (including the kernel backend inside each solve).
+func TestTrainWorkerInvariant(t *testing.T) {
+	a, b := blobData(29, 240, 24)
+	base := Options{
+		Clusters: 4,
+		Seed:     3,
+		Local:    core.SVMOptions{Lambda: 1, Iters: 2000, Seed: 7, S: 16},
+	}
+	ref, err := Train(a, b, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 8} {
+		opt := base
+		opt.Workers = w
+		opt.Local.Exec = core.Exec{Backend: core.BackendMulticore, Workers: w}
+		got, err := Train(a, b, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range ref.Weights {
+			if got.ClusterSizes[c] != ref.ClusterSizes[c] || got.PureLabel[c] != ref.PureLabel[c] {
+				t.Fatalf("workers=%d: cluster %d metadata differs", w, c)
+			}
+			for j := range ref.Weights[c] {
+				if got.Weights[c][j] != ref.Weights[c][j] {
+					t.Fatalf("workers=%d: weight[%d][%d] %v != %v",
+						w, c, j, got.Weights[c][j], ref.Weights[c][j])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import "runtime"
+
+// Backend selects where a solve's matrix kernels run. The solvers
+// themselves are backend-agnostic: the choice only changes how the
+// batched products (Gram assembly, A_Sᵀ·v, SpMV) are executed, and every
+// multicore kernel partitions independent output elements with unchanged
+// summation order, so the iterate sequence is bitwise identical across
+// backends — the shared-memory counterpart of the paper's claim that the
+// SA reformulation preserves the classical iterates up to roundoff. The
+// third execution mode, the simulated distributed cluster, lives in
+// package dist (see saco.SimulateLasso / saco.SimulateSVM).
+type Backend int
+
+const (
+	// BackendSequential runs every kernel on the calling goroutine — the
+	// default, and the mode the simulated-cluster ranks use internally.
+	BackendSequential Backend = iota
+	// BackendMulticore fans the batched kernels out across a
+	// shared-memory worker pool (Exec.Workers wide, default GOMAXPROCS).
+	BackendMulticore
+)
+
+// String names the backend for logs and flags.
+func (b Backend) String() string {
+	if b == BackendMulticore {
+		return "multicore"
+	}
+	return "sequential"
+}
+
+// Exec selects the execution backend of a single solve.
+type Exec struct {
+	// Backend picks sequential (zero value) or multicore kernels.
+	Backend Backend
+	// Workers is the pool width for BackendMulticore; 0 means
+	// runtime.GOMAXPROCS(0). Ignored by BackendSequential.
+	Workers int
+}
+
+// workers returns the effective kernel worker count.
+func (e Exec) workers() int {
+	if e.Backend != BackendMulticore {
+		return 1
+	}
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// kernelParallelizer is the optional capability the sparse matrix types
+// implement: producing a read-only view of themselves whose kernels run
+// on w shared-memory workers. The method returns any (rather than a
+// matrix interface) so the data-structure package need not depend on
+// this package; execCol/execRow narrow the result.
+type kernelParallelizer interface {
+	WithKernelWorkers(w int) any
+}
+
+// execCol applies the Exec knob to a column-access matrix, returning the
+// matrix view the solver should use. Matrices without the capability run
+// sequentially regardless of the requested backend.
+func execCol(a ColMatrix, e Exec) ColMatrix {
+	w := e.workers()
+	if w <= 1 {
+		return a
+	}
+	if kp, ok := a.(kernelParallelizer); ok {
+		if pa, ok := kp.WithKernelWorkers(w).(ColMatrix); ok {
+			return pa
+		}
+	}
+	return a
+}
+
+// execRow applies the Exec knob to a row-access matrix.
+func execRow(a RowMatrix, e Exec) RowMatrix {
+	w := e.workers()
+	if w <= 1 {
+		return a
+	}
+	if kp, ok := a.(kernelParallelizer); ok {
+		if pa, ok := kp.WithKernelWorkers(w).(RowMatrix); ok {
+			return pa
+		}
+	}
+	return a
+}

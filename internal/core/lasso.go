@@ -17,6 +17,7 @@ func Lasso(a ColMatrix, b []float64, opt LassoOptions) (*LassoResult, error) {
 	if err := opt.validate(m, n, len(b)); err != nil {
 		return nil, err
 	}
+	a = execCol(a, opt.Exec)
 	if opt.Accelerated {
 		if opt.S > 1 {
 			return lassoAccSA(a, b, opt)

@@ -40,6 +40,10 @@ type LassoOptions struct {
 	// X0 is an optional warm start (classical solvers only use it as the
 	// initial z/x; default zeros).
 	X0 []float64
+	// Exec selects the execution backend for the solve's matrix kernels
+	// (sequential by default; BackendMulticore fans the batched Gram and
+	// product kernels across a worker pool without changing iterates).
+	Exec Exec
 }
 
 // Regularizer returns the effective penalty: Reg if set, else L1{Lambda}.
@@ -164,11 +168,16 @@ type SVMOptions struct {
 	Tol float64
 	// Alpha0 is an optional warm start for the dual variables.
 	Alpha0 []float64
+	// Exec selects the execution backend for the solve's matrix kernels
+	// (sequential by default; BackendMulticore fans the batched Gram and
+	// product kernels across a worker pool without changing iterates).
+	Exec Exec
 }
 
-// gamma and nu return the γ and ν constants of Alg. 4 line 1:
-// γ = 0, ν = λ for SVM-L1; γ = 1/(2λ), ν = ∞ for SVM-L2.
-func (o *SVMOptions) gammaNu() (gamma, nu float64) {
+// GammaNu returns the γ and ν constants of Alg. 4 line 1:
+// γ = 0, ν = λ for SVM-L1; γ = 1/(2λ), ν = ∞ for SVM-L2. Exported for
+// package dist, whose ranks replicate the dual update arithmetic.
+func (o *SVMOptions) GammaNu() (gamma, nu float64) {
 	if o.Loss == SVML2 {
 		return 0.5 / o.Lambda, inf
 	}

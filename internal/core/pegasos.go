@@ -23,6 +23,7 @@ func PegasosSVM(a RowMatrix, b []float64, opt SVMOptions) (*SVMResult, error) {
 	if err := opt.validate(m, len(b)); err != nil {
 		return nil, err
 	}
+	a = execRow(a, opt.Exec)
 	r := rng.New(opt.Seed)
 	lambdaP := 1 / (opt.Lambda * float64(m))
 	radius := 1 / math.Sqrt(lambdaP)

@@ -18,50 +18,62 @@ import "saco/internal/mat"
 // by the inner loop — only the hoisted products are — which is what makes
 // the rearrangement communication-free in the distributed setting.
 
-// saBatch holds the per-outer-iteration batch state shared by the plain
-// and accelerated SA solvers.
-type saBatch struct {
-	blocks  [][]int // the s sampled index blocks
-	offsets []int   // block start offsets in the concatenated index list
-	cols    []int   // concatenation of blocks
-	gram    *mat.Dense
+// SABatch holds the per-outer-iteration batch state shared by the plain
+// and accelerated SA solvers: the s sampled index blocks, their offsets
+// in the concatenated column list, and the batched Gram matrix. It is
+// exported for package dist, whose ranks run the same inner-loop
+// recurrences against an Allreduce-assembled Gram.
+type SABatch struct {
+	Blocks  [][]int // the s sampled index blocks
+	Offsets []int   // block start offsets in the concatenated index list
+	Cols    []int   // concatenation of blocks
+	Gram    *mat.Dense
 }
 
-// sample draws sb blocks and assembles the concatenated column list.
-func (bt *saBatch) sample(smp *BlockSampler, sb int) {
-	bt.blocks = bt.blocks[:0]
-	bt.offsets = bt.offsets[:0]
-	bt.cols = bt.cols[:0]
+// Sample draws sb blocks and assembles the concatenated column list.
+func (bt *SABatch) Sample(smp *BlockSampler, sb int) {
+	blocks := make([][]int, 0, sb)
 	for j := 0; j < sb; j++ {
-		blk := smp.Next()
-		bt.offsets = append(bt.offsets, len(bt.cols))
-		bt.blocks = append(bt.blocks, blk)
-		bt.cols = append(bt.cols, blk...)
+		blocks = append(blocks, smp.Next())
+	}
+	bt.SetBlocks(blocks)
+}
+
+// SetBlocks installs externally chosen blocks (the broadcast-indices
+// ablation of package dist, where rank 0 samples for everyone).
+func (bt *SABatch) SetBlocks(blocks [][]int) {
+	bt.Blocks = bt.Blocks[:0]
+	bt.Offsets = bt.Offsets[:0]
+	bt.Cols = bt.Cols[:0]
+	for _, blk := range blocks {
+		bt.Offsets = append(bt.Offsets, len(bt.Cols))
+		bt.Blocks = append(bt.Blocks, blk)
+		bt.Cols = append(bt.Cols, blk...)
 	}
 }
 
-// diagBlock copies the j-th diagonal µ×µ block of the batched Gram matrix
+// DiagBlock copies the j-th diagonal µ×µ block of the batched Gram matrix
 // into dst (the A_{sk+j}ᵀA_{sk+j} of Alg. 2 line 14).
-func (bt *saBatch) diagBlock(j int, dst *mat.Dense) {
-	off := bt.offsets[j]
-	mu := len(bt.blocks[j])
-	k := bt.gram.C
+func (bt *SABatch) DiagBlock(j int, dst *mat.Dense) {
+	off := bt.Offsets[j]
+	mu := len(bt.Blocks[j])
+	k := bt.Gram.C
 	for a := 0; a < mu; a++ {
-		copy(dst.Row(a)[:mu], bt.gram.Data[(off+a)*k+off:(off+a)*k+off+mu])
+		copy(dst.Row(a)[:mu], bt.Gram.Data[(off+a)*k+off:(off+a)*k+off+mu])
 	}
 }
 
-// crossApply accumulates dst[a] += scale · Σ_b G[jOff+a, tOff+b]·coef[b],
+// CrossApply accumulates dst[a] += scale · Σ_b G[jOff+a, tOff+b]·coef[b],
 // the G_{j,t}·Δz_t terms of eqs. (3) and (5).
-func (bt *saBatch) crossApply(j, t int, scale float64, coef, dst []float64) {
+func (bt *SABatch) CrossApply(j, t int, scale float64, coef, dst []float64) {
 	if scale == 0 {
 		return
 	}
-	jOff, tOff := bt.offsets[j], bt.offsets[t]
-	muJ, muT := len(bt.blocks[j]), len(bt.blocks[t])
-	k := bt.gram.C
+	jOff, tOff := bt.Offsets[j], bt.Offsets[t]
+	muJ, muT := len(bt.Blocks[j]), len(bt.Blocks[t])
+	k := bt.Gram.C
 	for a := 0; a < muJ; a++ {
-		row := bt.gram.Data[(jOff+a)*k+tOff : (jOff+a)*k+tOff+muT]
+		row := bt.Gram.Data[(jOff+a)*k+tOff : (jOff+a)*k+tOff+muT]
 		var s float64
 		for bIdx, c := range coef[:muT] {
 			s += row[bIdx] * c
@@ -89,7 +101,7 @@ func lassoPlainSA(a ColMatrix, b []float64, opt LassoOptions) (*LassoResult, err
 
 	muMax := smp.MaxBlock()
 	kMax := s * muMax
-	bt := &saBatch{gram: mat.NewDense(kMax, kMax)}
+	bt := &SABatch{Gram: mat.NewDense(kMax, kMax)}
 	rP := make([]float64, kMax)      // hoisted A_jᵀ·r_sk for all j
 	deltas := mat.NewDense(s, muMax) // Δx_t of the current batch
 	diag := mat.NewDense(muMax, muMax)
@@ -100,23 +112,23 @@ func lassoPlainSA(a ColMatrix, b []float64, opt LassoOptions) (*LassoResult, err
 	res := &LassoResult{Iters: opt.Iters}
 	for h := 0; h < opt.Iters; {
 		sb := min(s, opt.Iters-h)
-		bt.sample(smp, sb)
-		k := len(bt.cols)
-		bt.gram = mat.NewDenseData(k, k, bt.gram.Data[:k*k])
+		bt.Sample(smp, sb)
+		k := len(bt.Cols)
+		bt.Gram = mat.NewDenseData(k, k, bt.Gram.Data[:k*k])
 		// Lines 10–12: the one batched "communication" of the outer step.
-		a.ColGram(bt.cols, bt.gram)
-		a.ColTMulVec(bt.cols, r, rP[:k])
+		a.ColGram(bt.Cols, bt.Gram)
+		a.ColTMulVec(bt.Cols, r, rP[:k])
 
 		for j := 0; j < sb; j++ {
-			idx := bt.blocks[j]
+			idx := bt.Blocks[j]
 			mu := len(idx)
 			db := mat.NewDenseData(mu, mu, diag.Data[:mu*mu])
-			bt.diagBlock(j, db)
+			bt.DiagBlock(j, db)
 			v := blockLargestEig(db)
 
-			copy(grad[:mu], rP[bt.offsets[j]:bt.offsets[j]+mu])
+			copy(grad[:mu], rP[bt.Offsets[j]:bt.Offsets[j]+mu])
 			for t := 0; t < j; t++ {
-				bt.crossApply(j, t, 1, deltas.Row(t), grad[:mu])
+				bt.CrossApply(j, t, 1, deltas.Row(t), grad[:mu])
 			}
 			mat.Gather(w[:mu], x, idx)
 			var eta float64
@@ -167,7 +179,7 @@ func lassoAccSA(a ColMatrix, b []float64, opt LassoOptions) (*LassoResult, error
 
 	muMax := smp.MaxBlock()
 	kMax := s * muMax
-	bt := &saBatch{gram: mat.NewDense(kMax, kMax)}
+	bt := &SABatch{Gram: mat.NewDense(kMax, kMax)}
 	ytP := make([]float64, kMax) // Yᵀỹ_sk (Alg. 2 line 12)
 	ztP := make([]float64, kMax) // Yᵀz̃_sk
 	deltas := mat.NewDense(s, muMax)
@@ -183,34 +195,34 @@ func lassoAccSA(a ColMatrix, b []float64, opt LassoOptions) (*LassoResult, error
 	res := &LassoResult{Iters: opt.Iters}
 	for h := 0; h < opt.Iters; {
 		sb := min(s, opt.Iters-h)
-		bt.sample(smp, sb)
-		k := len(bt.cols)
-		bt.gram = mat.NewDenseData(k, k, bt.gram.Data[:k*k])
+		bt.Sample(smp, sb)
+		k := len(bt.Cols)
+		bt.Gram = mat.NewDenseData(k, k, bt.Gram.Data[:k*k])
 		// Lines 9–12: θ schedule for the batch and the batched products.
 		thetas[0] = theta
 		for j := 1; j <= sb; j++ {
 			thetas[j] = NextTheta(thetas[j-1])
 		}
-		a.ColGram(bt.cols, bt.gram)
-		a.ColTMulVec(bt.cols, yt, ytP[:k])
-		a.ColTMulVec(bt.cols, zt, ztP[:k])
+		a.ColGram(bt.Cols, bt.Gram)
+		a.ColTMulVec(bt.Cols, yt, ytP[:k])
+		a.ColTMulVec(bt.Cols, zt, ztP[:k])
 
 		for j := 0; j < sb; j++ {
-			idx := bt.blocks[j]
+			idx := bt.Blocks[j]
 			mu := len(idx)
 			db := mat.NewDenseData(mu, mu, diag.Data[:mu*mu])
-			bt.diagBlock(j, db)
+			bt.DiagBlock(j, db)
 			v := blockLargestEig(db) // line 14
 
 			thPrev := thetas[j]
 			th2 := thPrev * thPrev
 			// Eq. (3): r_j = θ²ỹ'_j + z̃'_j − Σ_t (θ²·d_t − 1)·G_{j,t}·Δz_t.
-			off := bt.offsets[j]
+			off := bt.Offsets[j]
 			for a2 := 0; a2 < mu; a2++ {
 				rvec[a2] = th2*ytP[off+a2] + ztP[off+a2]
 			}
 			for t := 0; t < j; t++ {
-				bt.crossApply(j, t, -(th2*dCoef[t] - 1), deltas.Row(t), rvec[:mu])
+				bt.CrossApply(j, t, -(th2*dCoef[t] - 1), deltas.Row(t), rvec[:mu])
 			}
 
 			// Eq. (4): reading the in-place-updated z yields the collision

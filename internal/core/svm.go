@@ -14,6 +14,7 @@ func SVM(a RowMatrix, b []float64, opt SVMOptions) (*SVMResult, error) {
 	if err := opt.validate(m, len(b)); err != nil {
 		return nil, err
 	}
+	a = execRow(a, opt.Exec)
 	if opt.S > 1 {
 		return svmSA(a, b, opt)
 	}
@@ -37,7 +38,7 @@ type svmState struct {
 func newSVMState(a RowMatrix, b []float64, opt *SVMOptions) *svmState {
 	m, n := a.Dims()
 	st := &svmState{a: a, b: b, opt: opt, res: &SVMResult{}}
-	st.gamma, st.nu = opt.gammaNu()
+	st.gamma, st.nu = opt.GammaNu()
 	st.alpha = make([]float64, m)
 	st.x = make([]float64, n)
 	st.margin = make([]float64, m)
@@ -60,10 +61,10 @@ func (st *svmState) update(i int, g, eta float64) float64 {
 	ai := st.alpha[i]
 	// Line 9: projected gradient; zero means the coordinate is already
 	// optimal under its box constraint.
-	if gt := clip(ai-g, 0, st.nu) - ai; gt == 0 {
+	if gt := Clip(ai-g, 0, st.nu) - ai; gt == 0 {
 		return 0
 	}
-	theta := clip(ai-g/eta, 0, st.nu) - ai // line 11
+	theta := Clip(ai-g/eta, 0, st.nu) - ai // line 11
 	if theta != 0 {
 		st.alpha[i] += theta                  // line 14
 		st.a.RowTAxpy(i, theta*st.b[i], st.x) // line 15: x += θ·bᵢ·Aᵢᵀ

@@ -170,7 +170,10 @@ func DenseRegression(name string, seed uint64, m, n, k int, sigma float64) *Data
 	a := denseMatrix(r, m, n)
 	x := plantSparse(r, n, k)
 	b := make([]float64, m)
-	mat.Gemv(1, a, x, 0, b)
+	// Row-partitioned and bitwise identical to Gemv, so replica content
+	// is unchanged while the big dense replicas (epsilon, gisette)
+	// generate at pool speed.
+	mat.GemvParallel(1, a, x, 0, b)
 	for i := range b {
 		b[i] += sigma * r.NormFloat64()
 	}
@@ -194,7 +197,7 @@ func DenseClassification(name string, seed uint64, m, n int, sigma float64) *Dat
 	r := rng.New(seed)
 	a := denseMatrix(r, m, n)
 	d := &Dataset{Name: name, Dense: a}
-	mul := func(x, y []float64) { mat.Gemv(1, a, x, 0, y) }
+	mul := func(x, y []float64) { mat.GemvParallel(1, a, x, 0, y) }
 	d.XTrue = planteMargins(r, mul, m, n, sigma, &d.B)
 	return d
 }

@@ -1,0 +1,357 @@
+package dist
+
+import (
+	"fmt"
+
+	"saco/internal/core"
+	"saco/internal/mat"
+	"saco/internal/mpi"
+	"saco/internal/sparse"
+)
+
+// Lasso solves min ½‖Ax−b‖² + g(x) on the simulated cluster with the
+// paper's 1D-row layout (Fig. 1): each rank owns a contiguous row block
+// of A (stored as CSC for column sampling) and the matching slice of the
+// residual image, while the iterate x (or z, y when accelerated) is
+// replicated. Per outer iteration the ranks compute local contributions
+// to the batched Gram G = YᵀY and the hoisted products, sum them with one
+// Allreduce, and run s communication-free inner iterations — with
+// opt.S <= 1 this degenerates to the classical one-reduction-per-
+// iteration algorithm, so both variants share all update arithmetic.
+func Lasso(a *sparse.CSR, b []float64, opt core.LassoOptions, cl Options) (*LassoResult, error) {
+	cl, err := cl.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	m, n := a.Dims()
+	if len(b) != m {
+		return nil, fmt.Errorf("dist: len(b)=%d does not match %d rows", len(b), m)
+	}
+	if opt.Iters <= 0 {
+		return nil, fmt.Errorf("dist: Iters=%d, want positive", opt.Iters)
+	}
+	results := make([]*LassoResult, cl.P)
+	stats, err := mpi.Run(cl.P, cl.Machine, func(c *mpi.Comm) error {
+		lo, hi := mpi.BlockRange(m, cl.P, c.Rank())
+		lr := newLassoRank(c, &cl, &opt, a.SliceRows(lo, hi).ToCSC(), b[lo:hi], n)
+		var res *LassoResult
+		if opt.Accelerated {
+			res = lr.accelerated()
+		} else {
+			res = lr.plain()
+		}
+		results[c.Rank()] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := results[0]
+	res.Stats = stats
+	return res, nil
+}
+
+// lassoRank is the per-rank solver state shared by the plain and
+// accelerated variants.
+type lassoRank struct {
+	c    *mpi.Comm
+	cl   *Options
+	opt  *core.LassoOptions
+	aLoc *sparse.CSC // this rank's row block, column-accessible
+	bLoc []float64
+	n    int
+	g    core.Regularizer
+	smp  *core.BlockSampler
+	s    int
+	mu   int // muMax: largest block the batches can hold
+	bt   *core.SABatch
+	diag *mat.Dense
+	buf  []float64 // Allreduce packing buffer
+	idxS []float64 // broadcast-indices scratch
+	res  *LassoResult
+}
+
+func newLassoRank(c *mpi.Comm, cl *Options, opt *core.LassoOptions, aLoc *sparse.CSC, bLoc []float64, n int) *lassoRank {
+	smp := core.NewBlockSampler(opt, n)
+	s := max(1, opt.S)
+	muMax := smp.MaxBlock()
+	kMax := s * muMax
+	return &lassoRank{
+		c: c, cl: cl, opt: opt, aLoc: aLoc, bLoc: bLoc, n: n,
+		g: opt.Regularizer(), smp: smp, s: s, mu: muMax,
+		bt:   &core.SABatch{Gram: mat.NewDense(kMax, kMax)},
+		diag: mat.NewDense(muMax, muMax),
+		buf:  make([]float64, kMax*kMax+2*kMax),
+		idxS: make([]float64, 1+s*(muMax+1)),
+		res:  &LassoResult{Iters: opt.Iters},
+	}
+}
+
+// sampleBatch agrees on the next sb blocks: replicated-seed draws by
+// default, or rank 0 broadcasting under the BroadcastIndices ablation.
+func (lr *lassoRank) sampleBatch(sb int) {
+	if lr.cl.BroadcastIndices {
+		lr.bt.SetBlocks(bcastBlocks(lr.c, lr.smp, sb, lr.mu, lr.idxS))
+	} else {
+		lr.bt.Sample(lr.smp, sb)
+	}
+}
+
+// reduceBatch computes the local Gram and product contributions for the
+// current batch, charges their flops, and allreduces them. extras are
+// the hoisted product vectors (length k each) reduced with the Gram.
+func (lr *lassoRank) reduceBatch(k, sb int, extras [][]float64) {
+	nnzS := lr.localColNNZ(lr.bt.Cols)
+	// Gram assembly: each of the k(k+1)/2 merges streams two columns, so
+	// the total is ~(k+1)·nnz(S) flops. Batched (s > 1) assembly is the
+	// BLAS-3-like kernel the paper credits for part of the SA speedup;
+	// it runs at the blocked rate while its working set fits cache.
+	gramFlops := float64(k+1) * float64(nnzS)
+	if sb > 1 {
+		lr.c.ComputeBlocked(gramFlops, k*k+2*nnzS)
+	} else {
+		lr.c.Compute(gramFlops)
+	}
+	lr.c.Compute(2 * float64(len(extras)) * float64(nnzS))
+
+	words := packGram(lr.bt.Gram, extras, lr.cl.FullGramPack, lr.buf)
+	lr.cl.allreduce(lr.c, lr.buf[:words])
+	unpackGram(lr.buf[:words], lr.bt.Gram, extras, lr.cl.FullGramPack)
+}
+
+// localColNNZ sums this rank's nonzeros over the block's columns.
+func (lr *lassoRank) localColNNZ(idx []int) int {
+	nnz := 0
+	for _, j := range idx {
+		nnz += lr.aLoc.ColNNZ(j)
+	}
+	return nnz
+}
+
+// track records an objective value at iteration h without charging the
+// instrumentation (the Mark/Restore pair rewinds clock and traffic).
+func (lr *lassoRank) track(h int, value func() float64) {
+	mark := lr.c.Mark()
+	sec := lr.c.Elapsed()
+	v := value()
+	if lr.c.Rank() == 0 {
+		lr.res.Trace = append(lr.res.Trace, TimedPoint{Iter: h, Seconds: sec, Value: v})
+	}
+	lr.c.Restore(mark)
+}
+
+// globalObjective reduces ½‖r‖² over the partitioned residual and adds
+// the replicated penalty.
+func (lr *lassoRank) globalObjective(rLoc, x []float64) float64 {
+	rn := lr.c.AllreduceScalar(mpi.Sum, mat.Nrm2Sq(rLoc))
+	return 0.5*rn + lr.g.Value(x)
+}
+
+// plain is the distributed (SA-)CD/BCD solver; compare core.lassoPlainSA
+// for the sequential inner-loop derivation (eqs. (3)–(5) with θ ≡ 1).
+func (lr *lassoRank) plain() *LassoResult {
+	opt, aLoc, c := lr.opt, lr.aLoc, lr.c
+	x := make([]float64, lr.n)
+	if opt.X0 != nil {
+		copy(x, opt.X0)
+	}
+	rLoc := make([]float64, aLoc.M)
+	aLoc.MulVec(x, rLoc)
+	mat.Axpy(-1, lr.bLoc, rLoc)
+
+	deltas := mat.NewDense(lr.s, lr.mu)
+	rP := make([]float64, lr.s*lr.mu)
+	grad := make([]float64, lr.mu)
+	w := make([]float64, lr.mu)
+	gv := make([]float64, lr.mu)
+
+	for h := 0; h < opt.Iters; {
+		sb := min(lr.s, opt.Iters-h)
+		lr.sampleBatch(sb)
+		k := len(lr.bt.Cols)
+		lr.bt.Gram = mat.NewDenseData(k, k, lr.bt.Gram.Data[:k*k])
+		aLoc.ColGram(lr.bt.Cols, lr.bt.Gram)
+		aLoc.ColTMulVec(lr.bt.Cols, rLoc, rP[:k])
+		lr.reduceBatch(k, sb, [][]float64{rP[:k]})
+
+		for j := 0; j < sb; j++ {
+			idx := lr.bt.Blocks[j]
+			mu := len(idx)
+			db := mat.NewDenseData(mu, mu, lr.diag.Data[:mu*mu])
+			lr.bt.DiagBlock(j, db)
+			v := blockEig(db)
+			flops := eigFlops(mu)
+
+			copy(grad[:mu], rP[lr.bt.Offsets[j]:lr.bt.Offsets[j]+mu])
+			for t := 0; t < j; t++ {
+				lr.bt.CrossApply(j, t, 1, deltas.Row(t), grad[:mu])
+				flops += 2 * float64(mu) * float64(len(lr.bt.Blocks[t]))
+			}
+			mat.Gather(w[:mu], x, idx)
+			var eta float64
+			if v > 0 {
+				eta = 1 / v
+				for a2 := 0; a2 < mu; a2++ {
+					gv[a2] = w[a2] - eta*grad[a2]
+				}
+			} else {
+				eta = core.BigEta
+				copy(gv[:mu], w[:mu])
+			}
+			lr.g.Prox(eta, gv[:mu])
+			d := deltas.Row(j)
+			for a2 := 0; a2 < mu; a2++ {
+				d[a2] = gv[a2] - w[a2]
+			}
+			mat.ScatterAdd(x, d[:mu], idx)
+			aLoc.ColMulAdd(idx, d[:mu], rLoc)
+			c.Compute(flops + float64(5*mu) + 2*float64(lr.localColNNZ(idx)))
+			h++
+			if opt.TrackEvery > 0 && h%opt.TrackEvery == 0 {
+				lr.track(h, func() float64 { return lr.globalObjective(rLoc, x) })
+			}
+		}
+	}
+	lr.res.X = x
+	mark := c.Mark()
+	lr.res.Objective = lr.globalObjective(rLoc, x)
+	c.Restore(mark)
+	return lr.res
+}
+
+// accelerated is the distributed SA-accBCD solver (Alg. 2); compare
+// core.lassoAccSA. z and y are replicated, their images z̃ = A·z − b and
+// ỹ = A·y are row-partitioned like the residual.
+func (lr *lassoRank) accelerated() *LassoResult {
+	opt, aLoc, c := lr.opt, lr.aLoc, lr.c
+	q := float64(lr.smp.NumBlocks())
+	z := make([]float64, lr.n)
+	if opt.X0 != nil {
+		copy(z, opt.X0)
+	}
+	y := make([]float64, lr.n)
+	ztLoc := make([]float64, aLoc.M)
+	aLoc.MulVec(z, ztLoc)
+	mat.Axpy(-1, lr.bLoc, ztLoc)
+	ytLoc := make([]float64, aLoc.M)
+
+	kMax := lr.s * lr.mu
+	ytP := make([]float64, kMax)
+	ztP := make([]float64, kMax)
+	deltas := mat.NewDense(lr.s, lr.mu)
+	dCoef := make([]float64, lr.s)
+	thetas := make([]float64, lr.s+1)
+	rvec := make([]float64, lr.mu)
+	w := make([]float64, lr.mu)
+	gv := make([]float64, lr.mu)
+	scaled := make([]float64, lr.mu)
+
+	theta := lr.smp.Theta0()
+	for h := 0; h < opt.Iters; {
+		sb := min(lr.s, opt.Iters-h)
+		lr.sampleBatch(sb)
+		k := len(lr.bt.Cols)
+		lr.bt.Gram = mat.NewDenseData(k, k, lr.bt.Gram.Data[:k*k])
+		thetas[0] = theta
+		for j := 1; j <= sb; j++ {
+			thetas[j] = core.NextTheta(thetas[j-1])
+		}
+		aLoc.ColGram(lr.bt.Cols, lr.bt.Gram)
+		aLoc.ColTMulVec(lr.bt.Cols, ytLoc, ytP[:k])
+		aLoc.ColTMulVec(lr.bt.Cols, ztLoc, ztP[:k])
+		lr.reduceBatch(k, sb, [][]float64{ytP[:k], ztP[:k]})
+
+		for j := 0; j < sb; j++ {
+			idx := lr.bt.Blocks[j]
+			mu := len(idx)
+			db := mat.NewDenseData(mu, mu, lr.diag.Data[:mu*mu])
+			lr.bt.DiagBlock(j, db)
+			v := blockEig(db)
+			flops := eigFlops(mu)
+
+			thPrev := thetas[j]
+			th2 := thPrev * thPrev
+			off := lr.bt.Offsets[j]
+			for a2 := 0; a2 < mu; a2++ {
+				rvec[a2] = th2*ytP[off+a2] + ztP[off+a2]
+			}
+			for t := 0; t < j; t++ {
+				lr.bt.CrossApply(j, t, -(th2*dCoef[t] - 1), deltas.Row(t), rvec[:mu])
+				flops += 2 * float64(mu) * float64(len(lr.bt.Blocks[t]))
+			}
+
+			mat.Gather(w[:mu], z, idx)
+			var eta float64
+			if v > 0 {
+				eta = 1 / (q * thPrev * v)
+				for a2 := 0; a2 < mu; a2++ {
+					gv[a2] = w[a2] - eta*rvec[a2]
+				}
+			} else {
+				eta = core.BigEta
+				copy(gv[:mu], w[:mu])
+			}
+			lr.g.Prox(eta, gv[:mu])
+			d := deltas.Row(j)
+			for a2 := 0; a2 < mu; a2++ {
+				d[a2] = gv[a2] - w[a2]
+			}
+
+			dj := (1 - q*thPrev) / th2
+			dCoef[j] = dj
+			mat.ScatterAdd(z, d[:mu], idx)
+			aLoc.ColMulAdd(idx, d[:mu], ztLoc)
+			mat.ScatterAxpy(-dj, y, d[:mu], idx)
+			for a2 := 0; a2 < mu; a2++ {
+				scaled[a2] = -dj * d[a2]
+			}
+			aLoc.ColMulAdd(idx, scaled[:mu], ytLoc)
+			c.Compute(flops + float64(8*mu) + 4*float64(lr.localColNNZ(idx)))
+
+			h++
+			if opt.TrackEvery > 0 && h%opt.TrackEvery == 0 {
+				thNext := thetas[j+1]
+				lr.track(h, func() float64 {
+					return lr.accObjective(thNext, y, z, ytLoc, ztLoc)
+				})
+			}
+		}
+		theta = thetas[sb]
+	}
+	lr.res.X = accSolution(theta, y, z)
+	mark := c.Mark()
+	rLoc := make([]float64, aLoc.M)
+	accResidual(theta, ytLoc, ztLoc, rLoc)
+	rn := c.AllreduceScalar(mpi.Sum, mat.Nrm2Sq(rLoc))
+	lr.res.Objective = 0.5*rn + lr.g.Value(lr.res.X)
+	c.Restore(mark)
+	return lr.res
+}
+
+// accObjective evaluates the implicit iterate's objective: the residual
+// θ²ỹ + z̃ is assembled per rank and its norm reduced, the solution
+// θ²y + z is replicated.
+func (lr *lassoRank) accObjective(theta float64, y, z, ytLoc, ztLoc []float64) float64 {
+	rLoc := make([]float64, len(ytLoc))
+	accResidual(theta, ytLoc, ztLoc, rLoc)
+	rn := lr.c.AllreduceScalar(mpi.Sum, mat.Nrm2Sq(rLoc))
+	return 0.5*rn + lr.g.Value(accSolution(theta, y, z))
+}
+
+// accSolution reconstructs x = θ²·y + z (Alg. 1 line 19).
+func accSolution(theta float64, y, z []float64) []float64 {
+	x := make([]float64, len(z))
+	th2 := theta * theta
+	for i := range x {
+		x[i] = th2*y[i] + z[i]
+	}
+	return x
+}
+
+// accResidual writes the local slice of A·x − b = θ²·ỹ + z̃ into dst.
+func accResidual(theta float64, ytLoc, ztLoc, dst []float64) {
+	th2 := theta * theta
+	for i := range dst {
+		dst[i] = th2*ytLoc[i] + ztLoc[i]
+	}
+}

@@ -1,0 +1,200 @@
+package dist
+
+import (
+	"fmt"
+
+	"saco/internal/core"
+	"saco/internal/mat"
+	"saco/internal/mpi"
+	"saco/internal/rng"
+	"saco/internal/sparse"
+)
+
+// tagGatherX is the point-to-point tag of the final primal-vector
+// assembly (collective tags are negative, so any non-negative tag is
+// free).
+const tagGatherX = 1
+
+// SVM trains a linear SVM by dual coordinate descent on the simulated
+// cluster with the paper's 1D-column layout (§VI): each rank owns a
+// column block of A and the matching slice of the primal vector x, while
+// the dual α and the labels are replicated. Per outer iteration the
+// ranks compute local contributions to the s×s row Gram G = YYᵀ and the
+// hoisted products x'_j, sum them with one Allreduce, and run s
+// communication-free dual updates — opt.S <= 1 degenerates to the
+// classical one-reduction-per-iteration Alg. 3.
+func SVM(a *sparse.CSR, b []float64, opt core.SVMOptions, cl Options) (*SVMResult, error) {
+	cl, err := cl.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	m, _ := a.Dims()
+	if len(b) != m {
+		return nil, fmt.Errorf("dist: len(b)=%d does not match %d rows", len(b), m)
+	}
+	if opt.Iters <= 0 {
+		return nil, fmt.Errorf("dist: Iters=%d, want positive", opt.Iters)
+	}
+	if opt.Lambda <= 0 {
+		return nil, fmt.Errorf("dist: Lambda=%v, want positive", opt.Lambda)
+	}
+	results := make([]*SVMResult, cl.P)
+	stats, err := mpi.Run(cl.P, cl.Machine, func(c *mpi.Comm) error {
+		results[c.Rank()] = svmRank(c, a, b, &opt, &cl)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := results[0]
+	res.Stats = stats
+	return res, nil
+}
+
+// svmRank is one rank's SPMD program.
+func svmRank(c *mpi.Comm, a *sparse.CSR, b []float64, opt *core.SVMOptions, cl *Options) *SVMResult {
+	m, n := a.Dims()
+	lo, hi := mpi.BlockRange(n, cl.P, c.Rank())
+	aLoc := a.SliceCols(lo, hi)
+	gamma, nu := opt.GammaNu()
+
+	alpha := make([]float64, m)
+	xLoc := make([]float64, hi-lo)
+	if opt.Alpha0 != nil {
+		copy(alpha, opt.Alpha0)
+		for i, ai := range alpha {
+			if ai != 0 {
+				aLoc.RowTAxpy(i, ai*b[i], xLoc)
+			}
+		}
+	}
+
+	r := rng.New(opt.Seed)
+	s := max(1, opt.S)
+	rows := make([]int, s)
+	gram := mat.NewDense(s, s)
+	xP := make([]float64, s)
+	thetaStep := make([]float64, s)
+	buf := make([]float64, s*s+s)
+	idxS := make([]float64, s)
+	marginLoc := make([]float64, m)
+	res := &SVMResult{Iters: opt.Iters}
+
+	// objectives reduces the full margin vector A·x = Σ_ranks A_loc·x_loc
+	// and ‖x‖² = Σ‖x_loc‖², then evaluates primal, dual and gap — all
+	// replicated bitwise, so every rank reaches the same Tol decision.
+	objectives := func() (primal, dual, gap float64) {
+		aLoc.MulVec(xLoc, marginLoc)
+		cl.allreduce(c, marginLoc)
+		xns := c.AllreduceScalar(mpi.Sum, mat.Nrm2Sq(xLoc))
+		return core.SVMObjectivesFromParts(xns, alpha, marginLoc, b, opt.Lambda, gamma, opt.Loss)
+	}
+
+	done := false
+	for h := 0; h < opt.Iters && !done; {
+		sb := min(s, opt.Iters-h)
+		if cl.BroadcastIndices {
+			bcastRows(c, r, m, sb, rows[:sb], idxS)
+		} else {
+			for j := 0; j < sb; j++ {
+				rows[j] = r.Intn(m) // replicated draws (Alg. 3 line 4)
+			}
+		}
+		gb := mat.NewDenseData(sb, sb, gram.Data[:sb*sb])
+		// Local contributions to lines 9–10 of Alg. 4, then the one
+		// reduction of the outer iteration.
+		aLoc.RowGram(rows[:sb], gb)
+		aLoc.RowMulVec(rows[:sb], xLoc, xP[:sb])
+		nnzR := 0
+		for j := 0; j < sb; j++ {
+			nnzR += aLoc.RowNNZ(rows[j])
+		}
+		gramFlops := float64(sb+1) * float64(nnzR)
+		if sb > 1 {
+			c.ComputeBlocked(gramFlops, sb*sb+2*nnzR)
+		} else {
+			c.Compute(gramFlops)
+		}
+		c.Compute(2 * float64(nnzR))
+		words := packGram(gb, [][]float64{xP[:sb]}, cl.FullGramPack, buf)
+		cl.allreduce(c, buf[:words])
+		unpackGram(buf[:words], gb, [][]float64{xP[:sb]}, cl.FullGramPack)
+		for j := 0; j < sb; j++ {
+			gb.Set(j, j, gb.At(j, j)+gamma) // η_j = ‖A_j‖² + γ, now global
+		}
+
+		for j := 0; j < sb; j++ {
+			i := rows[j]
+			eta := gb.At(j, j)
+			// Eq. (15): A_j·x_{sk+j−1} = x'_j + Σ_{t<j} θ_t·b_t·G_{j,t}.
+			dot := xP[j]
+			for t := 0; t < j; t++ {
+				if thetaStep[t] != 0 {
+					dot += thetaStep[t] * b[rows[t]] * gb.At(j, t)
+				}
+			}
+			g := b[i]*dot - 1 + gamma*alpha[i]
+			flops := 4 + 3*float64(j)
+			// Projected-Newton step (Alg. 3 lines 9–15), replicated; only
+			// the primal update touches rank-local state.
+			theta := 0.0
+			ai := alpha[i]
+			if gt := core.Clip(ai-g, 0, nu) - ai; gt != 0 {
+				theta = core.Clip(ai-g/eta, 0, nu) - ai
+				if theta != 0 {
+					alpha[i] += theta
+					aLoc.RowTAxpy(i, theta*b[i], xLoc)
+					flops += 2 * float64(aLoc.RowNNZ(i))
+				}
+			}
+			thetaStep[j] = theta
+			c.Compute(flops)
+			h++
+			if opt.TrackEvery > 0 && h%opt.TrackEvery == 0 {
+				mark := c.Mark()
+				sec := c.Elapsed()
+				_, _, gap := objectives()
+				if c.Rank() == 0 {
+					res.Trace = append(res.Trace, TimedPoint{Iter: h, Seconds: sec, Value: gap})
+				}
+				c.Restore(mark)
+				if opt.Tol > 0 && gap <= opt.Tol {
+					res.Iters = h
+					done = true
+					break
+				}
+			}
+		}
+	}
+
+	// Assemble the primal vector on rank 0 (charged: shipping the model
+	// home is a real cost, and the same one for classic and SA runs).
+	res.X = gatherX(c, xLoc, n, cl.P)
+	res.Alpha = alpha
+	mark := c.Mark()
+	res.Primal, res.Dual, res.Gap = objectives()
+	c.Restore(mark)
+	return res
+}
+
+// gatherX concatenates the per-rank primal slices onto rank 0 in layout
+// order. Blocks are unequal (BlockRange), so this is a point-to-point
+// gather rather than the equal-block collective.
+func gatherX(c *mpi.Comm, xLoc []float64, n, p int) []float64 {
+	if p == 1 {
+		out := make([]float64, len(xLoc))
+		copy(out, xLoc)
+		return out
+	}
+	if c.Rank() != 0 {
+		c.Send(0, tagGatherX, xLoc)
+		return nil
+	}
+	x := make([]float64, n)
+	copy(x, xLoc)
+	for src := 1; src < p; src++ {
+		lo, _ := mpi.BlockRange(n, p, src)
+		copy(x[lo:], c.Recv(src, tagGatherX))
+	}
+	return x
+}

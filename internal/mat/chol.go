@@ -13,6 +13,14 @@ var ErrNotPD = errors.New("mat: matrix is not positive definite")
 // symmetric positive-definite matrix. The strict upper triangle of the
 // result is zero. It is used by tests to validate Gram matrices and by
 // diagnostics that solve small regularized systems.
+//
+// The panel update below the pivot — one dot product per row i, all
+// independent — runs on the shared-memory pool for large matrices,
+// following the package default Workers (Cholesky sits outside the
+// solver hot paths and the simulated ranks, so the per-solve Exec knob
+// does not reach it). Each L[i,j] keeps its sequential summation order,
+// so the factor is bitwise identical for every worker count; a caller
+// that must avoid goroutines entirely can set mat.Workers = 1.
 func Cholesky(a *Dense) (*Dense, error) {
 	n := a.R
 	if a.C != n {
@@ -21,22 +29,25 @@ func Cholesky(a *Dense) (*Dense, error) {
 	l := NewDense(n, n)
 	for j := 0; j < n; j++ {
 		d := a.At(j, j)
+		lj := l.Row(j)
 		for k := 0; k < j; k++ {
-			ljk := l.At(j, k)
-			d -= ljk * ljk
+			d -= lj[k] * lj[k]
 		}
 		if d <= 0 || math.IsNaN(d) {
 			return nil, ErrNotPD
 		}
 		d = math.Sqrt(d)
-		l.Set(j, j, d)
-		for i := j + 1; i < n; i++ {
-			s := a.At(i, j)
-			for k := 0; k < j; k++ {
-				s -= l.At(i, k) * l.At(j, k)
+		lj[j] = d
+		ParallelFor(n-(j+1), 128, func(lo, hi int) {
+			for i := j + 1 + lo; i < j+1+hi; i++ {
+				li := l.Row(i)
+				s := a.At(i, j)
+				for k := 0; k < j; k++ {
+					s -= li[k] * lj[k]
+				}
+				li[j] = s / d
 			}
-			l.Set(i, j, s/d)
-		}
+		})
 	}
 	return l, nil
 }

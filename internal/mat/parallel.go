@@ -5,19 +5,56 @@ import (
 	"sync"
 )
 
+// This file is the shared-memory execution backend of the repository: a
+// chunked fork-join API (ParallelFor, ParallelRanges) and a deterministic
+// tree-ordered reduction (ParallelReduce). Every parallel kernel in mat,
+// sparse and the solvers is built on these primitives under one strict
+// contract: a parallel kernel partitions only *independent output
+// elements* across workers and leaves each element's summation order
+// exactly as in the sequential code. Results are therefore bitwise
+// identical for every worker count — the shared-memory analogue of the
+// paper's "same iterate sequence up to floating-point roundoff" claim,
+// and the property internal/core's backend-equivalence tests pin down.
+//
+// The simulated distributed runtime (internal/mpi, internal/dist) runs
+// one goroutine per rank and keeps its kernels sequential: its ranks
+// already saturate the machine, and its reductions must follow the
+// binomial-tree order of the modeled collectives, not this pool's.
+//
+// Two layers sit on these primitives with different knobs. The solver
+// hot paths run through the per-matrix kernel views of internal/sparse
+// (CSC/CSR/DenseCols/DenseRows.WithKernelWorkers), selected per solve
+// by core.Exec and sequential by default. The package-level *-Parallel
+// BLAS below (GemvParallel, GemmParallel, GemmTNParallel, SyrkParallel,
+// DotParallel, Nrm2SqParallel) follows the package default Workers —
+// like an OMP_NUM_THREADS-keyed BLAS — and serves dense library work
+// outside the solvers: dataset generation (internal/datagen), the
+// Cholesky panel update, diagnostics. Worker invariance makes either
+// knob safe: no result ever depends on the width chosen.
+
 // Workers is the default worker count for the shared-memory parallel
-// kernels. Solvers running inside the simulated distributed runtime use
-// the sequential kernels (one goroutine per rank already saturates the
-// machine); the sequential laptop API uses these to speed up large dense
-// workloads such as the epsilon- and gisette-like datasets.
+// kernels; explicit-width entry points (ParallelForWorkers, the sparse
+// kernels' per-matrix knob) override it per call.
 var Workers = runtime.GOMAXPROCS(0)
 
-// parallelFor splits [0,n) into contiguous chunks and runs body(lo,hi) on
-// each from its own goroutine. It runs inline when n is small or only one
+// ParallelFor splits [0,n) into contiguous chunks and runs body(lo,hi)
+// on Workers goroutines. It runs inline when n < 2·minChunk or only one
 // worker is configured, so callers never pay goroutine overhead on the
 // tiny Gram-block operations that dominate the inner loops.
-func parallelFor(n, minChunk int, body func(lo, hi int)) {
-	w := Workers
+func ParallelFor(n, minChunk int, body func(lo, hi int)) {
+	ParallelForWorkers(Workers, n, minChunk, body)
+}
+
+// ParallelForWorkers is ParallelFor with an explicit worker count. w <= 1
+// runs body(0, n) inline: the sequential path is the parallel path with
+// one chunk, so there is exactly one implementation of every kernel.
+func ParallelForWorkers(w, n, minChunk int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if minChunk < 1 {
+		minChunk = 1
+	}
 	if w > n/minChunk {
 		w = n / minChunk
 	}
@@ -28,9 +65,35 @@ func parallelFor(n, minChunk int, body func(lo, hi int)) {
 	var wg sync.WaitGroup
 	chunk := (n + w - 1) / w
 	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParallelRanges runs body on the consecutive half-open ranges
+// [bounds[i], bounds[i+1]), one goroutine per range. It is the building
+// block for load-balanced partitions whose chunk boundaries carry
+// meaning — e.g. TriangleRanges for Gram assembly, where equal index
+// ranges would give the first worker almost all the flops.
+func ParallelRanges(bounds []int, body func(lo, hi int)) {
+	nr := len(bounds) - 1
+	if nr <= 0 {
+		return
+	}
+	if nr == 1 {
+		body(bounds[0], bounds[1])
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < nr; i++ {
+		lo, hi := bounds[i], bounds[i+1]
+		if lo >= hi {
+			continue
 		}
 		wg.Add(1)
 		go func(lo, hi int) {
@@ -41,14 +104,91 @@ func parallelFor(n, minChunk int, body func(lo, hi int)) {
 	wg.Wait()
 }
 
+// TriangleRanges partitions rows [0,n) of an upper-triangular loop
+// (row i costs ~n−i) into at most parts ranges of roughly equal pair
+// counts, returning the boundaries for ParallelRanges. The split depends
+// only on n and parts, never on scheduling, so partitioned kernels stay
+// deterministic.
+func TriangleRanges(n, parts int) []int {
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > n {
+		parts = n
+	}
+	bounds := make([]int, 1, parts+1)
+	total := float64(n) * float64(n+1) / 2
+	row := 0
+	for p := 1; p < parts; p++ {
+		// Row r has weight n−r; advance until this part holds ≥ total/parts.
+		target := total * float64(p) / float64(parts)
+		// Rows [0,r) cover n + (n−1) + ... + (n−r+1) = r·n − r(r−1)/2 pairs.
+		for row < n {
+			covered := float64(row)*float64(n) - float64(row)*float64(row-1)/2
+			if covered >= target {
+				break
+			}
+			row++
+		}
+		bounds = append(bounds, row)
+	}
+	bounds = append(bounds, n)
+	return bounds
+}
+
+// ParallelReduce folds leaf values over [0,n) into a single float64 with
+// a deterministic tree: the range is cut into fixed-size chunks (chunk
+// size depends only on n and minChunk, never on the worker count), leaf
+// computes each chunk's partial, and the partials are combined pairwise
+// along a binary tree in chunk-index order. The result is identical for
+// every value of Workers — including 1 — which is what lets solvers call
+// it from any backend without perturbing iterates. It does NOT generally
+// equal the single left-to-right fold of a plain loop; callers that need
+// that exact order (the distributed runtime's replicated state) must
+// stay sequential.
+func ParallelReduce(n, minChunk int, leaf func(lo, hi int) float64, combine func(a, b float64) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	nc := (n + minChunk - 1) / minChunk
+	if nc == 1 {
+		return leaf(0, n)
+	}
+	partial := make([]float64, nc)
+	ParallelFor(nc, 1, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			lo := c * minChunk
+			partial[c] = leaf(lo, min(lo+minChunk, n))
+		}
+	})
+	// Pairwise tree fold in chunk-index order: (p0⊕p1) ⊕ (p2⊕p3) ⊕ ...
+	for nc > 1 {
+		half := nc / 2
+		for i := 0; i < half; i++ {
+			partial[i] = combine(partial[2*i], partial[2*i+1])
+		}
+		if nc%2 == 1 {
+			partial[half] = partial[nc-1]
+			nc = half + 1
+		} else {
+			nc = half
+		}
+	}
+	return partial[0]
+}
+
 // GemvParallel computes y = alpha*A*x + beta*y across Workers goroutines,
 // partitioning rows of A. Row partitioning keeps the output regions
-// disjoint, so no synchronization beyond the final join is needed.
+// disjoint and each row's dot product in sequential order, so the result
+// is bitwise identical to Gemv.
 func GemvParallel(alpha float64, a *Dense, x []float64, beta float64, y []float64) {
 	if len(x) != a.C || len(y) != a.R {
 		panic("mat: GemvParallel shape mismatch")
 	}
-	parallelFor(a.R, 256, func(lo, hi int) {
+	ParallelFor(a.R, 256, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := a.Row(i)
 			var s float64
@@ -60,10 +200,40 @@ func GemvParallel(alpha float64, a *Dense, x []float64, beta float64, y []float6
 	})
 }
 
+// GemmParallel computes C = alpha*A*B + beta*C, partitioning the rows of
+// C across workers with the same ikj inner ordering as Gemm, so results
+// match Gemm bitwise.
+func GemmParallel(alpha float64, a, b *Dense, beta float64, c *Dense) {
+	if a.C != b.R || c.R != a.R || c.C != b.C {
+		panic("mat: GemmParallel shape mismatch")
+	}
+	if beta != 1 {
+		if beta == 0 {
+			c.Zero()
+		} else {
+			Scal(beta, c.Data)
+		}
+	}
+	ParallelFor(a.R, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			crow := c.Row(i)
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				Axpy(alpha*av, b.Row(k), crow)
+			}
+		}
+	})
+}
+
 // GemmTNParallel computes C = alpha*Aᵀ*B + beta*C, partitioning the
 // columns of A (rows of C) across workers. Each worker owns a disjoint
-// row band of C, so updates race-free. This is the parallel Gram-assembly
-// kernel used by the sequential SA solvers for large batches.
+// row band of C and streams k in the same order as GemmTN, so updates are
+// race-free and bitwise identical to the sequential kernel. This is the
+// parallel Gram-assembly kernel used by the sequential SA solvers for
+// large batches.
 func GemmTNParallel(alpha float64, a, b *Dense, beta float64, c *Dense) {
 	if a.R != b.R || c.R != a.C || c.C != b.C {
 		panic("mat: GemmTNParallel shape mismatch")
@@ -75,7 +245,7 @@ func GemmTNParallel(alpha float64, a, b *Dense, beta float64, c *Dense) {
 			Scal(beta, c.Data)
 		}
 	}
-	parallelFor(a.C, 8, func(lo, hi int) {
+	ParallelFor(a.C, 8, func(lo, hi int) {
 		for k := 0; k < a.R; k++ {
 			arow := a.Row(k)
 			brow := b.Row(k)
@@ -90,45 +260,97 @@ func GemmTNParallel(alpha float64, a, b *Dense, beta float64, c *Dense) {
 	})
 }
 
-// DotParallel returns xᵀy computed in parallel chunks. The chunked
-// reduction changes the summation order relative to Dot, so results can
-// differ from Dot by O(ε); the distributed solvers therefore never use it
-// for replicated state, only the shared-memory API does.
+// SyrkParallel computes the symmetric product C = alpha*AᵀA + beta*C like
+// Syrk, partitioning the rows of the upper triangle across workers with
+// TriangleRanges so every worker sees a similar pair count. Each C row is
+// owned by one worker and accumulated in the same k-major order as Syrk,
+// so the result matches Syrk bitwise.
+func SyrkParallel(alpha float64, a *Dense, beta float64, c *Dense) {
+	n := a.C
+	if c.R != n || c.C != n {
+		panic("mat: SyrkParallel shape mismatch")
+	}
+	if beta != 1 {
+		if beta == 0 {
+			c.Zero()
+		} else {
+			Scal(beta, c.Data)
+		}
+	}
+	w := Workers
+	if w > 1 && n >= 8 {
+		ParallelRanges(TriangleRanges(n, w), func(lo, hi int) {
+			syrkRows(alpha, a, c, lo, hi)
+		})
+	} else {
+		syrkRows(alpha, a, c, 0, n)
+	}
+	// Mirror the upper triangle into the lower one, row-partitioned.
+	ParallelFor(n, 64, func(lo, hi int) {
+		for i := max(lo, 1); i < hi; i++ {
+			for j := 0; j < i; j++ {
+				c.Data[i*n+j] = c.Data[j*n+i]
+			}
+		}
+	})
+}
+
+// syrkRows accumulates alpha·AᵀA into the upper-triangle rows [rlo,rhi)
+// of c, streaming A's rows exactly like Syrk.
+func syrkRows(alpha float64, a, c *Dense, rlo, rhi int) {
+	n := a.C
+	for k := 0; k < a.R; k++ {
+		row := a.Row(k)
+		for i := rlo; i < rhi; i++ {
+			av := row[i]
+			if av == 0 {
+				continue
+			}
+			ci := c.Row(i)
+			for j := i; j < n; j++ {
+				ci[j] += alpha * av * row[j]
+			}
+		}
+	}
+}
+
+// DotParallel returns xᵀy via ParallelReduce with a fixed 4096-element
+// chunking. The chunked tree changes the summation order relative to Dot,
+// so results can differ from Dot by O(ε) — but they are identical for
+// every worker count, so callers may use it under any backend. The
+// distributed solvers never use it for replicated state; only the
+// shared-memory API does.
 func DotParallel(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic("mat: DotParallel length mismatch")
 	}
-	n := len(x)
-	w := Workers
-	if w <= 1 || n < 4096 {
-		return Dot(x, y)
-	}
-	partial := make([]float64, w)
-	var wg sync.WaitGroup
-	chunk := (n + w - 1) / w
-	for g := 0; g < w; g++ {
-		lo := g * chunk
-		if lo >= n {
-			break
-		}
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(g, lo, hi int) {
-			defer wg.Done()
+	return ParallelReduce(len(x), 4096,
+		func(lo, hi int) float64 {
 			var s float64
 			for i := lo; i < hi; i++ {
 				s += x[i] * y[i]
 			}
-			partial[g] = s
-		}(g, lo, hi)
-	}
-	wg.Wait()
-	var s float64
-	for _, p := range partial {
-		s += p
-	}
-	return s
+			return s
+		},
+		func(a, b float64) float64 { return a + b })
+}
+
+// Nrm2SqParallel returns ‖x‖² with the same fixed-chunk deterministic
+// reduction as DotParallel.
+func Nrm2SqParallel(x []float64) float64 {
+	return ParallelReduce(len(x), 4096,
+		func(lo, hi int) float64 {
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += x[i] * x[i]
+			}
+			return s
+		},
+		func(a, b float64) float64 { return a + b })
+}
+
+// parallelFor is the legacy unexported entry point, kept so existing
+// in-package callers and tests read unchanged.
+func parallelFor(n, minChunk int, body func(lo, hi int)) {
+	ParallelFor(n, minChunk, body)
 }

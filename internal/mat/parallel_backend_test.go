@@ -1,0 +1,160 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// withWorkers runs body under a temporary global worker count.
+func withWorkers(w int, body func()) {
+	old := Workers
+	Workers = w
+	defer func() { Workers = old }()
+	body()
+}
+
+func TestParallelReduceIndependentOfWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	x := make([]float64, 50000)
+	y := make([]float64, 50000)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	var ref float64
+	withWorkers(1, func() { ref = DotParallel(x, y) })
+	for _, w := range []int{2, 3, 8, 64} {
+		withWorkers(w, func() {
+			if got := DotParallel(x, y); got != ref {
+				t.Fatalf("workers=%d: DotParallel %v != %v at workers=1", w, got, ref)
+			}
+			if got := Nrm2SqParallel(x); got != func() float64 {
+				var r float64
+				withWorkers(1, func() { r = Nrm2SqParallel(x) })
+				return r
+			}() {
+				t.Fatalf("workers=%d: Nrm2SqParallel not worker-invariant", w)
+			}
+		})
+	}
+	if !almostEq(ref, Dot(x, y), 1e-9) {
+		t.Fatalf("DotParallel %v far from Dot %v", ref, Dot(x, y))
+	}
+}
+
+func TestParallelReduceTreeOrder(t *testing.T) {
+	// 4 chunks of 1: the deterministic tree must fold ((c0⊕c1)⊕(c2⊕c3)),
+	// observable with a non-associative combine.
+	vals := []float64{1, 2, 3, 4}
+	got := ParallelReduce(4, 1,
+		func(lo, hi int) float64 { return vals[lo] },
+		func(a, b float64) float64 { return 2*a + b })
+	// c01 = 2·1+2 = 4; c23 = 2·3+4 = 10; root = 2·4+10 = 18.
+	if got != 18 {
+		t.Fatalf("tree fold = %v, want 18", got)
+	}
+}
+
+func TestTriangleRangesCoverAndBalance(t *testing.T) {
+	for _, tc := range []struct{ n, parts int }{{1, 1}, {5, 2}, {100, 4}, {513, 8}, {16, 32}} {
+		bounds := TriangleRanges(tc.n, tc.parts)
+		if bounds[0] != 0 || bounds[len(bounds)-1] != tc.n {
+			t.Fatalf("n=%d parts=%d: bounds %v do not span [0,n]", tc.n, tc.parts, bounds)
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] < bounds[i-1] {
+				t.Fatalf("n=%d parts=%d: bounds %v not monotone", tc.n, tc.parts, bounds)
+			}
+		}
+	}
+	// Pair counts of the parts should be within 2x of each other for a
+	// large triangle.
+	bounds := TriangleRanges(1000, 8)
+	pairs := func(lo, hi int) int {
+		n := 1000
+		return (hi-lo)*n - (hi*(hi-1)-lo*(lo-1))/2
+	}
+	minP, maxP := 1<<30, 0
+	for i := 1; i < len(bounds); i++ {
+		p := pairs(bounds[i-1], bounds[i])
+		if p < minP {
+			minP = p
+		}
+		if p > maxP {
+			maxP = p
+		}
+	}
+	if maxP > 2*minP {
+		t.Fatalf("triangle partition imbalance %d/%d", maxP, minP)
+	}
+}
+
+func TestSyrkParallelMatchesSyrk(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a := randDense(rng, 200, 64)
+	c1 := NewDense(64, 64)
+	c2 := NewDense(64, 64)
+	Syrk(1.5, a, 0, c1)
+	withWorkers(8, func() { SyrkParallel(1.5, a, 0, c2) })
+	if !c1.Equal(c2) {
+		t.Fatalf("SyrkParallel differs from Syrk by %v", MaxAbsDiff(c1, c2))
+	}
+}
+
+func TestGemmParallelMatchesGemm(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := randDense(rng, 120, 40)
+	b := randDense(rng, 40, 30)
+	c1 := NewDense(120, 30)
+	c2 := NewDense(120, 30)
+	Gemm(1, a, b, 0, c1)
+	withWorkers(8, func() { GemmParallel(1, a, b, 0, c2) })
+	if !c1.Equal(c2) {
+		t.Fatalf("GemmParallel differs from Gemm by %v", MaxAbsDiff(c1, c2))
+	}
+}
+
+func TestCholeskyWorkerInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	// Build SPD A = MᵀM + n·I, large enough to cross the parallel
+	// threshold of the panel update.
+	n := 300
+	m := randDense(rng, n, n)
+	a := NewDense(n, n)
+	GemmTN(1, m, m, 0, a)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	var l1, l8 *Dense
+	withWorkers(1, func() {
+		var err error
+		if l1, err = Cholesky(a); err != nil {
+			t.Fatal(err)
+		}
+	})
+	withWorkers(8, func() {
+		var err error
+		if l8, err = Cholesky(a); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !l1.Equal(l8) {
+		t.Fatalf("Cholesky factor depends on worker count (max diff %v)", MaxAbsDiff(l1, l8))
+	}
+}
+
+func TestParallelRangesSkipsEmpty(t *testing.T) {
+	var total int64
+	seen := make([]int32, 10)
+	ParallelRanges([]int{0, 4, 4, 10}, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			seen[i]++
+		}
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+		total += int64(c)
+	}
+}

@@ -15,6 +15,10 @@ type CSC struct {
 	ColPtr []int
 	RowIdx []int
 	Val    []float64
+
+	// workers is the kernel worker count (0 or 1 = sequential); set via
+	// WithKernelWorkers so views, not mutation, select the backend.
+	workers int
 }
 
 // Dims returns (rows, columns).
@@ -43,17 +47,25 @@ func (a *CSC) ColTMulVec(cols []int, v []float64, dst []float64) {
 	if len(v) != a.M || len(dst) != len(cols) {
 		panic(fmt.Sprintf("sparse: ColTMulVec shape mismatch A=%dx%d len(v)=%d", a.M, a.N, len(v)))
 	}
-	for k, j := range cols {
-		var s float64
-		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
-			s += a.Val[p] * v[a.RowIdx[p]]
+	// Each dst[k] is an independent column dot with a fixed summation
+	// order, so partitioning the output keeps results bitwise identical.
+	mat.ParallelForWorkers(a.KernelWorkers(), len(cols), 1, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			j := cols[k]
+			var s float64
+			for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+				s += a.Val[p] * v[a.RowIdx[p]]
+			}
+			dst[k] = s
 		}
-		dst[k] = s
-	}
+	})
 }
 
 // ColMulAdd computes v += A_S·coef, the residual update z̃ += A_h·Δz
-// (Alg. 1 line 15). coef[k] multiplies column cols[k].
+// (Alg. 1 line 15). coef[k] multiplies column cols[k]. It stays
+// sequential on every backend: the column scatter writes overlapping
+// rows of v, and the sampled blocks are small enough (≤ sµ columns) that
+// a race-free row-partitioned rewrite would cost more than it saves.
 func (a *CSC) ColMulAdd(cols []int, coef []float64, v []float64) {
 	if len(v) != a.M || len(coef) != len(cols) {
 		panic("sparse: ColMulAdd shape mismatch")
@@ -79,13 +91,24 @@ func (a *CSC) ColGram(cols []int, dst *mat.Dense) {
 	if dst.R != s || dst.C != s {
 		panic("sparse: ColGram dst shape mismatch")
 	}
-	for i := 0; i < s; i++ {
-		ci := cols[i]
-		for j := i; j < s; j++ {
-			v := a.colDot(ci, cols[j])
-			dst.Set(i, j, v)
-			dst.Set(j, i, v)
+	// Rows of the upper triangle are independent; TriangleRanges balances
+	// the shrinking row lengths so the batched sµ×sµ Gram of the SA
+	// solvers spreads evenly over the pool. Entry values are unchanged —
+	// each is still one sorted-merge colDot.
+	gramRows := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := cols[i]
+			for j := i; j < s; j++ {
+				v := a.colDot(ci, cols[j])
+				dst.Set(i, j, v)
+				dst.Set(j, i, v)
+			}
 		}
+	}
+	if w := a.KernelWorkers(); w > 1 && s >= 4 {
+		mat.ParallelRanges(mat.TriangleRanges(s, w), gramRows)
+	} else {
+		gramRows(0, s)
 	}
 }
 
@@ -127,18 +150,21 @@ func (a *CSC) MulVec(x, y []float64) {
 	}
 }
 
-// MulVecT computes y = Aᵀ·x.
+// MulVecT computes y = Aᵀ·x, partitioning output columns across the
+// kernel workers (each y[j] keeps its sequential summation order).
 func (a *CSC) MulVecT(x, y []float64) {
 	if len(x) != a.M || len(y) != a.N {
 		panic("sparse: CSC.MulVecT shape mismatch")
 	}
-	for j := 0; j < a.N; j++ {
-		var s float64
-		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
-			s += a.Val[p] * x[a.RowIdx[p]]
+	mat.ParallelForWorkers(a.KernelWorkers(), a.N, 64, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			var s float64
+			for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+				s += a.Val[p] * x[a.RowIdx[p]]
+			}
+			y[j] = s
 		}
-		y[j] = s
-	}
+	})
 }
 
 // ToCSR converts to compressed sparse row format.

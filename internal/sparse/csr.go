@@ -14,6 +14,10 @@ type CSR struct {
 	RowPtr []int
 	ColIdx []int
 	Val    []float64
+
+	// workers is the kernel worker count (0 or 1 = sequential); set via
+	// WithKernelWorkers so views, not mutation, select the backend.
+	workers int
 }
 
 // NewCSR validates the three arrays and returns the matrix. It returns an
@@ -61,18 +65,23 @@ func (a *CSR) Density() float64 {
 // RowNNZ returns the number of nonzeros in row i.
 func (a *CSR) RowNNZ(i int) int { return a.RowPtr[i+1] - a.RowPtr[i] }
 
-// MulVec computes y = A·x. len(x) must be N and len(y) must be M.
+// MulVec computes y = A·x. len(x) must be N and len(y) must be M. Rows
+// are partitioned across the kernel workers: each y[i] is one row dot
+// with a fixed summation order, so the multicore result is bitwise
+// identical to the sequential one.
 func (a *CSR) MulVec(x, y []float64) {
 	if len(x) != a.N || len(y) != a.M {
 		panic(fmt.Sprintf("sparse: MulVec shape mismatch A=%dx%d len(x)=%d len(y)=%d", a.M, a.N, len(x), len(y)))
 	}
-	for i := 0; i < a.M; i++ {
-		var s float64
-		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-			s += a.Val[k] * x[a.ColIdx[k]]
+	mat.ParallelForWorkers(a.KernelWorkers(), a.M, 128, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var s float64
+			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+				s += a.Val[k] * x[a.ColIdx[k]]
+			}
+			y[i] = s
 		}
-		y[i] = s
-	}
+	})
 }
 
 // MulVecT computes y = Aᵀ·x. len(x) must be M and len(y) must be N.
@@ -98,13 +107,16 @@ func (a *CSR) RowMulVec(rows []int, x []float64, dst []float64) {
 	if len(x) != a.N || len(dst) != len(rows) {
 		panic("sparse: RowMulVec shape mismatch")
 	}
-	for k, r := range rows {
-		var s float64
-		for p := a.RowPtr[r]; p < a.RowPtr[r+1]; p++ {
-			s += a.Val[p] * x[a.ColIdx[p]]
+	mat.ParallelForWorkers(a.KernelWorkers(), len(rows), 1, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			r := rows[k]
+			var s float64
+			for p := a.RowPtr[r]; p < a.RowPtr[r+1]; p++ {
+				s += a.Val[p] * x[a.ColIdx[p]]
+			}
+			dst[k] = s
 		}
-		dst[k] = s
-	}
+	})
 }
 
 // RowTAxpy performs x += alpha·A_rowᵀ, the primal-vector update of the
@@ -136,13 +148,23 @@ func (a *CSR) RowGram(rows []int, dst *mat.Dense) {
 	if dst.R != s || dst.C != s {
 		panic("sparse: RowGram dst shape mismatch")
 	}
-	for i := 0; i < s; i++ {
-		ri := rows[i]
-		for j := i; j < s; j++ {
-			v := a.rowDot(ri, rows[j])
-			dst.Set(i, j, v)
-			dst.Set(j, i, v)
+	// Triangle rows are independent and balanced with TriangleRanges;
+	// every entry remains one sorted-merge rowDot, so the s×s SA-SVM Gram
+	// is bitwise identical on every backend.
+	gramRows := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ri := rows[i]
+			for j := i; j < s; j++ {
+				v := a.rowDot(ri, rows[j])
+				dst.Set(i, j, v)
+				dst.Set(j, i, v)
+			}
 		}
+	}
+	if w := a.KernelWorkers(); w > 1 && s >= 4 {
+		mat.ParallelRanges(mat.TriangleRanges(s, w), gramRows)
+	} else {
+		gramRows(0, s)
 	}
 }
 

@@ -8,8 +8,14 @@ import (
 
 // DenseCols adapts a dense matrix to the column-sampling access pattern of
 // the Lasso solvers, so dense datasets (epsilon, gisette, leu in the paper)
-// flow through the same code path as sparse ones.
-type DenseCols struct{ A *mat.Dense }
+// flow through the same code path as sparse ones. Workers selects the
+// kernel worker count (0 or 1 = sequential); the parallel paths partition
+// independent output elements only, so results are bitwise identical on
+// every backend.
+type DenseCols struct {
+	A       *mat.Dense
+	Workers int
+}
 
 // Dims returns (rows, columns).
 func (d DenseCols) Dims() (int, int) { return d.A.R, d.A.C }
@@ -24,60 +30,76 @@ func (d DenseCols) ColNormSq(j int) float64 {
 	return s
 }
 
-// ColTMulVec computes dst = A_Sᵀ·v.
+// ColTMulVec computes dst = A_Sᵀ·v. Workers own disjoint slices of dst
+// and stream the rows of A in the same order as the sequential kernel,
+// so each dst[k] accumulates identically.
 func (d DenseCols) ColTMulVec(cols []int, v []float64, dst []float64) {
 	if len(v) != d.A.R || len(dst) != len(cols) {
 		panic(fmt.Sprintf("sparse: DenseCols.ColTMulVec shape mismatch A=%dx%d len(v)=%d", d.A.R, d.A.C, len(v)))
 	}
-	for k := range dst {
-		dst[k] = 0
-	}
-	for i := 0; i < d.A.R; i++ {
-		vi := v[i]
-		if vi == 0 {
-			continue
+	mat.ParallelForWorkers(d.KernelWorkers(), len(cols), 1, func(klo, khi int) {
+		for k := klo; k < khi; k++ {
+			dst[k] = 0
 		}
-		row := d.A.Row(i)
-		for k, j := range cols {
-			dst[k] += row[j] * vi
+		for i := 0; i < d.A.R; i++ {
+			vi := v[i]
+			if vi == 0 {
+				continue
+			}
+			row := d.A.Row(i)
+			for k := klo; k < khi; k++ {
+				dst[k] += row[cols[k]] * vi
+			}
 		}
-	}
+	})
 }
 
-// ColMulAdd computes v += A_S·coef.
+// ColMulAdd computes v += A_S·coef, partitioning the disjoint rows of v.
 func (d DenseCols) ColMulAdd(cols []int, coef []float64, v []float64) {
 	if len(v) != d.A.R || len(coef) != len(cols) {
 		panic("sparse: DenseCols.ColMulAdd shape mismatch")
 	}
-	for i := 0; i < d.A.R; i++ {
-		row := d.A.Row(i)
-		var s float64
-		for k, j := range cols {
-			s += row[j] * coef[k]
+	mat.ParallelForWorkers(d.KernelWorkers(), d.A.R, 128, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := d.A.Row(i)
+			var s float64
+			for k, j := range cols {
+				s += row[j] * coef[k]
+			}
+			v[i] += s
 		}
-		v[i] += s
-	}
+	})
 }
 
-// ColGram computes dst = A_SᵀA_S, exploiting symmetry.
+// ColGram computes dst = A_SᵀA_S, exploiting symmetry. Workers own
+// disjoint row bands of the upper triangle (balanced with TriangleRanges)
+// and stream the data rows in sequential order, so every entry
+// accumulates identically to the one-worker run.
 func (d DenseCols) ColGram(cols []int, dst *mat.Dense) {
 	s := len(cols)
 	if dst.R != s || dst.C != s {
 		panic("sparse: DenseCols.ColGram dst shape mismatch")
 	}
 	dst.Zero()
-	for i := 0; i < d.A.R; i++ {
-		row := d.A.Row(i)
-		for a := 0; a < s; a++ {
-			va := row[cols[a]]
-			if va == 0 {
-				continue
-			}
-			drow := dst.Row(a)
-			for b := a; b < s; b++ {
-				drow[b] += va * row[cols[b]]
+	gramRows := func(alo, ahi int) {
+		for i := 0; i < d.A.R; i++ {
+			row := d.A.Row(i)
+			for a := alo; a < ahi; a++ {
+				va := row[cols[a]]
+				if va == 0 {
+					continue
+				}
+				drow := dst.Row(a)
+				for b := a; b < s; b++ {
+					drow[b] += va * row[cols[b]]
+				}
 			}
 		}
+	}
+	if w := d.KernelWorkers(); w > 1 && s >= 4 {
+		mat.ParallelRanges(mat.TriangleRanges(s, w), gramRows)
+	} else {
+		gramRows(0, s)
 	}
 	for i := 1; i < s; i++ {
 		for j := 0; j < i; j++ {
@@ -86,15 +108,28 @@ func (d DenseCols) ColGram(cols []int, dst *mat.Dense) {
 	}
 }
 
-// MulVec computes y = A·x.
-func (d DenseCols) MulVec(x, y []float64) { mat.Gemv(1, d.A, x, 0, y) }
+// MulVec computes y = A·x across the kernel workers (row partition).
+func (d DenseCols) MulVec(x, y []float64) {
+	if len(x) != d.A.C || len(y) != d.A.R {
+		panic("sparse: DenseCols.MulVec shape mismatch")
+	}
+	mat.ParallelForWorkers(d.KernelWorkers(), d.A.R, 256, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] = mat.Dot(d.A.Row(i), x)
+		}
+	})
+}
 
 // MulVecT computes y = Aᵀ·x.
 func (d DenseCols) MulVecT(x, y []float64) { mat.GemvT(1, d.A, x, 0, y) }
 
 // DenseRows adapts a dense matrix to the row-sampling access pattern of
-// the dual coordinate-descent SVM solvers.
-type DenseRows struct{ A *mat.Dense }
+// the dual coordinate-descent SVM solvers. Workers selects the kernel
+// worker count (0 or 1 = sequential).
+type DenseRows struct {
+	A       *mat.Dense
+	Workers int
+}
 
 // Dims returns (rows, columns).
 func (d DenseRows) Dims() (int, int) { return d.A.R, d.A.C }
@@ -102,14 +137,17 @@ func (d DenseRows) Dims() (int, int) { return d.A.R, d.A.C }
 // RowNormSq returns ‖A_row‖².
 func (d DenseRows) RowNormSq(row int) float64 { return mat.Nrm2Sq(d.A.Row(row)) }
 
-// RowMulVec computes dst[k] = A_{rows[k]}·x.
+// RowMulVec computes dst[k] = A_{rows[k]}·x; the batched row dots are
+// independent, so they partition across the kernel workers.
 func (d DenseRows) RowMulVec(rows []int, x []float64, dst []float64) {
 	if len(x) != d.A.C || len(dst) != len(rows) {
 		panic("sparse: DenseRows.RowMulVec shape mismatch")
 	}
-	for k, r := range rows {
-		dst[k] = mat.Dot(d.A.Row(r), x)
-	}
+	mat.ParallelForWorkers(d.KernelWorkers(), len(rows), 1, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			dst[k] = mat.Dot(d.A.Row(rows[k]), x)
+		}
+	})
 }
 
 // RowTAxpy performs x += alpha·A_rowᵀ.
@@ -117,21 +155,37 @@ func (d DenseRows) RowTAxpy(row int, alpha float64, x []float64) {
 	mat.Axpy(alpha, d.A.Row(row), x)
 }
 
-// RowGram computes dst = A_R·AᵀR.
+// RowGram computes dst = A_R·AᵀR, partitioning the triangle rows.
 func (d DenseRows) RowGram(rows []int, dst *mat.Dense) {
 	s := len(rows)
 	if dst.R != s || dst.C != s {
 		panic("sparse: DenseRows.RowGram dst shape mismatch")
 	}
-	for i := 0; i < s; i++ {
-		ri := d.A.Row(rows[i])
-		for j := i; j < s; j++ {
-			v := mat.Dot(ri, d.A.Row(rows[j]))
-			dst.Set(i, j, v)
-			dst.Set(j, i, v)
+	gramRows := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ri := d.A.Row(rows[i])
+			for j := i; j < s; j++ {
+				v := mat.Dot(ri, d.A.Row(rows[j]))
+				dst.Set(i, j, v)
+				dst.Set(j, i, v)
+			}
 		}
+	}
+	if w := d.KernelWorkers(); w > 1 && s >= 4 {
+		mat.ParallelRanges(mat.TriangleRanges(s, w), gramRows)
+	} else {
+		gramRows(0, s)
 	}
 }
 
-// MulVec computes y = A·x.
-func (d DenseRows) MulVec(x, y []float64) { mat.Gemv(1, d.A, x, 0, y) }
+// MulVec computes y = A·x across the kernel workers (row partition).
+func (d DenseRows) MulVec(x, y []float64) {
+	if len(x) != d.A.C || len(y) != d.A.R {
+		panic("sparse: DenseRows.MulVec shape mismatch")
+	}
+	mat.ParallelForWorkers(d.KernelWorkers(), d.A.R, 256, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] = mat.Dot(d.A.Row(i), x)
+		}
+	})
+}

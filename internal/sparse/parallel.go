@@ -1,0 +1,69 @@
+package sparse
+
+// Shared-memory backend plumbing for the sparse matrix types.
+//
+// Every matrix carries a worker count for its kernels; the zero value is
+// sequential, so struct literals and the simulated distributed runtime
+// (whose goroutine ranks must not spawn nested pools) keep today's
+// behavior. Solvers opt in per solve through WithKernelWorkers, which
+// returns a shallow view sharing the index/value storage — kernels only
+// read the matrix, so views are safe to use concurrently.
+//
+// The parallel kernels partition *independent output elements* (rows of
+// an SpMV, entries of a batched product, rows of a Gram triangle) and
+// keep every element's summation order unchanged, so a multicore kernel
+// is bitwise identical to its sequential run — the property the
+// backend-equivalence tests in internal/core assert end to end.
+
+// kernelWorkers normalizes a requested worker count: anything below 2
+// means sequential.
+func kernelWorkers(w int) int {
+	if w < 2 {
+		return 1
+	}
+	return w
+}
+
+// WithKernelWorkers returns a view of the matrix whose kernels fan out
+// across w workers (w < 2 gives the sequential view). The view shares
+// the underlying storage.
+func (a *CSC) WithKernelWorkers(w int) any {
+	b := *a
+	b.workers = kernelWorkers(w)
+	return &b
+}
+
+// KernelWorkers reports the worker count of this matrix's kernels.
+func (a *CSC) KernelWorkers() int { return kernelWorkers(a.workers) }
+
+// WithKernelWorkers returns a view of the matrix whose kernels fan out
+// across w workers (w < 2 gives the sequential view). The view shares
+// the underlying storage.
+func (a *CSR) WithKernelWorkers(w int) any {
+	b := *a
+	b.workers = kernelWorkers(w)
+	return &b
+}
+
+// KernelWorkers reports the worker count of this matrix's kernels.
+func (a *CSR) KernelWorkers() int { return kernelWorkers(a.workers) }
+
+// WithKernelWorkers returns a view whose kernels fan out across w
+// workers; DenseCols is a value type, so the receiver copy is the view.
+func (d DenseCols) WithKernelWorkers(w int) any {
+	d.Workers = kernelWorkers(w)
+	return d
+}
+
+// KernelWorkers reports the worker count of this matrix's kernels.
+func (d DenseCols) KernelWorkers() int { return kernelWorkers(d.Workers) }
+
+// WithKernelWorkers returns a view whose kernels fan out across w
+// workers; DenseRows is a value type, so the receiver copy is the view.
+func (d DenseRows) WithKernelWorkers(w int) any {
+	d.Workers = kernelWorkers(w)
+	return d
+}
+
+// KernelWorkers reports the worker count of this matrix's kernels.
+func (d DenseRows) KernelWorkers() int { return kernelWorkers(d.Workers) }

@@ -1,0 +1,86 @@
+package sparse
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"saco/internal/mat"
+)
+
+// benchWorkers is the worker ladder every kernel benchmark climbs:
+// sequential, the 4-worker point of the acceptance criterion, and the
+// whole machine (deduplicated on small hosts).
+func benchWorkers() []int {
+	ws := []int{1, 4, runtime.GOMAXPROCS(0)}
+	out := ws[:1]
+	for _, w := range ws[1:] {
+		if w > out[len(out)-1] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// benchDims picks the kernel problem size: CI smoke runs stay small
+// under -short, local runs measure at paper-figure scale.
+func benchDims(b *testing.B) (m, n, k int, density float64) {
+	if testing.Short() {
+		return 2000, 800, 64, 0.05
+	}
+	return 20000, 4000, 256, 0.02
+}
+
+// BenchmarkGram measures the batched sµ×sµ Gram assembly G = YᵀY of the
+// SA Lasso outer iteration (Alg. 2 line 11) at one worker versus all
+// cores — the kernel the paper's batched-communication trade lives on.
+func BenchmarkGram(b *testing.B) {
+	m, n, k, density := benchDims(b)
+	rng := rand.New(rand.NewSource(41))
+	csc := randCSR(rng, m, n, density).ToCSC()
+	cols := rng.Perm(n)[:k]
+	dst := mat.NewDense(k, k)
+	for _, w := range benchWorkers() {
+		pm := csc.WithKernelWorkers(w).(*CSC)
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pm.ColGram(cols, dst)
+			}
+		})
+	}
+}
+
+// BenchmarkSpMV measures the row-partitioned CSR y = A·x kernel.
+func BenchmarkSpMV(b *testing.B) {
+	m, n, _, density := benchDims(b)
+	rng := rand.New(rand.NewSource(42))
+	csr := randCSR(rng, m, n, density)
+	x := randVec(rng, n)
+	y := make([]float64, m)
+	for _, w := range benchWorkers() {
+		pm := csr.WithKernelWorkers(w).(*CSR)
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pm.MulVec(x, y)
+			}
+		})
+	}
+}
+
+// BenchmarkRowGram measures the s×s dual-SVM row Gram (Alg. 4 line 9).
+func BenchmarkRowGram(b *testing.B) {
+	m, n, k, density := benchDims(b)
+	rng := rand.New(rand.NewSource(43))
+	csr := randCSR(rng, m, n, density)
+	rows := rng.Perm(m)[:k]
+	dst := mat.NewDense(k, k)
+	for _, w := range benchWorkers() {
+		pm := csr.WithKernelWorkers(w).(*CSR)
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pm.RowGram(rows, dst)
+			}
+		})
+	}
+}

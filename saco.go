@@ -75,6 +75,36 @@ const (
 	SVML2 = core.SVML2
 )
 
+// Execution-backend selection: every solve runs sequentially by default,
+// fans its matrix kernels across a shared-memory worker pool with
+// BackendMulticore, or runs on the simulated cluster via SimulateLasso /
+// SimulateSVM. Multicore execution parallelizes only independent output
+// elements with unchanged summation order, so iterates are bitwise
+// identical to the sequential backend — the shared-memory counterpart of
+// the paper's same-sequence claim.
+type (
+	// Exec selects the execution backend of one solve (LassoOptions.Exec,
+	// SVMOptions.Exec).
+	Exec = core.Exec
+	// Backend enumerates the shared-memory backends.
+	Backend = core.Backend
+)
+
+// Backend selectors.
+const (
+	BackendSequential = core.BackendSequential
+	BackendMulticore  = core.BackendMulticore
+)
+
+// Multicore returns an Exec selecting the multicore backend with w
+// workers; w <= 0 uses every core (GOMAXPROCS).
+func Multicore(w int) Exec {
+	if w < 0 {
+		w = 0
+	}
+	return Exec{Backend: core.BackendMulticore, Workers: w}
+}
+
 // Matrix and dataset types.
 type (
 	// CSR is a compressed sparse row matrix (implements RowMatrix).
