@@ -11,6 +11,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
 
 	"saco"
 )
@@ -32,24 +35,42 @@ func main() {
 		tol        = flag.Float64("tol", 0, "svm: stop at this duality gap")
 		simP       = flag.Int("simulate", 0, "run on a simulated cluster with this many ranks (0 = local)")
 		machine    = flag.String("machine", "cray", "simulated platform: cray, ethernet, spark")
-		workers    = flag.Int("workers", 0, "local solves: multicore backend width (0 = sequential, -1 = all cores)")
+		rankW      = flag.Int("rank-workers", 0, "simulated runs: per-rank core budget for hybrid rank x thread execution (0/1 = flat MPI)")
+		backend    = flag.String("backend", "", "local backend: sequential, multicore or async (default sequential; -workers alone implies multicore)")
+		workers    = flag.Int("workers", 0, "local backend width; with -backend, 0 or -1 = all cores; without it, legacy semantics: 0 = sequential, -1/N = multicore")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the solve to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile after the solve to this file")
 	)
 	flag.Parse()
-	var exec saco.Exec
-	if *workers != 0 {
-		exec = saco.Multicore(*workers)
-	}
+	exec, err := resolveBackend(*backend, *workers)
+	fail(err)
 	if *dataPath == "" {
 		fmt.Fprintln(os.Stderr, "sasolve: -data is required")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		fail(err)
+		fail(pprof.StartCPUProfile(f))
+		// fail() exits through os.Exit, which skips defers; route it
+		// through stopCPUProfile so an error mid-solve still flushes a
+		// valid profile instead of leaving a truncated file.
+		var once sync.Once
+		stopCPUProfile = func() {
+			once.Do(func() {
+				pprof.StopCPUProfile()
+				f.Close()
+			})
+		}
+		defer stopCPUProfile()
 	}
 	a, b, err := saco.LoadLIBSVM(*dataPath, 0)
 	fail(err)
 	fmt.Printf("loaded %s: %d points, %d features, %.4g%% nonzero\n",
 		*dataPath, a.M, a.N, 100*a.Density())
 
-	cluster := saco.Cluster{P: *simP}
+	cluster := saco.Cluster{P: *simP, RankWorkers: *rankW}
 	if *simP > 0 {
 		switch *machine {
 		case "cray":
@@ -76,8 +97,8 @@ func main() {
 		if *simP > 0 {
 			res, err := saco.SimulateLasso(a, b, opt, cluster)
 			fail(err)
-			fmt.Printf("simulated P=%d (%s): modeled time %.4es, %d messages, %d words\n",
-				*simP, cluster.Machine.Name, res.ModeledSeconds(),
+			fmt.Printf("simulated P=%d%s (%s): modeled time %.4es, %d messages, %d words\n",
+				*simP, hybridSuffix(*rankW), cluster.Machine.Name, res.ModeledSeconds(),
 				res.Stats.TotalMsgs(), res.Stats.TotalWords())
 			fmt.Printf("final objective %.6e  (lambda=%.4g)\n", res.Objective, lam)
 			x = res.X
@@ -103,8 +124,8 @@ func main() {
 		if *simP > 0 {
 			res, err := saco.SimulateSVM(a, b, opt, cluster)
 			fail(err)
-			fmt.Printf("simulated P=%d (%s): modeled time %.4es, %d messages, %d words\n",
-				*simP, cluster.Machine.Name, res.ModeledSeconds(),
+			fmt.Printf("simulated P=%d%s (%s): modeled time %.4es, %d messages, %d words\n",
+				*simP, hybridSuffix(*rankW), cluster.Machine.Name, res.ModeledSeconds(),
 				res.Stats.TotalMsgs(), res.Stats.TotalWords())
 			fmt.Printf("final duality gap %.6e after %d iterations\n", res.Gap, res.Iters)
 			x = res.X
@@ -142,10 +163,55 @@ func main() {
 		fail(f.Close())
 		fmt.Printf("model written to %s\n", *outPath)
 	}
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		fail(err)
+		runtime.GC() // settle allocations so the profile shows retained heap
+		fail(pprof.WriteHeapProfile(f))
+		fail(f.Close())
+		fmt.Printf("heap profile written to %s\n", *memProf)
+	}
 }
+
+// resolveBackend maps the -backend/-workers pair onto an Exec. The
+// explicit -backend flag wins; without it the historical -workers
+// semantics hold (0 = sequential, anything else = multicore at that
+// width, -1 = all cores).
+func resolveBackend(backend string, workers int) (saco.Exec, error) {
+	switch backend {
+	case "":
+		if workers != 0 {
+			return saco.Multicore(workers), nil
+		}
+		return saco.Exec{}, nil
+	case "sequential":
+		return saco.Exec{}, nil
+	case "multicore":
+		return saco.Multicore(workers), nil
+	case "async":
+		return saco.Async(workers), nil
+	default:
+		return saco.Exec{}, fmt.Errorf("unknown backend %q (sequential, multicore, async)", backend)
+	}
+}
+
+// hybridSuffix renders the rank×thread shape of a hybrid simulated run.
+func hybridSuffix(rankWorkers int) string {
+	if rankWorkers > 1 {
+		return fmt.Sprintf("x%d cores", rankWorkers)
+	}
+	return ""
+}
+
+// stopCPUProfile flushes an in-progress CPU profile; a no-op until
+// profiling starts. fail() calls it so error exits keep the profile
+// readable.
+var stopCPUProfile = func() {}
 
 func fail(err error) {
 	if err != nil {
+		stopCPUProfile()
 		fmt.Fprintf(os.Stderr, "sasolve: %v\n", err)
 		os.Exit(1)
 	}

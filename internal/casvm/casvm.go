@@ -17,6 +17,7 @@ import (
 	"saco/internal/core"
 	"saco/internal/mat"
 	"saco/internal/rng"
+	rt "saco/internal/runtime"
 	"saco/internal/sparse"
 )
 
@@ -91,7 +92,7 @@ func Train(a *sparse.CSR, b []float64, opt Options) (*Model, error) {
 	// communication, so they fan out across the pool embarrassingly. Each
 	// iteration writes only its own cluster's model slots.
 	errs := make([]error, opt.Clusters)
-	mat.ParallelForWorkers(opt.Workers, opt.Clusters, 1, func(clo, chi int) {
+	rt.For(max(1, opt.Workers), opt.Clusters, 1, func(clo, chi int) {
 		for c := clo; c < chi; c++ {
 			rows := rowsByCluster[c]
 			model.ClusterSizes[c] = len(rows)
@@ -190,7 +191,7 @@ func kmeansRows(a *sparse.CSR, k, iters int, seed uint64, workers int) ([]int, [
 	assign := make([]int, m)
 	next := make([]int, m)
 	for it := 0; it < iters; it++ {
-		mat.ParallelForWorkers(workers, m, 256, func(ilo, ihi int) {
+		rt.For(max(1, workers), m, 256, func(ilo, ihi int) {
 			for i := ilo; i < ihi; i++ {
 				lo, hi := a.RowPtr[i], a.RowPtr[i+1]
 				best, bestScore := 0, math.Inf(1)

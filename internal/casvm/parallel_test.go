@@ -2,9 +2,44 @@ package casvm
 
 import (
 	"testing"
+	"time"
 
 	"saco/internal/core"
 )
+
+// TestTrainNestedPoolNoDeadlock pins the nested-parallelism contract end
+// to end: cluster-parallel training whose local solves themselves use
+// multicore kernels nests pool regions inside pool workers. With a
+// blocking join this combination deadlocks whenever every worker is
+// busy in an outer cluster body (it only ever worked when earlier tests
+// happened to leave idle workers behind); the cooperative join drains
+// the queue instead. Guarded by a timeout so a regression fails fast
+// instead of hanging the suite, and meaningful regardless of which
+// tests ran before it.
+func TestTrainNestedPoolNoDeadlock(t *testing.T) {
+	a, b := blobData(31, 320, 20)
+	finished := make(chan error, 1)
+	go func() {
+		_, err := Train(a, b, Options{
+			Clusters: 8,
+			Workers:  8,
+			Seed:     5,
+			Local: core.SVMOptions{
+				Lambda: 1, Iters: 3000, Seed: 7, S: 32,
+				Exec: core.Exec{Backend: core.BackendMulticore, Workers: 8},
+			},
+		})
+		finished <- err
+	}()
+	select {
+	case err := <-finished:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("nested cluster-parallel training deadlocked")
+	}
+}
 
 // TestTrainWorkerInvariant pins the cluster-parallel training contract:
 // every cluster's local solve is independent, so the model is identical

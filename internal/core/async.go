@@ -1,0 +1,281 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"saco/internal/mat"
+	"saco/internal/rng"
+)
+
+// This file implements core.BackendAsync: HOGWILD!-style lock-free
+// variants of the coordinate solvers (Niu et al. 2011; cf. Zhou et al.
+// 2021 on asynchronous lock-free optimization in PAPERS.md). Where the
+// paper's SA reformulation removes synchronization by *rearranging* the
+// classical iteration — provably the same sequence, communicated every
+// s steps — the async backend removes it by *dropping* the ordering
+// guarantee entirely: Exec.Workers solver workers update one shared
+// iterate through atomic element operations with no barriers and no
+// locks, each sampling coordinates from its own RNG stream.
+//
+// The trade is explicit and tested for: async runs are NOT
+// deterministic (two runs interleave differently), but they converge to
+// the same optimum, and the async convergence tests assert the final
+// objective lands within tolerance of the sequential solver's. One
+// anchor is exact, though: a single async worker replays the sequential
+// arithmetic bit for bit, because worker 0's stream equals the
+// sequential sampling stream and every atomic kernel mirrors its plain
+// counterpart's loop order. That anchor is what pins the update
+// arithmetic itself as correct; the multi-worker runs then only add
+// benign races.
+//
+// All shared mutable state lives in mat.AtomicVec (CAS-based float
+// adds), so the solvers are clean under the race detector — the -race
+// CI gate covers them like every deterministic backend. Objective
+// tracking (TrackEvery), early stopping (Tol) and warm-start history
+// are coordination points by nature; the async solvers skip History and
+// Tol and document it, computing exact objectives on the quiescent
+// state after the workers join.
+
+// asyncStreamSalt decorrelates the helper workers' sampling streams
+// from the sequential stream that worker 0 keeps.
+const asyncStreamSalt = 0xa3c59ac2b7f30e11
+
+// asyncStreams returns w per-worker sampling streams. Stream 0 is
+// rng.New(seed) — exactly the sequential solver's stream, giving the
+// single-worker equivalence anchor — and the rest are forked from a
+// salted generator so no two workers correlate.
+func asyncStreams(seed uint64, w int) []*rng.Stream {
+	streams := make([]*rng.Stream, w)
+	streams[0] = rng.New(seed)
+	src := rng.New(seed ^ asyncStreamSalt)
+	for k := 1; k < w; k++ {
+		streams[k] = rng.New(src.Uint64())
+	}
+	return streams
+}
+
+// splitIters deals total iterations to w workers as evenly as possible.
+func splitIters(total, w, k int) int {
+	share := total / w
+	if k < total%w {
+		share++
+	}
+	return share
+}
+
+// lassoAsync is the HOGWILD! (block) coordinate-descent Lasso solver:
+// the same proximal step as lassoPlain, but performed by concurrent
+// workers against a shared iterate x and shared residual image
+// r = A·x − b held in atomic vectors. Stale gradient reads and
+// interleaved updates replace the sequential ordering; step sizes are
+// unchanged (1/λmax of the sampled block), which is the regime where
+// HOGWILD-style CD converges for sparse problems.
+func lassoAsync(a ColMatrix, b []float64, opt LassoOptions) (*LassoResult, error) {
+	if opt.Accelerated {
+		return nil, errors.New("core: BackendAsync does not support the accelerated Lasso variants (acceleration needs an ordered θ-schedule); use plain CD/BCD or a deterministic backend")
+	}
+	ac, ok := a.(asyncColMatrix)
+	if !ok {
+		return nil, fmt.Errorf("core: matrix type %T does not provide atomic kernels for BackendAsync (sparse.CSC does)", a)
+	}
+	m, n := a.Dims()
+	g := opt.Regularizer()
+	w := opt.Exec.asyncWorkers()
+	if w > opt.Iters {
+		w = opt.Iters
+	}
+
+	x := make([]float64, n)
+	if opt.X0 != nil {
+		copy(x, opt.X0)
+	}
+	r := make([]float64, m)
+	a.MulVec(x, r)
+	mat.Axpy(-1, b, r) // r = A·x0 − b
+	xv := mat.NewAtomicVecFrom(x)
+	rv := mat.NewAtomicVecFrom(r)
+
+	streams := asyncStreams(opt.Seed, w)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			smp := &BlockSampler{r: streams[k], n: n, mu: opt.mu(), groups: opt.Groups}
+			muMax := smp.MaxBlock()
+			gram := mat.NewDense(muMax, muMax)
+			grad := make([]float64, muMax)
+			wbuf := make([]float64, muMax)
+			gv := make([]float64, muMax)
+			delta := make([]float64, muMax)
+			iters := splitIters(opt.Iters, w, k)
+			for h := 0; h < iters; h++ {
+				idx := smp.Next()
+				mu := len(idx)
+				gb := mat.NewDenseData(mu, mu, gram.Data[:mu*mu])
+				a.ColGram(idx, gb) // read-only: plain kernel is safe
+				v := blockLargestEig(gb)
+				ac.ColTMulVecAtomic(idx, rv, grad[:mu])
+				xv.Gather(wbuf[:mu], idx)
+				var eta float64
+				if v > 0 {
+					eta = 1 / v
+					for i := 0; i < mu; i++ {
+						gv[i] = wbuf[i] - eta*grad[i]
+					}
+				} else {
+					eta = BigEta
+					copy(gv[:mu], wbuf[:mu])
+				}
+				g.Prox(eta, gv[:mu])
+				for i := 0; i < mu; i++ {
+					delta[i] = gv[i] - wbuf[i]
+				}
+				xv.ScatterAdd(delta[:mu], idx)
+				ac.ColMulAddAtomic(idx, delta[:mu], rv)
+			}
+		}(k)
+	}
+	wg.Wait()
+
+	res := &LassoResult{Iters: opt.Iters}
+	res.X = xv.Snapshot(nil)
+	// The maintained residual is exact up to the roundoff of the racy
+	// accumulation order; with one worker it equals the sequential
+	// solver's bit for bit.
+	res.Objective = LassoObjective(rv.Snapshot(r), res.X, g)
+	return res, nil
+}
+
+// svmAsync is the lock-free asynchronous dual coordinate-descent SVM
+// (the PASSCoDe-Atomic scheme of Hsieh et al. applied to Alg. 3): each
+// worker samples rows from its own stream and performs the projected-
+// Newton dual step against a stale primal read, with the dual variable
+// kept exactly inside its box by a compare-and-swap and the primal
+// updated by atomic adds.
+func svmAsync(a RowMatrix, b []float64, opt SVMOptions) (*SVMResult, error) {
+	ar, ok := a.(asyncRowMatrix)
+	if !ok {
+		return nil, fmt.Errorf("core: matrix type %T does not provide atomic kernels for BackendAsync (sparse.CSR does)", a)
+	}
+	m, n := a.Dims()
+	gamma, nu := opt.GammaNu()
+	w := opt.Exec.asyncWorkers()
+	if w > opt.Iters {
+		w = opt.Iters
+	}
+
+	alpha := make([]float64, m)
+	x := make([]float64, n)
+	if opt.Alpha0 != nil {
+		copy(alpha, opt.Alpha0)
+		for i, ai := range alpha {
+			if ai != 0 {
+				a.RowTAxpy(i, ai*b[i], x)
+			}
+		}
+	}
+	av := mat.NewAtomicVecFrom(alpha)
+	xv := mat.NewAtomicVecFrom(x)
+
+	streams := asyncStreams(opt.Seed, w)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			r := streams[k]
+			iters := splitIters(opt.Iters, w, k)
+			for h := 0; h < iters; h++ {
+				i := r.Intn(m)
+				eta := a.RowNormSq(i) + gamma
+				dot := ar.RowDotAtomic(i, xv)
+				// CAS keeps α_i in [0, ν] exactly even when two workers
+				// collide on the coordinate: the loser recomputes its step
+				// from the fresh dual value (the margin read stays stale —
+				// that is the async part).
+				var theta float64
+				for {
+					ai := av.Load(i)
+					g := b[i]*dot - 1 + gamma*ai
+					if gt := Clip(ai-g, 0, nu) - ai; gt == 0 {
+						theta = 0
+						break
+					}
+					theta = Clip(ai-g/eta, 0, nu) - ai
+					if theta == 0 || av.CompareAndSwap(i, ai, ai+theta) {
+						break
+					}
+				}
+				if theta != 0 {
+					ar.RowTAxpyAtomic(i, theta*b[i], xv)
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+
+	res := &SVMResult{Iters: opt.Iters}
+	res.X = xv.Snapshot(x)
+	res.Alpha = av.Snapshot(alpha)
+	margins := make([]float64, m)
+	a.MulVec(res.X, margins)
+	res.Primal, res.Dual, res.Gap = SVMObjectives(res.X, res.Alpha, margins, b, opt.Lambda, gamma, opt.Loss)
+	return res, nil
+}
+
+// pegasosAsync is the synchronization-free Pegasos variant: parameter
+// mixing (Zinkevich et al.). The multiplicative shrink of the Pegasos
+// step touches every coordinate each iteration, which no sparse atomic
+// update can express, so instead of sharing the iterate each worker runs
+// an independent full Pegasos chain on its share of the iterations and
+// the chains' solutions are averaged once at the end — zero communication
+// during the run, one reduction after it, converging to the same
+// objective (the average of near-optimal points of a convex objective is
+// near-optimal).
+func pegasosAsync(a RowMatrix, b []float64, opt SVMOptions) (*SVMResult, error) {
+	m, _ := a.Dims()
+	if err := opt.validate(m, len(b)); err != nil {
+		return nil, err
+	}
+	w := opt.Exec.asyncWorkers()
+	if w > opt.Iters {
+		w = opt.Iters
+	}
+	streams := asyncStreams(opt.Seed, w)
+
+	results := make([]*SVMResult, w)
+	errs := make([]error, w)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			chain := opt
+			chain.Exec = Exec{}
+			chain.Seed = opt.Seed // chain 0 replays the sequential run
+			if k > 0 {
+				chain.Seed = streams[k].Uint64()
+			}
+			chain.Iters = splitIters(opt.Iters, w, k)
+			chain.TrackEvery = 0
+			results[k], errs[k] = PegasosSVM(a, b, chain)
+		}(k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	x := make([]float64, len(results[0].X))
+	for _, r := range results {
+		mat.Axpy(1/float64(w), r.X, x)
+	}
+	res := &SVMResult{Iters: opt.Iters, X: x}
+	res.Primal = pegasosPrimal(a, b, x, opt.Lambda, opt.Loss)
+	return res, nil
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"testing"
+
+	"saco/internal/datagen"
+	"saco/internal/sparse"
+)
+
+// asyncExec builds the async knob at width w. Relative comparisons use
+// the package test helper relDiff (lasso_test.go).
+func asyncExec(w int) Exec { return Exec{Backend: BackendAsync, Workers: w} }
+
+// TestLassoAsyncOneWorkerBitwise is the anchor of the async backend: a
+// single async worker replays the sequential plain-CD/BCD arithmetic bit
+// for bit (worker 0's stream is the sequential stream and every atomic
+// kernel mirrors its plain counterpart's loop order), so the only thing
+// multi-worker runs add is benign races.
+func TestLassoAsyncOneWorkerBitwise(t *testing.T) {
+	data := datagen.Regression("async-anchor", 3, 300, 120, 0.2, 10, 0.05)
+	a := data.AsCSR().ToCSC()
+	for _, mu := range []int{1, 4} {
+		opt := LassoOptions{Lambda: 0.3, BlockSize: mu, Iters: 500, Seed: 7}
+		ref, err := Lasso(a, data.B, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.Exec = asyncExec(1)
+		got, err := Lasso(a, data.B, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameFloats(t, "X", got.X, ref.X)
+		if got.Objective != ref.Objective {
+			t.Fatalf("mu=%d: objective %v != %v", mu, got.Objective, ref.Objective)
+		}
+	}
+}
+
+// TestSVMAsyncOneWorkerBitwise is the dual-CD anchor: with one worker
+// the CAS always succeeds first try and the update replays Alg. 3.
+func TestSVMAsyncOneWorkerBitwise(t *testing.T) {
+	data := datagen.Classification("async-anchor-svm", 5, 250, 80, 0.2, 0.05)
+	a := data.AsCSR()
+	for _, loss := range []SVMLoss{SVML1, SVML2} {
+		opt := SVMOptions{Lambda: 1, Loss: loss, Iters: 1500, Seed: 3}
+		ref, err := SVM(a, data.B, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.Exec = asyncExec(1)
+		got, err := SVM(a, data.B, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameFloats(t, "X", got.X, ref.X)
+		sameFloats(t, "Alpha", got.Alpha, ref.Alpha)
+		if got.Gap != ref.Gap {
+			t.Fatalf("loss=%v: gap %v != %v", loss, got.Gap, ref.Gap)
+		}
+	}
+}
+
+// TestLassoAsyncConverges is the acceptance criterion: on the short
+// Lasso preset the async backend's final objective lands within 1e-6
+// relative of the sequential backend's at every width. Both runs get
+// enough iterations to reach the optimum, where the comparison is
+// meaningful — async runs take a different path but the same
+// destination.
+func TestLassoAsyncConverges(t *testing.T) {
+	data := datagen.Regression("async-conv", 11, 400, 100, 0.25, 8, 0.05)
+	a := data.AsCSR().ToCSC()
+	lambda := 0.2 * LambdaMaxL1(a, data.B)
+	iters := 30000
+	if testing.Short() {
+		iters = 15000
+	}
+	seq, err := Lasso(a, data.B, LassoOptions{Lambda: lambda, Iters: iters, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 8} {
+		got, err := Lasso(a, data.B, LassoOptions{Lambda: lambda, Iters: iters, Seed: 1, Exec: asyncExec(w)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := relDiff(got.Objective, seq.Objective); d > 1e-6 {
+			t.Fatalf("workers=%d: async objective %.12e vs sequential %.12e (rel %.3e)",
+				w, got.Objective, seq.Objective, d)
+		}
+	}
+}
+
+// TestLassoAsyncBlockConverges exercises the BCD path (µ > 1) and the
+// elastic-net regularizer under async execution.
+func TestLassoAsyncBlockConverges(t *testing.T) {
+	data := datagen.Regression("async-bcd", 13, 350, 80, 0.3, 8, 0.05)
+	a := data.AsCSR().ToCSC()
+	lambda := 0.2 * LambdaMaxL1(a, data.B)
+	iters := 8000
+	opt := LassoOptions{
+		Reg: ElasticNet{Lambda: lambda, Alpha: 0.9}, BlockSize: 4,
+		Iters: iters, Seed: 5,
+	}
+	seq, err := Lasso(a, data.B, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Exec = asyncExec(4)
+	got, err := Lasso(a, data.B, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := relDiff(got.Objective, seq.Objective); d > 1e-6 {
+		t.Fatalf("async BCD objective %.12e vs sequential %.12e (rel %.3e)",
+			got.Objective, seq.Objective, d)
+	}
+}
+
+// TestSVMAsyncConverges is the SVM half of the acceptance criterion:
+// async dual CD reaches the sequential optimum within 1e-6 relative on
+// the short SVM preset. SVM-L2's strongly convex dual gives the tight
+// anchor; hinge loss is checked at the same tolerance with more
+// iterations.
+func TestSVMAsyncConverges(t *testing.T) {
+	data := datagen.Classification("async-svm", 17, 250, 60, 0.3, 0.1)
+	a := data.AsCSR()
+	for _, tc := range []struct {
+		name  string
+		loss  SVMLoss
+		iters int
+	}{
+		{"l2", SVML2, 400000},
+		{"l1", SVML1, 3000000},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			iters := tc.iters
+			if testing.Short() {
+				iters /= 2
+			}
+			seq, err := SVM(a, data.B, SVMOptions{Lambda: 1, Loss: tc.loss, Iters: iters, Seed: 9})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range []int{2, 4} {
+				got, err := SVM(a, data.B, SVMOptions{Lambda: 1, Loss: tc.loss, Iters: iters, Seed: 9, Exec: asyncExec(w)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d := relDiff(got.Primal, seq.Primal); d > 1e-6 {
+					t.Fatalf("workers=%d: async primal %.12e vs sequential %.12e (rel %.3e)",
+						w, got.Primal, seq.Primal, d)
+				}
+				if got.Gap < -1e-9 || got.Alpha == nil { // tiny negative gap = roundoff at optimality
+					t.Fatalf("workers=%d: malformed result (gap=%v)", w, got.Gap)
+				}
+			}
+		})
+	}
+}
+
+// TestPegasosAsyncConverges checks the parameter-mixing Pegasos variant
+// reaches the neighbourhood of the sequential solution (SGD noise makes
+// a 1e-6 bound meaningless here; the deterministic acceptance presets
+// are Lasso and dual-CD SVM).
+func TestPegasosAsyncConverges(t *testing.T) {
+	data := datagen.Classification("async-peg", 23, 300, 50, 0.3, 0.1)
+	a := data.AsCSR()
+	// Not reduced under -short: each of the 4 chains needs its full SGD
+	// share to converge, and the whole test costs well under a second.
+	iters := 60000
+	seq, err := PegasosSVM(a, data.B, SVMOptions{Lambda: 1, Iters: iters, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := PegasosSVM(a, data.B, SVMOptions{Lambda: 1, Iters: iters, Seed: 2, Exec: asyncExec(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := relDiff(got.Primal, seq.Primal); d > 0.05 {
+		t.Fatalf("mixed primal %.6e vs sequential %.6e (rel %.3e)", got.Primal, seq.Primal, d)
+	}
+}
+
+// TestAsyncRejectsUnsupported pins the error surface: acceleration has
+// no async analogue, and matrices without atomic kernels must be
+// rejected with a clear message rather than silently run sequential.
+func TestAsyncRejectsUnsupported(t *testing.T) {
+	data := datagen.Regression("async-rej", 29, 60, 30, 0.3, 5, 0.05)
+	csc := data.AsCSR().ToCSC()
+	if _, err := Lasso(csc, data.B, LassoOptions{
+		Lambda: 0.1, Iters: 10, Accelerated: true, Exec: asyncExec(2),
+	}); err == nil {
+		t.Fatal("accelerated async Lasso must error")
+	}
+	dense := sparse.DenseCols{A: data.AsCSR().ToDense()}
+	if _, err := Lasso(dense, data.B, LassoOptions{
+		Lambda: 0.1, Iters: 10, Exec: asyncExec(2),
+	}); err == nil {
+		t.Fatal("async Lasso on a matrix without atomic kernels must error")
+	}
+	denseR := sparse.DenseRows{A: data.AsCSR().ToDense()}
+	bb := make([]float64, 60)
+	copy(bb, data.B)
+	if _, err := SVM(denseR, bb, SVMOptions{
+		Lambda: 1, Iters: 10, Exec: asyncExec(2),
+	}); err == nil {
+		t.Fatal("async SVM on a matrix without atomic kernels must error")
+	}
+}
+
+// TestBackendAsyncString pins the knob naming used by flags and logs.
+func TestBackendAsyncString(t *testing.T) {
+	if BackendAsync.String() != "async" {
+		t.Fatalf("BackendAsync.String() = %q", BackendAsync.String())
+	}
+	if (Exec{Backend: BackendAsync, Workers: 3}).asyncWorkers() != 3 {
+		t.Fatal("explicit async width ignored")
+	}
+	if (Exec{Backend: BackendAsync}).workers() != 1 {
+		t.Fatal("async solves must run sequential kernels per worker")
+	}
+	if w := (Exec{Backend: BackendAsync}).asyncWorkers(); w < 1 {
+		t.Fatalf("default async width %d", w)
+	}
+}

@@ -49,6 +49,48 @@ func BenchmarkSolveLassoSA(b *testing.B) {
 	}
 }
 
+// BenchmarkLocalBackends exercises all three local backends end to end
+// on one short Lasso and one short SVM solve. CI runs it at one
+// iteration as the pooled-dispatch smoke gate: a regression in the
+// persistent pool, the multicore kernels or the async solvers fails
+// here before it can hide behind the figure harness.
+func BenchmarkLocalBackends(b *testing.B) {
+	m, n := 2000, 600
+	if testing.Short() {
+		m, n = 600, 200
+	}
+	reg := datagen.Regression("bench-backends", 31, m, n, 0.05, 15, 0.05)
+	cls := datagen.Classification("bench-backends", 37, m, n, 0.05, 0.05)
+	cols := reg.AsCSR().ToCSC()
+	rows := cls.AsCSR()
+	lambda := 0.1 * LambdaMaxL1(cols, reg.B)
+	backends := []Exec{
+		{Backend: BackendSequential},
+		{Backend: BackendMulticore, Workers: 4},
+		{Backend: BackendAsync, Workers: 4},
+	}
+	for _, e := range backends {
+		b.Run("lasso/"+e.Backend.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Lasso(cols, reg.B, LassoOptions{
+					Lambda: lambda, BlockSize: 8, Iters: 512, Seed: 2, Exec: e,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("svm/"+e.Backend.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := SVM(rows, cls.B, SVMOptions{
+					Lambda: 1, Iters: 2048, Seed: 2, Exec: e,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSolveSVMSA runs SA dual coordinate descent end to end per
 // worker count; the s×s row Gram dominates at s=128.
 func BenchmarkSolveSVMSA(b *testing.B) {

@@ -1,49 +1,90 @@
 package core
 
-import "runtime"
+import (
+	"runtime"
 
-// Backend selects where a solve's matrix kernels run. The solvers
-// themselves are backend-agnostic: the choice only changes how the
-// batched products (Gram assembly, A_Sᵀ·v, SpMV) are executed, and every
-// multicore kernel partitions independent output elements with unchanged
-// summation order, so the iterate sequence is bitwise identical across
-// backends — the shared-memory counterpart of the paper's claim that the
-// SA reformulation preserves the classical iterates up to roundoff. The
-// third execution mode, the simulated distributed cluster, lives in
-// package dist (see saco.SimulateLasso / saco.SimulateSVM).
+	"saco/internal/mat"
+)
+
+// Backend selects where and how a solve's updates run. The solvers
+// themselves are backend-agnostic; the backends differ in what they
+// trade for speed:
+//
+//   - BackendSequential and BackendMulticore produce bitwise-identical
+//     iterate sequences (every multicore kernel partitions independent
+//     output elements with unchanged summation order) — the
+//     shared-memory counterpart of the paper's claim that the SA
+//     reformulation preserves the classical iterates up to roundoff.
+//   - BackendAsync trades that determinism for latency: HOGWILD!-style
+//     lock-free workers update one shared iterate through atomic
+//     element operations, so runs converge to the same optimum but are
+//     not reproducible step for step (cf. Zhou et al. 2021 on
+//     asynchronous lock-free optimization, PAPERS.md).
+//
+// The remaining execution modes — the simulated distributed cluster and
+// its hybrid rank×thread variant — live in package dist (see
+// saco.SimulateLasso / saco.SimulateSVM and Cluster.RankWorkers).
 type Backend int
 
 const (
 	// BackendSequential runs every kernel on the calling goroutine — the
 	// default, and the mode the simulated-cluster ranks use internally.
 	BackendSequential Backend = iota
-	// BackendMulticore fans the batched kernels out across a
-	// shared-memory worker pool (Exec.Workers wide, default GOMAXPROCS).
+	// BackendMulticore fans the batched kernels out across the persistent
+	// shared-memory worker pool (Exec.Workers wide, default GOMAXPROCS),
+	// keeping iterates bitwise identical to sequential runs.
 	BackendMulticore
+	// BackendAsync runs Exec.Workers lock-free solver workers against a
+	// shared atomic iterate with per-worker RNG streams: no barriers, no
+	// locks, convergent but not deterministic. Supported by the plain
+	// Lasso solvers (CD/BCD), the dual-CD SVM and Pegasos; matrices must
+	// provide atomic kernels (sparse.CSC / sparse.CSR do).
+	BackendAsync
 )
 
 // String names the backend for logs and flags.
 func (b Backend) String() string {
-	if b == BackendMulticore {
+	switch b {
+	case BackendMulticore:
 		return "multicore"
+	case BackendAsync:
+		return "async"
+	default:
+		return "sequential"
 	}
-	return "sequential"
 }
 
 // Exec selects the execution backend of a single solve.
 type Exec struct {
-	// Backend picks sequential (zero value) or multicore kernels.
+	// Backend picks sequential (zero value), multicore or async
+	// execution.
 	Backend Backend
-	// Workers is the pool width for BackendMulticore; 0 means
-	// runtime.GOMAXPROCS(0). Ignored by BackendSequential.
+	// Workers is the pool width for BackendMulticore and the solver
+	// worker count for BackendAsync; 0 means runtime.GOMAXPROCS(0),
+	// resolved at solve time. Ignored by BackendSequential.
 	Workers int
 }
 
-// workers returns the effective kernel worker count.
+// workers returns the effective kernel worker count (multicore only:
+// async workers run sequential kernels, each worker being one lane of
+// the outer parallelism).
 func (e Exec) workers() int {
 	if e.Backend != BackendMulticore {
 		return 1
 	}
+	return e.width()
+}
+
+// asyncWorkers returns the solver worker count of an async solve.
+func (e Exec) asyncWorkers() int {
+	if e.Backend != BackendAsync {
+		return 1
+	}
+	return e.width()
+}
+
+// width resolves Exec.Workers, defaulting to GOMAXPROCS at call time.
+func (e Exec) width() int {
 	if e.Workers > 0 {
 		return e.Workers
 	}
@@ -57,6 +98,24 @@ func (e Exec) workers() int {
 // this package; execCol/execRow narrow the result.
 type kernelParallelizer interface {
 	WithKernelWorkers(w int) any
+}
+
+// asyncColMatrix is the capability the async Lasso solver needs on top
+// of ColMatrix: gradient reads and residual updates through the shared
+// atomic residual. sparse.CSC implements it.
+type asyncColMatrix interface {
+	ColMatrix
+	ColTMulVecAtomic(cols []int, v *mat.AtomicVec, dst []float64)
+	ColMulAddAtomic(cols []int, coef []float64, v *mat.AtomicVec)
+}
+
+// asyncRowMatrix is the row-access counterpart for the async dual-CD
+// SVM: stale margin reads and primal updates through the shared atomic
+// primal vector. sparse.CSR implements it.
+type asyncRowMatrix interface {
+	RowMatrix
+	RowDotAtomic(i int, x *mat.AtomicVec) float64
+	RowTAxpyAtomic(i int, alpha float64, x *mat.AtomicVec)
 }
 
 // execCol applies the Exec knob to a column-access matrix, returning the

@@ -17,6 +17,12 @@ func Lasso(a ColMatrix, b []float64, opt LassoOptions) (*LassoResult, error) {
 	if err := opt.validate(m, n, len(b)); err != nil {
 		return nil, err
 	}
+	if opt.Exec.Backend == BackendAsync {
+		// Lock-free HOGWILD! execution: S is moot (there is no
+		// synchronization left to avoid) and TrackEvery is skipped — see
+		// async.go for the contract.
+		return lassoAsync(a, b, opt)
+	}
 	a = execCol(a, opt.Exec)
 	if opt.Accelerated {
 		if opt.S > 1 {

@@ -40,9 +40,11 @@ type LassoOptions struct {
 	// X0 is an optional warm start (classical solvers only use it as the
 	// initial z/x; default zeros).
 	X0 []float64
-	// Exec selects the execution backend for the solve's matrix kernels
-	// (sequential by default; BackendMulticore fans the batched Gram and
-	// product kernels across a worker pool without changing iterates).
+	// Exec selects the execution backend of the solve: sequential by
+	// default; BackendMulticore fans the batched Gram and product kernels
+	// across the persistent worker pool without changing iterates;
+	// BackendAsync runs lock-free HOGWILD!-style solver workers
+	// (convergent but not deterministic; TrackEvery/Tol are skipped).
 	Exec Exec
 }
 
@@ -168,9 +170,11 @@ type SVMOptions struct {
 	Tol float64
 	// Alpha0 is an optional warm start for the dual variables.
 	Alpha0 []float64
-	// Exec selects the execution backend for the solve's matrix kernels
-	// (sequential by default; BackendMulticore fans the batched Gram and
-	// product kernels across a worker pool without changing iterates).
+	// Exec selects the execution backend of the solve: sequential by
+	// default; BackendMulticore fans the batched Gram and product kernels
+	// across the persistent worker pool without changing iterates;
+	// BackendAsync runs lock-free HOGWILD!-style solver workers
+	// (convergent but not deterministic; TrackEvery/Tol are skipped).
 	Exec Exec
 }
 

@@ -23,6 +23,12 @@ func PegasosSVM(a RowMatrix, b []float64, opt SVMOptions) (*SVMResult, error) {
 	if err := opt.validate(m, len(b)); err != nil {
 		return nil, err
 	}
+	if opt.Exec.Backend == BackendAsync {
+		// Parameter-mixing parallel SGD: independent chains, one final
+		// average — see pegasosAsync for why Pegasos cannot share its
+		// iterate HOGWILD-style.
+		return pegasosAsync(a, b, opt)
+	}
 	a = execRow(a, opt.Exec)
 	r := rng.New(opt.Seed)
 	lambdaP := 1 / (opt.Lambda * float64(m))

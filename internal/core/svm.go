@@ -14,6 +14,11 @@ func SVM(a RowMatrix, b []float64, opt SVMOptions) (*SVMResult, error) {
 	if err := opt.validate(m, len(b)); err != nil {
 		return nil, err
 	}
+	if opt.Exec.Backend == BackendAsync {
+		// Lock-free HOGWILD! execution: S is moot and TrackEvery/Tol are
+		// skipped — see async.go for the contract.
+		return svmAsync(a, b, opt)
+	}
 	a = execRow(a, opt.Exec)
 	if opt.S > 1 {
 		return svmSA(a, b, opt)

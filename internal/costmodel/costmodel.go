@@ -21,8 +21,21 @@ type Problem struct {
 	H        int     // iterations
 	S        int     // recurrence unrolling parameter (1 = classical)
 	P        int     // processors
+	Cores    int     // per-rank core budget for hybrid rank×thread runs (0/1 = flat MPI)
 	HalfPack bool    // send only the Gram upper triangle (paper §III fn. 3)
 }
+
+// effectiveCores normalizes a per-rank core budget: 0 and 1 both mean
+// flat MPI.
+func effectiveCores(c int) float64 {
+	if c > 1 {
+		return float64(c)
+	}
+	return 1
+}
+
+// cores returns the effective per-rank core budget.
+func (pb Problem) cores() float64 { return effectiveCores(pb.Cores) }
 
 // logP returns ⌈log₂P⌉, the round count of the binomial-tree collectives.
 func (pb Problem) logP() float64 {
@@ -95,13 +108,19 @@ func (pb Problem) Time(mc mpi.Machine) float64 {
 	return comp + comm
 }
 
-// CompTime returns the modeled computation component of Time.
+// CompTime returns the modeled computation component of Time. With a
+// per-rank core budget (hybrid rank×thread runs) the data-parallel terms
+// — Gram assembly and the streamed products over the owned row block —
+// divide by Cores; the µ³ eigensolve every rank performs redundantly
+// does not, which is why hybrid speedup saturates once the redundant
+// scalar work dominates (Amdahl inside the rank).
 func (pb Problem) CompTime(mc mpi.Machine) float64 {
 	fmP := pb.Density * float64(pb.M) / float64(pb.P)
 	mu := float64(pb.Mu)
 	k := float64(pb.S) * mu
-	gramFlops := float64(pb.H) * 2 * float64(pb.S) * mu * mu * fmP
-	streamFlops := float64(pb.H) * (2*mu*fmP + mu*mu*mu)
+	cr := pb.cores()
+	gramFlops := float64(pb.H) * 2 * float64(pb.S) * mu * mu * fmP / cr
+	streamFlops := float64(pb.H) * (2*mu*fmP/cr + mu*mu*mu)
 	gamma := mc.GammaStream
 	if pb.S*pb.Mu > 1 {
 		ws := int(k*k) + int(2*k*fmP)
@@ -127,6 +146,21 @@ func (pb Problem) WithS(s int) Problem {
 func (pb Problem) WithP(p int) Problem {
 	pb.P = p
 	return pb
+}
+
+// WithCores returns a copy of the problem with a different per-rank core
+// budget.
+func (pb Problem) WithCores(c int) Problem {
+	pb.Cores = c
+	return pb
+}
+
+// HybridSpeedup returns the modeled speedup of the hybrid rank×thread
+// configuration over its flat (one core per rank) counterpart at equal
+// rank count — the gain -rank-workers buys without changing the
+// communication pattern.
+func (pb Problem) HybridSpeedup(mc mpi.Machine) float64 {
+	return pb.WithCores(1).Time(mc) / pb.Time(mc)
 }
 
 // Speedup returns the modeled speedup of this configuration over its
@@ -164,6 +198,7 @@ type SVMProblem struct {
 	H       int     // iterations
 	S       int     // unrolling (1 = classical)
 	P       int     // processors
+	Cores   int     // per-rank core budget for hybrid rank×thread runs (0/1 = flat MPI)
 }
 
 // Flops per processor: each inner step touches one row (f·n/P nonzeros
@@ -188,7 +223,9 @@ func (pb SVMProblem) BandwidthWords() float64 {
 	return math.Ceil(float64(pb.H)/float64(pb.S)) * words * 2 * lp()
 }
 
-// Time returns the modeled running time: F·γ + L·α + W·β.
+// Time returns the modeled running time: F·γ + L·α + W·β. The SVM
+// kernels are all data-parallel over the owned column block, so the
+// hybrid core budget divides the whole flop term.
 func (pb SVMProblem) Time(mc mpi.Machine) float64 {
 	gamma := mc.GammaStream
 	if pb.S > 1 {
@@ -197,12 +234,19 @@ func (pb SVMProblem) Time(mc mpi.Machine) float64 {
 			gamma = mc.GammaBlocked
 		}
 	}
-	return pb.Flops()*gamma + pb.LatencyMessages()*mc.Alpha + pb.BandwidthWords()*mc.Beta
+	cr := effectiveCores(pb.Cores)
+	return pb.Flops()/cr*gamma + pb.LatencyMessages()*mc.Alpha + pb.BandwidthWords()*mc.Beta
 }
 
 // WithS returns a copy with a different unrolling factor.
 func (pb SVMProblem) WithS(s int) SVMProblem {
 	pb.S = s
+	return pb
+}
+
+// WithCores returns a copy with a different per-rank core budget.
+func (pb SVMProblem) WithCores(c int) SVMProblem {
+	pb.Cores = c
 	return pb
 }
 

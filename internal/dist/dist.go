@@ -42,6 +42,14 @@ type Options struct {
 	// RSAGAllreduce swaps the binomial-tree Allreduce for Rabenseifner's
 	// bandwidth-optimal reduce-scatter/allgather.
 	RSAGAllreduce bool
+	// RankWorkers is the per-rank core budget for hybrid rank×thread
+	// runs (MPI×threads, the paper's natural extension): each simulated
+	// rank runs its matrix kernels on this many shared-memory workers of
+	// the persistent pool, and the cost model charges parallelizable
+	// kernel flops at flops/RankWorkers. Worker invariance of the
+	// kernels keeps iterates bitwise identical to the single-core run;
+	// only the modeled time changes. 0 or 1 keeps ranks sequential.
+	RankWorkers int
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -50,6 +58,9 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.Machine.Name == "" {
 		o.Machine = mpi.CrayXC30()
+	}
+	if o.RankWorkers < 1 {
+		o.RankWorkers = 1
 	}
 	return o, nil
 }

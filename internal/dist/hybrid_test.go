@@ -1,0 +1,108 @@
+package dist
+
+import (
+	"testing"
+
+	"saco/internal/core"
+	"saco/internal/datagen"
+	"saco/internal/mpi"
+)
+
+// TestLassoHybridRankWorkers is the acceptance criterion for the hybrid
+// rank×thread mode: at fixed rank count, raising the per-rank core
+// budget must (a) leave the solution bitwise unchanged — kernel worker
+// invariance — and (b) strictly lower the modeled time, since the cost
+// model charges parallelizable kernel flops at flops/cores while
+// communication stays fixed.
+func TestLassoHybridRankWorkers(t *testing.T) {
+	data := datagen.Regression("hybrid", 7, 600, 200, 0.1, 10, 0.05)
+	a := data.AsCSR()
+	opt := core.LassoOptions{Lambda: 0.3, BlockSize: 4, Iters: 200, S: 8, Seed: 3}
+	base := Options{P: 4, Machine: mpi.CrayXC30()}
+
+	flat, err := Lasso(a, data.B, opt, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := flat.ModeledSeconds()
+	for _, cores := range []int{2, 4, 8} {
+		cl := base
+		cl.RankWorkers = cores
+		hyb, err := Lasso(a, data.B, opt, cl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range hyb.X {
+			if hyb.X[i] != flat.X[i] {
+				t.Fatalf("cores=%d: X[%d] = %v differs from flat run %v", cores, i, hyb.X[i], flat.X[i])
+			}
+		}
+		if hyb.Objective != flat.Objective {
+			t.Fatalf("cores=%d: objective %v != %v", cores, hyb.Objective, flat.Objective)
+		}
+		if got := hyb.ModeledSeconds(); got >= prev {
+			t.Fatalf("cores=%d: modeled time %.6e not below %.6e", cores, got, prev)
+		} else {
+			prev = got
+		}
+	}
+}
+
+// TestSVMHybridRankWorkers is the SVM counterpart: bitwise-equal duals
+// and strictly decreasing modeled time with the core budget.
+func TestSVMHybridRankWorkers(t *testing.T) {
+	data := datagen.Classification("hybrid-svm", 11, 400, 150, 0.1, 0.05)
+	a := data.AsCSR()
+	opt := core.SVMOptions{Lambda: 1, Iters: 600, S: 16, Seed: 5}
+	base := Options{P: 4, Machine: mpi.CrayXC30()}
+
+	flat, err := SVM(a, data.B, opt, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := base
+	cl.RankWorkers = 4
+	hyb, err := SVM(a, data.B, opt, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range hyb.Alpha {
+		if hyb.Alpha[i] != flat.Alpha[i] {
+			t.Fatalf("Alpha[%d] = %v differs from flat run %v", i, hyb.Alpha[i], flat.Alpha[i])
+		}
+	}
+	for i := range hyb.X {
+		if hyb.X[i] != flat.X[i] {
+			t.Fatalf("X[%d] = %v differs from flat run %v", i, hyb.X[i], flat.X[i])
+		}
+	}
+	if hyb.Gap != flat.Gap {
+		t.Fatalf("gap %v != %v", hyb.Gap, flat.Gap)
+	}
+	if hyb.ModeledSeconds() >= flat.ModeledSeconds() {
+		t.Fatalf("hybrid modeled time %.6e not below flat %.6e",
+			hyb.ModeledSeconds(), flat.ModeledSeconds())
+	}
+}
+
+// TestHybridFlopsConserved: the core budget changes modeled time, not
+// modeled work — the flop count is the same at any width.
+func TestHybridFlopsConserved(t *testing.T) {
+	data := datagen.Regression("hybrid-flops", 13, 300, 100, 0.15, 8, 0.05)
+	a := data.AsCSR()
+	opt := core.LassoOptions{Lambda: 0.3, Iters: 100, S: 4, Seed: 9}
+	flops := func(cores int) float64 {
+		res, err := Lasso(a, data.B, opt, Options{P: 2, Machine: mpi.CrayXC30(), RankWorkers: cores})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var f float64
+		for _, r := range res.Stats.PerRank {
+			f += r.Flops
+		}
+		return f
+	}
+	if f1, f4 := flops(1), flops(4); f1 != f4 {
+		t.Fatalf("flops changed with core budget: %v vs %v", f1, f4)
+	}
+}

@@ -31,9 +31,16 @@ func Lasso(a *sparse.CSR, b []float64, opt core.LassoOptions, cl Options) (*Lass
 		return nil, fmt.Errorf("dist: Iters=%d, want positive", opt.Iters)
 	}
 	results := make([]*LassoResult, cl.P)
-	stats, err := mpi.Run(cl.P, cl.Machine, func(c *mpi.Comm) error {
+	stats, err := mpi.RunHybrid(cl.P, cl.RankWorkers, cl.Machine, func(c *mpi.Comm) error {
 		lo, hi := mpi.BlockRange(m, cl.P, c.Rank())
-		lr := newLassoRank(c, &cl, &opt, a.SliceRows(lo, hi).ToCSC(), b[lo:hi], n)
+		aLoc := a.SliceRows(lo, hi).ToCSC()
+		if cl.RankWorkers > 1 {
+			// Hybrid rank×thread: the rank's kernels really run on the
+			// shared-memory pool. Kernel worker invariance keeps the
+			// iterates bitwise identical to the sequential-rank run.
+			aLoc = aLoc.WithKernelWorkers(cl.RankWorkers).(*sparse.CSC)
+		}
+		lr := newLassoRank(c, &cl, &opt, aLoc, b[lo:hi], n)
 		var res *LassoResult
 		if opt.Accelerated {
 			res = lr.accelerated()
@@ -106,13 +113,16 @@ func (lr *lassoRank) reduceBatch(k, sb int, extras [][]float64) {
 	// the total is ~(k+1)·nnz(S) flops. Batched (s > 1) assembly is the
 	// BLAS-3-like kernel the paper credits for part of the SA speedup;
 	// it runs at the blocked rate while its working set fits cache.
+	// Gram and product assembly partition over the owned rows/columns, so
+	// the hybrid core budget divides their modeled time (the *Parallel
+	// variants are plain Compute at one core).
 	gramFlops := float64(k+1) * float64(nnzS)
 	if sb > 1 {
-		lr.c.ComputeBlocked(gramFlops, k*k+2*nnzS)
+		lr.c.ComputeBlockedParallel(gramFlops, k*k+2*nnzS)
 	} else {
-		lr.c.Compute(gramFlops)
+		lr.c.ComputeParallel(gramFlops)
 	}
-	lr.c.Compute(2 * float64(len(extras)) * float64(nnzS))
+	lr.c.ComputeParallel(2 * float64(len(extras)) * float64(nnzS))
 
 	words := packGram(lr.bt.Gram, extras, lr.cl.FullGramPack, lr.buf)
 	lr.cl.allreduce(lr.c, lr.buf[:words])
@@ -205,7 +215,11 @@ func (lr *lassoRank) plain() *LassoResult {
 			}
 			mat.ScatterAdd(x, d[:mu], idx)
 			aLoc.ColMulAdd(idx, d[:mu], rLoc)
-			c.Compute(flops + float64(5*mu) + 2*float64(lr.localColNNZ(idx)))
+			// Redundant scalar work (eig, prox) is per-rank sequential; the
+			// residual update streams the owned nonzeros and splits over the
+			// hybrid core budget.
+			c.Compute(flops + float64(5*mu))
+			c.ComputeParallel(2 * float64(lr.localColNNZ(idx)))
 			h++
 			if opt.TrackEvery > 0 && h%opt.TrackEvery == 0 {
 				lr.track(h, func() float64 { return lr.globalObjective(rLoc, x) })
@@ -306,7 +320,8 @@ func (lr *lassoRank) accelerated() *LassoResult {
 				scaled[a2] = -dj * d[a2]
 			}
 			aLoc.ColMulAdd(idx, scaled[:mu], ytLoc)
-			c.Compute(flops + float64(8*mu) + 4*float64(lr.localColNNZ(idx)))
+			c.Compute(flops + float64(8*mu))
+			c.ComputeParallel(4 * float64(lr.localColNNZ(idx)))
 
 			h++
 			if opt.TrackEvery > 0 && h%opt.TrackEvery == 0 {

@@ -39,7 +39,7 @@ func SVM(a *sparse.CSR, b []float64, opt core.SVMOptions, cl Options) (*SVMResul
 		return nil, fmt.Errorf("dist: Lambda=%v, want positive", opt.Lambda)
 	}
 	results := make([]*SVMResult, cl.P)
-	stats, err := mpi.Run(cl.P, cl.Machine, func(c *mpi.Comm) error {
+	stats, err := mpi.RunHybrid(cl.P, cl.RankWorkers, cl.Machine, func(c *mpi.Comm) error {
 		results[c.Rank()] = svmRank(c, a, b, &opt, &cl)
 		return nil
 	})
@@ -56,6 +56,11 @@ func svmRank(c *mpi.Comm, a *sparse.CSR, b []float64, opt *core.SVMOptions, cl *
 	m, n := a.Dims()
 	lo, hi := mpi.BlockRange(n, cl.P, c.Rank())
 	aLoc := a.SliceCols(lo, hi)
+	if cl.RankWorkers > 1 {
+		// Hybrid rank×thread: kernel worker invariance keeps the dual
+		// trajectory bitwise identical to the sequential-rank run.
+		aLoc = aLoc.WithKernelWorkers(cl.RankWorkers).(*sparse.CSR)
+	}
 	gamma, nu := opt.GammaNu()
 
 	alpha := make([]float64, m)
@@ -109,13 +114,15 @@ func svmRank(c *mpi.Comm, a *sparse.CSR, b []float64, opt *core.SVMOptions, cl *
 		for j := 0; j < sb; j++ {
 			nnzR += aLoc.RowNNZ(rows[j])
 		}
+		// Kernel flops split over the hybrid core budget (plain Compute at
+		// one core); the scalar dual recurrences below stay sequential.
 		gramFlops := float64(sb+1) * float64(nnzR)
 		if sb > 1 {
-			c.ComputeBlocked(gramFlops, sb*sb+2*nnzR)
+			c.ComputeBlockedParallel(gramFlops, sb*sb+2*nnzR)
 		} else {
-			c.Compute(gramFlops)
+			c.ComputeParallel(gramFlops)
 		}
-		c.Compute(2 * float64(nnzR))
+		c.ComputeParallel(2 * float64(nnzR))
 		words := packGram(gb, [][]float64{xP[:sb]}, cl.FullGramPack, buf)
 		cl.allreduce(c, buf[:words])
 		unpackGram(buf[:words], gb, [][]float64{xP[:sb]}, cl.FullGramPack)
@@ -139,16 +146,20 @@ func svmRank(c *mpi.Comm, a *sparse.CSR, b []float64, opt *core.SVMOptions, cl *
 			// the primal update touches rank-local state.
 			theta := 0.0
 			ai := alpha[i]
+			axpyFlops := 0.0
 			if gt := core.Clip(ai-g, 0, nu) - ai; gt != 0 {
 				theta = core.Clip(ai-g/eta, 0, nu) - ai
 				if theta != 0 {
 					alpha[i] += theta
 					aLoc.RowTAxpy(i, theta*b[i], xLoc)
-					flops += 2 * float64(aLoc.RowNNZ(i))
+					axpyFlops = 2 * float64(aLoc.RowNNZ(i))
 				}
 			}
 			thetaStep[j] = theta
 			c.Compute(flops)
+			if axpyFlops > 0 {
+				c.ComputeParallel(axpyFlops)
+			}
 			h++
 			if opt.TrackEvery > 0 && h%opt.TrackEvery == 0 {
 				mark := c.Mark()

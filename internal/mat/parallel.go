@@ -1,25 +1,22 @@
 package mat
 
 import (
-	"runtime"
-	"sync"
+	rt "saco/internal/runtime"
 )
 
-// This file is the shared-memory execution backend of the repository: a
-// chunked fork-join API (ParallelFor, ParallelRanges) and a deterministic
-// tree-ordered reduction (ParallelReduce). Every parallel kernel in mat,
-// sparse and the solvers is built on these primitives under one strict
-// contract: a parallel kernel partitions only *independent output
-// elements* across workers and leaves each element's summation order
-// exactly as in the sequential code. Results are therefore bitwise
-// identical for every worker count — the shared-memory analogue of the
-// paper's "same iterate sequence up to floating-point roundoff" claim,
-// and the property internal/core's backend-equivalence tests pin down.
-//
-// The simulated distributed runtime (internal/mpi, internal/dist) runs
-// one goroutine per rank and keeps its kernels sequential: its ranks
-// already saturate the machine, and its reductions must follow the
-// binomial-tree order of the modeled collectives, not this pool's.
+// This file is the dense-BLAS face of the repository's shared-memory
+// execution layer. The primitives themselves — the persistent worker
+// pool, chunked fork-join (For/Ranges) and the deterministic
+// tree-ordered reduction — live in internal/runtime; the wrappers here
+// preserve this package's historical API and attach the package-default
+// width. Every parallel kernel in mat, sparse and the solvers is built
+// on those primitives under one strict contract: a parallel kernel
+// partitions only *independent output elements* across workers and
+// leaves each element's summation order exactly as in the sequential
+// code. Results are therefore bitwise identical for every worker count
+// — the shared-memory analogue of the paper's "same iterate sequence up
+// to floating-point roundoff" claim, and the property internal/core's
+// backend-equivalence tests pin down.
 //
 // Two layers sit on these primitives with different knobs. The solver
 // hot paths run through the per-matrix kernel views of internal/sparse
@@ -34,74 +31,45 @@ import (
 
 // Workers is the default worker count for the shared-memory parallel
 // kernels; explicit-width entry points (ParallelForWorkers, the sparse
-// kernels' per-matrix knob) override it per call.
-var Workers = runtime.GOMAXPROCS(0)
+// kernels' per-matrix knob) override it per call. The default 0 resolves
+// to runtime.GOMAXPROCS(0) at each call — not at package init — so
+// GOMAXPROCS changes made after import take effect. Set it positive to
+// pin a width, or to 1 to force every default-width kernel sequential.
+var Workers = 0
+
+// DefaultWorkers returns the effective package-default width: Workers
+// when positive, else GOMAXPROCS at the time of the call.
+func DefaultWorkers() int { return rt.Resolve(Workers) }
 
 // ParallelFor splits [0,n) into contiguous chunks and runs body(lo,hi)
-// on Workers goroutines. It runs inline when n < 2·minChunk or only one
-// worker is configured, so callers never pay goroutine overhead on the
-// tiny Gram-block operations that dominate the inner loops.
+// on up to DefaultWorkers() executors of the persistent pool. It runs
+// inline when n < 2·minChunk or only one worker is configured, so
+// callers never pay dispatch overhead on the tiny Gram-block operations
+// that dominate the inner loops.
 func ParallelFor(n, minChunk int, body func(lo, hi int)) {
-	ParallelForWorkers(Workers, n, minChunk, body)
+	rt.For(Workers, n, minChunk, body)
 }
 
 // ParallelForWorkers is ParallelFor with an explicit worker count. w <= 1
 // runs body(0, n) inline: the sequential path is the parallel path with
 // one chunk, so there is exactly one implementation of every kernel.
+// (w = 0 historically meant sequential through the kernelWorkers
+// normalization in internal/sparse; matrices pass widths ≥ 1 here.)
 func ParallelForWorkers(w, n, minChunk int, body func(lo, hi int)) {
-	if n <= 0 {
-		return
+	if w < 1 {
+		w = 1
 	}
-	if minChunk < 1 {
-		minChunk = 1
-	}
-	if w > n/minChunk {
-		w = n / minChunk
-	}
-	if w <= 1 {
-		body(0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + w - 1) / w
-	for lo := 0; lo < n; lo += chunk {
-		hi := min(lo+chunk, n)
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	rt.For(w, n, minChunk, body)
 }
 
 // ParallelRanges runs body on the consecutive half-open ranges
-// [bounds[i], bounds[i+1]), one goroutine per range. It is the building
-// block for load-balanced partitions whose chunk boundaries carry
-// meaning — e.g. TriangleRanges for Gram assembly, where equal index
-// ranges would give the first worker almost all the flops.
+// [bounds[i], bounds[i+1]), claimed by up to len(bounds)-1 pool
+// executors. It is the building block for load-balanced partitions whose
+// chunk boundaries carry meaning — e.g. TriangleRanges for Gram
+// assembly, where equal index ranges would give the first worker almost
+// all the flops.
 func ParallelRanges(bounds []int, body func(lo, hi int)) {
-	nr := len(bounds) - 1
-	if nr <= 0 {
-		return
-	}
-	if nr == 1 {
-		body(bounds[0], bounds[1])
-		return
-	}
-	var wg sync.WaitGroup
-	for i := 0; i < nr; i++ {
-		lo, hi := bounds[i], bounds[i+1]
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	rt.Ranges(bounds, body)
 }
 
 // TriangleRanges partitions rows [0,n) of an upper-triangular loop
@@ -109,32 +77,7 @@ func ParallelRanges(bounds []int, body func(lo, hi int)) {
 // counts, returning the boundaries for ParallelRanges. The split depends
 // only on n and parts, never on scheduling, so partitioned kernels stay
 // deterministic.
-func TriangleRanges(n, parts int) []int {
-	if parts < 1 {
-		parts = 1
-	}
-	if parts > n {
-		parts = n
-	}
-	bounds := make([]int, 1, parts+1)
-	total := float64(n) * float64(n+1) / 2
-	row := 0
-	for p := 1; p < parts; p++ {
-		// Row r has weight n−r; advance until this part holds ≥ total/parts.
-		target := total * float64(p) / float64(parts)
-		// Rows [0,r) cover n + (n−1) + ... + (n−r+1) = r·n − r(r−1)/2 pairs.
-		for row < n {
-			covered := float64(row)*float64(n) - float64(row)*float64(row-1)/2
-			if covered >= target {
-				break
-			}
-			row++
-		}
-		bounds = append(bounds, row)
-	}
-	bounds = append(bounds, n)
-	return bounds
-}
+func TriangleRanges(n, parts int) []int { return rt.TriangleRanges(n, parts) }
 
 // ParallelReduce folds leaf values over [0,n) into a single float64 with
 // a deterministic tree: the range is cut into fixed-size chunks (chunk
@@ -147,37 +90,7 @@ func TriangleRanges(n, parts int) []int {
 // that exact order (the distributed runtime's replicated state) must
 // stay sequential.
 func ParallelReduce(n, minChunk int, leaf func(lo, hi int) float64, combine func(a, b float64) float64) float64 {
-	if n <= 0 {
-		return 0
-	}
-	if minChunk < 1 {
-		minChunk = 1
-	}
-	nc := (n + minChunk - 1) / minChunk
-	if nc == 1 {
-		return leaf(0, n)
-	}
-	partial := make([]float64, nc)
-	ParallelFor(nc, 1, func(clo, chi int) {
-		for c := clo; c < chi; c++ {
-			lo := c * minChunk
-			partial[c] = leaf(lo, min(lo+minChunk, n))
-		}
-	})
-	// Pairwise tree fold in chunk-index order: (p0⊕p1) ⊕ (p2⊕p3) ⊕ ...
-	for nc > 1 {
-		half := nc / 2
-		for i := 0; i < half; i++ {
-			partial[i] = combine(partial[2*i], partial[2*i+1])
-		}
-		if nc%2 == 1 {
-			partial[half] = partial[nc-1]
-			nc = half + 1
-		} else {
-			nc = half
-		}
-	}
-	return partial[0]
+	return rt.Reduce(Workers, n, minChunk, leaf, combine)
 }
 
 // GemvParallel computes y = alpha*A*x + beta*y across Workers goroutines,
@@ -277,7 +190,7 @@ func SyrkParallel(alpha float64, a *Dense, beta float64, c *Dense) {
 			Scal(beta, c.Data)
 		}
 	}
-	w := Workers
+	w := DefaultWorkers()
 	if w > 1 && n >= 8 {
 		ParallelRanges(TriangleRanges(n, w), func(lo, hi int) {
 			syrkRows(alpha, a, c, lo, hi)

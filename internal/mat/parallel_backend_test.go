@@ -2,6 +2,7 @@ package mat
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 )
 
@@ -157,4 +158,27 @@ func TestParallelRangesSkipsEmpty(t *testing.T) {
 		}
 		total += int64(c)
 	}
+}
+
+// TestDefaultWorkersTracksGOMAXPROCS pins the call-time resolution of
+// the package default: Workers = 0 must follow GOMAXPROCS changes made
+// after package init, and positive values must pin the width.
+func TestDefaultWorkersTracksGOMAXPROCS(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	withWorkers(0, func() {
+		runtime.GOMAXPROCS(2)
+		if got := DefaultWorkers(); got != 2 {
+			t.Fatalf("DefaultWorkers() = %d after GOMAXPROCS(2)", got)
+		}
+		runtime.GOMAXPROCS(old)
+		if got := DefaultWorkers(); got != old {
+			t.Fatalf("DefaultWorkers() = %d after restore", got)
+		}
+	})
+	withWorkers(5, func() {
+		if got := DefaultWorkers(); got != 5 {
+			t.Fatalf("DefaultWorkers() = %d with Workers=5", got)
+		}
+	})
 }

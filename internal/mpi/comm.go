@@ -31,6 +31,7 @@ type message struct {
 // cluster run.
 type World struct {
 	p       int
+	cores   int // per-rank core budget (hybrid rank×thread runs)
 	machine Machine
 	chans   [][]chan message // chans[src][dst]
 	stats   []RankStats
@@ -133,10 +134,27 @@ func (c *Comm) Elapsed() float64 { return c.st.Clock }
 // finish, so no rank is left blocked on a channel forever — programs are
 // expected to be deterministic SPMD and fail collectively).
 func Run(p int, m Machine, body func(c *Comm) error) (*Stats, error) {
+	return RunHybrid(p, 1, m, body)
+}
+
+// RunHybrid is Run with a per-rank core budget: every rank owns cores
+// threads, the hybrid MPI×threads configuration of modern MPI codes (the
+// paper's natural extension; cf. ROADMAP). The budget has two effects,
+// both the rank program's to apply: kernels may actually run on that
+// many shared-memory workers (see dist.Options.RankWorkers), and
+// parallelizable work charged through ComputeParallel /
+// ComputeBlockedParallel advances the virtual clock by flops/cores — the
+// model's assumption of perfectly scaling intra-rank kernels.
+// Communication costs are unchanged: one message per rank pair, exactly
+// like a one-rank-per-node MPI+OpenMP layout.
+func RunHybrid(p, cores int, m Machine, body func(c *Comm) error) (*Stats, error) {
 	if p <= 0 {
 		return nil, fmt.Errorf("mpi: Run with p=%d", p)
 	}
-	w := &World{p: p, machine: m, stats: make([]RankStats, p)}
+	if cores < 1 {
+		cores = 1
+	}
+	w := &World{p: p, cores: cores, machine: m, stats: make([]RankStats, p)}
 	w.chans = make([][]chan message, p)
 	for i := range w.chans {
 		w.chans[i] = make([]chan message, p)
@@ -217,12 +235,40 @@ func (c *Comm) Compute(flops float64) {
 	c.st.Flops += flops
 }
 
+// Cores returns this rank's core budget (1 unless the run was started
+// with RunHybrid).
+func (c *Comm) Cores() int { return c.world.cores }
+
+// ComputeParallel charges flops of kernel work that fans out across the
+// rank's core budget: the full flops are counted as work performed, but
+// the clock advances by only flops/cores at the streaming rate. Use it
+// for the data-parallel kernels (Gram assembly over the owned block,
+// batched products, residual updates); redundant per-rank scalar work
+// (the µ×µ eigensolve, the prox step) stays on Compute.
+func (c *Comm) ComputeParallel(flops float64) {
+	t := flops / float64(c.world.cores) * c.world.machine.GammaStream
+	c.st.Clock += t
+	c.st.CompTime += t
+	c.st.Flops += flops
+}
+
 // ComputeBlocked charges flops of blocked (BLAS-3-like) work with the
 // given working set. If the working set exceeds the machine's cache the
 // streaming rate applies — the cache knee behind the paper's observation
 // that computation speedups of SA vanish for very large s.
 func (c *Comm) ComputeBlocked(flops float64, workingSetWords int) {
 	t := flops * c.world.machine.gammaFor(true, workingSetWords)
+	c.st.Clock += t
+	c.st.CompTime += t
+	c.st.Flops += flops
+}
+
+// ComputeBlockedParallel is ComputeBlocked across the rank's core
+// budget: flops/cores at the blocked (or, past the cache knee, the
+// streaming) rate. The working set is not divided — the cores cooperate
+// on one shared block, as the pool's partitioned Gram kernels do.
+func (c *Comm) ComputeBlockedParallel(flops float64, workingSetWords int) {
+	t := flops / float64(c.world.cores) * c.world.machine.gammaFor(true, workingSetWords)
 	c.st.Clock += t
 	c.st.CompTime += t
 	c.st.Flops += flops

@@ -457,3 +457,54 @@ func TestElapsedAndMachineAccessors(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRunHybridComputeParallel pins the hybrid cost accounting: the
+// parallel variants divide modeled time by the core budget, charge the
+// full flop count as work, and plain Compute is unaffected. Run must be
+// exactly RunHybrid with one core.
+func TestRunHybridComputeParallel(t *testing.T) {
+	m := Machine{GammaStream: 1e-9, GammaBlocked: 2.5e-10, CacheWords: 1000}
+	stats, err := RunHybrid(1, 4, m, func(c *Comm) error {
+		if c.Cores() != 4 {
+			return fmt.Errorf("Cores() = %d", c.Cores())
+		}
+		c.Compute(1e6)                         // 1e6·γs
+		c.ComputeParallel(1e6)                 // 1e6/4·γs
+		c.ComputeBlockedParallel(1e6, 100)     // 1e6/4·γb (fits cache)
+		c.ComputeBlockedParallel(1e6, 100_000) // 1e6/4·γs (spills cache)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1e6*m.GammaStream + 1e6/4*m.GammaStream + 1e6/4*m.GammaBlocked + 1e6/4*m.GammaStream
+	if got := stats.MaxClock(); math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("hybrid clock = %v, want %v", got, want)
+	}
+	if stats.PerRank[0].Flops != 4e6 {
+		t.Fatalf("flops = %v, want full work counted", stats.PerRank[0].Flops)
+	}
+
+	flat, err := Run(1, m, func(c *Comm) error {
+		if c.Cores() != 1 {
+			return fmt.Errorf("flat Cores() = %d", c.Cores())
+		}
+		c.Compute(1e6)
+		c.ComputeParallel(1e6) // = Compute at one core
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := flat.MaxClock(), 2e6*m.GammaStream; math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("flat clock = %v, want %v", got, want)
+	}
+	if _, err := RunHybrid(1, 0, m, func(c *Comm) error {
+		if c.Cores() != 1 {
+			return fmt.Errorf("cores clamp: %d", c.Cores())
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

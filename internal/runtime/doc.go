@@ -1,0 +1,38 @@
+// Package runtime is the shared-memory execution layer of the
+// repository: a persistent, long-lived worker pool behind a chunked
+// fork-join API (For, Ranges) and the deterministic partitioners the
+// kernels above it are built on.
+//
+// The pool exists because of the paper's workload shape. The solvers'
+// per-iteration blocks are tiny (µ ≤ 8 in every experiment), so an
+// execution layer that spawns goroutines per parallel region pays a
+// dispatch cost comparable to the kernel itself. Here workers are
+// spawned once, parked on a channel, and fed reusable job descriptors;
+// steady-state dispatch is one channel send per helping worker plus
+// atomic chunk claiming — no goroutine creation, no per-call
+// synchronization beyond the final join.
+//
+// The determinism contract is unchanged from the fork-join layer this
+// package replaces: a parallel kernel partitions only independent
+// output elements across workers and leaves each element's summation
+// order exactly as in the sequential code. Chunk boundaries depend only
+// on (n, minChunk, width), never on scheduling, and which worker
+// executes which chunk cannot affect any result. Multicore kernels are
+// therefore bitwise identical to their sequential runs at every width —
+// the shared-memory analogue of the paper's "same iterate sequence up
+// to floating-point roundoff" claim, and the property internal/core's
+// backend-equivalence tests pin end to end.
+//
+// Worker widths are resolved at call time: a width of 0 means
+// runtime.GOMAXPROCS(0) as of the call, so GOMAXPROCS changes after
+// package init take effect (unlike a pool sized once at import). The
+// caller always participates in its own job, so a width-1 call runs
+// inline on the calling goroutine, nested calls cannot deadlock, and
+// progress never depends on pool capacity.
+//
+// The simulated distributed runtime (internal/mpi, internal/dist) runs
+// one goroutine per rank; its ranks use this pool only when a per-rank
+// core budget is configured (hybrid rank×thread runs), and its
+// reductions always follow the binomial-tree order of the modeled
+// collectives, never this package's.
+package runtime

@@ -1,0 +1,361 @@
+package runtime
+
+import (
+	stdruntime "runtime"
+	"sync/atomic"
+)
+
+// hardCap bounds the number of worker goroutines a pool will ever spawn.
+// Parked workers cost only a blocked goroutine, so the cap is a runaway
+// backstop, not a tuning knob; useful parallelism is still governed by
+// GOMAXPROCS.
+const hardCap = 1024
+
+// Pool is a persistent shared-memory worker pool. Workers are spawned
+// lazily up to the requested width (never more than hardCap), park on a
+// shared channel, and live for the life of the pool. The zero value is
+// not usable; construct with NewPool or use the package-level Default.
+type Pool struct {
+	work    chan *job
+	free    chan *job
+	spawned atomic.Int64
+}
+
+// NewPool returns an empty pool; workers are spawned on demand as calls
+// request width.
+func NewPool() *Pool {
+	return &Pool{
+		work: make(chan *job, hardCap),
+		free: make(chan *job, 64),
+	}
+}
+
+// defaultPool is the process-wide pool every package-level entry point
+// dispatches to. One pool is the point: solver kernels, BLAS helpers and
+// cluster-parallel training all share the same parked workers instead of
+// each spawning their own.
+var defaultPool = NewPool()
+
+// Default returns the process-wide pool.
+func Default() *Pool { return defaultPool }
+
+// Resolve normalizes a requested width: w > 0 is taken as-is, anything
+// else means runtime.GOMAXPROCS(0) at the time of the call — not at
+// package init — so GOMAXPROCS changes made after import take effect.
+func Resolve(w int) int {
+	if w > 0 {
+		return w
+	}
+	return stdruntime.GOMAXPROCS(0)
+}
+
+// job is a reusable parallel-region descriptor. Executors (the caller
+// plus any helping workers) claim work by atomically incrementing next:
+// chunk index c covers [c·chunk, min((c+1)·chunk, n)) for a For job, or
+// the half-open range [bounds[c], bounds[c+1]) for a Ranges job. refs
+// counts executors still holding the descriptor; the last one out
+// signals done, which is also what makes recycling safe — a descriptor
+// is returned to the free list only after every reference is dead.
+type job struct {
+	body   func(lo, hi int)
+	bounds []int // nil for For jobs
+	n      int   // items (For) or ranges (Ranges)
+	chunk  int   // chunk size (For); unused for Ranges
+	chunks int   // number of claimable chunks
+	next   atomic.Int64
+	refs   atomic.Int64
+	done   chan struct{}
+}
+
+// run claims and executes chunks until none remain.
+func (j *job) run() {
+	for {
+		c := int(j.next.Add(1)) - 1
+		if c >= j.chunks {
+			return
+		}
+		if j.bounds != nil {
+			lo, hi := j.bounds[c], j.bounds[c+1]
+			if lo < hi {
+				j.body(lo, hi)
+			}
+			continue
+		}
+		lo := c * j.chunk
+		hi := lo + j.chunk
+		if hi > j.n {
+			hi = j.n
+		}
+		j.body(lo, hi)
+	}
+}
+
+// finish drops one reference, signalling the waiter when it was the
+// last.
+func (j *job) finish() {
+	if j.refs.Add(-1) == 0 {
+		j.done <- struct{}{}
+	}
+}
+
+// worker is the persistent loop every pool goroutine parks in.
+func (p *Pool) worker() {
+	for j := range p.work {
+		j.run()
+		j.finish()
+	}
+}
+
+// getJob takes a recycled descriptor or allocates one.
+func (p *Pool) getJob() *job {
+	select {
+	case j := <-p.free:
+		return j
+	default:
+		return &job{done: make(chan struct{}, 1)}
+	}
+}
+
+// putJob recycles a descriptor; safe because the caller observed
+// refs == 0, which happens only after every executor finished touching
+// it.
+func (p *Pool) putJob(j *job) {
+	j.body = nil
+	j.bounds = nil
+	select {
+	case p.free <- j:
+	default:
+	}
+}
+
+// ensure spawns workers until at least w exist (capped at hardCap).
+func (p *Pool) ensure(w int) {
+	if w > hardCap {
+		w = hardCap
+	}
+	for {
+		cur := p.spawned.Load()
+		if int(cur) >= w {
+			return
+		}
+		if p.spawned.CompareAndSwap(cur, cur+1) {
+			go p.worker()
+		}
+	}
+}
+
+// execute runs a prepared job with up to w executors: the caller plus
+// w−1 helping workers. Helper delivery is a buffered, non-blocking send
+// — if the queue is full the region simply runs narrower — and the
+// caller always claims chunks inline, so dispatch itself cannot block.
+//
+// The join is cooperative, which is what makes nested parallelism safe.
+// A caller that finished its own chunks may still hold references: its
+// undelivered queue entries, or helpers mid-chunk. Blocking outright
+// here can deadlock when the caller is itself a pool worker — every
+// worker can be parked in this join while the queue holds the very
+// entries that would release them (e.g. cluster-parallel CA-SVM whose
+// local solves use multicore kernels). So the waiting caller drains the
+// queue instead: its own job's entries are cancelled (nobody else needs
+// to consume them), other jobs' entries are executed on the spot. Each
+// drained entry either resolves one of this job's references or makes
+// progress on the job some other caller is waiting on, so joins ground
+// out bottom-up through any nesting depth.
+func (p *Pool) execute(j *job, w int) {
+	j.next.Store(0)
+	j.refs.Store(1)
+	helpers := w - 1
+	p.ensure(helpers)
+deliver:
+	for i := 0; i < helpers; i++ {
+		j.refs.Add(1)
+		select {
+		case p.work <- j:
+		default:
+			// Queue full: plenty of work is already outstanding.
+			j.refs.Add(-1)
+			break deliver
+		}
+	}
+	j.run()
+	if j.refs.Add(-1) == 0 {
+		p.putJob(j)
+		return
+	}
+	for {
+		select {
+		case other := <-p.work:
+			if other == j {
+				// One of this job's own undelivered entries: every chunk is
+				// already claimed (the caller's run only returns then), so
+				// cancel the reference rather than re-run an empty claim loop.
+				if j.refs.Add(-1) == 0 {
+					p.putJob(j)
+					return
+				}
+				continue
+			}
+			other.run()
+			other.finish()
+		case <-j.done:
+			p.putJob(j)
+			return
+		}
+	}
+}
+
+// For splits [0,n) into contiguous chunks of at least minChunk items and
+// runs body(lo, hi) on up to w executors from the pool (w <= 0 resolves
+// to GOMAXPROCS at call time). It runs inline when the region is too
+// small to split or only one executor is requested, so callers never pay
+// dispatch on the tiny per-iteration blocks that dominate the solvers'
+// inner loops. Chunk boundaries depend only on (w, n, minChunk), so any
+// kernel that partitions independent output elements is bitwise
+// identical at every width.
+func (p *Pool) For(w, n, minChunk int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	w = Resolve(w)
+	if w > n/minChunk {
+		w = n / minChunk
+	}
+	if w <= 1 {
+		body(0, n)
+		return
+	}
+	j := p.getJob()
+	j.body = body
+	j.bounds = nil
+	j.n = n
+	j.chunk = (n + w - 1) / w
+	j.chunks = (n + j.chunk - 1) / j.chunk
+	p.execute(j, w)
+}
+
+// Ranges runs body on the consecutive half-open ranges
+// [bounds[i], bounds[i+1]), claimed by up to len(bounds)-1 executors.
+// It is the building block for load-balanced partitions whose chunk
+// boundaries carry meaning — e.g. TriangleRanges for Gram assembly,
+// where equal index ranges would give the first worker almost all the
+// flops. Empty ranges are skipped.
+func (p *Pool) Ranges(bounds []int, body func(lo, hi int)) {
+	nr := len(bounds) - 1
+	if nr <= 0 {
+		return
+	}
+	if nr == 1 {
+		if bounds[0] < bounds[1] {
+			body(bounds[0], bounds[1])
+		}
+		return
+	}
+	j := p.getJob()
+	j.body = body
+	j.bounds = bounds
+	j.n = nr
+	j.chunks = nr
+	p.execute(j, nr)
+}
+
+// For runs the region on the process-wide pool.
+func For(w, n, minChunk int, body func(lo, hi int)) {
+	defaultPool.For(w, n, minChunk, body)
+}
+
+// Ranges runs the partitioned region on the process-wide pool.
+func Ranges(bounds []int, body func(lo, hi int)) {
+	defaultPool.Ranges(bounds, body)
+}
+
+// Workers reports how many persistent workers the pool has spawned so
+// far (they are created on demand, up to the largest width requested).
+func (p *Pool) Workers() int { return int(p.spawned.Load()) }
+
+// TriangleRanges partitions rows [0,n) of an upper-triangular loop
+// (row i costs ~n−i) into at most parts ranges of roughly equal pair
+// counts, returning the boundaries for Ranges. The split depends only on
+// n and parts, never on scheduling, so partitioned kernels stay
+// deterministic.
+func TriangleRanges(n, parts int) []int {
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > n {
+		parts = n
+	}
+	bounds := make([]int, 1, parts+1)
+	total := float64(n) * float64(n+1) / 2
+	row := 0
+	for p := 1; p < parts; p++ {
+		// Row r has weight n−r; advance until this part holds ≥ total/parts.
+		target := total * float64(p) / float64(parts)
+		// Rows [0,r) cover n + (n−1) + ... + (n−r+1) = r·n − r(r−1)/2 pairs.
+		for row < n {
+			covered := float64(row)*float64(n) - float64(row)*float64(row-1)/2
+			if covered >= target {
+				break
+			}
+			row++
+		}
+		bounds = append(bounds, row)
+	}
+	bounds = append(bounds, n)
+	return bounds
+}
+
+// Reduce folds leaf values over [0,n) into a single float64 with a
+// deterministic tree: the range is cut into fixed-size chunks (chunk
+// size depends only on n and minChunk, never on the worker count), leaf
+// computes each chunk's partial, and the partials are combined pairwise
+// along a binary tree in chunk-index order. The result is identical for
+// every width — including 1 — which is what lets solvers call it from
+// any backend without perturbing iterates. It does NOT generally equal
+// the single left-to-right fold of a plain loop; callers that need that
+// exact order (the distributed runtime's replicated state) must stay
+// sequential.
+func (p *Pool) Reduce(w, n, minChunk int, leaf func(lo, hi int) float64, combine func(a, b float64) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	nc := (n + minChunk - 1) / minChunk
+	if nc == 1 {
+		return leaf(0, n)
+	}
+	partial := make([]float64, nc)
+	p.For(w, nc, 1, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			lo := c * minChunk
+			hi := lo + minChunk
+			if hi > n {
+				hi = n
+			}
+			partial[c] = leaf(lo, hi)
+		}
+	})
+	// Pairwise tree fold in chunk-index order: (p0⊕p1) ⊕ (p2⊕p3) ⊕ ...
+	for nc > 1 {
+		half := nc / 2
+		for i := 0; i < half; i++ {
+			partial[i] = combine(partial[2*i], partial[2*i+1])
+		}
+		if nc%2 == 1 {
+			partial[half] = partial[nc-1]
+			nc = half + 1
+		} else {
+			nc = half
+		}
+	}
+	return partial[0]
+}
+
+// Reduce runs the deterministic tree reduction on the process-wide pool.
+func Reduce(w, n, minChunk int, leaf func(lo, hi int) float64, combine func(a, b float64) float64) float64 {
+	return defaultPool.Reduce(w, n, minChunk, leaf, combine)
+}

@@ -1,0 +1,71 @@
+package sparse
+
+import (
+	"testing"
+
+	"saco/internal/mat"
+)
+
+// atomicTestMatrix builds a small fixed CSR/CSC pair.
+func atomicTestMatrix(t *testing.T) (*CSR, *CSC) {
+	t.Helper()
+	coo := NewCOO(4, 5)
+	coo.Add(0, 0, 1)
+	coo.Add(0, 3, 2)
+	coo.Add(1, 1, -3)
+	coo.Add(1, 4, 0.5)
+	coo.Add(2, 0, 4)
+	coo.Add(2, 2, -1)
+	coo.Add(3, 3, 2.5)
+	csr := coo.ToCSR()
+	return csr, csr.ToCSC()
+}
+
+// TestAtomicKernelsMatchPlain pins the anchor property the async solvers
+// rely on: each atomic kernel, run without contention, reproduces its
+// plain counterpart bit for bit (same loop order, same arithmetic).
+func TestAtomicKernelsMatchPlain(t *testing.T) {
+	csr, csc := atomicTestMatrix(t)
+	rvals := []float64{0.5, -1, 2, 0.25}
+	xvals := []float64{1, -2, 0.5, 3, -0.75}
+
+	cols := []int{0, 3, 4}
+	want := make([]float64, len(cols))
+	csc.ColTMulVec(cols, rvals, want)
+	got := make([]float64, len(cols))
+	csc.ColTMulVecAtomic(cols, mat.NewAtomicVecFrom(rvals), got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ColTMulVecAtomic[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	coef := []float64{2, -0.5, 1}
+	plain := append([]float64(nil), rvals...)
+	csc.ColMulAdd(cols, coef, plain)
+	av := mat.NewAtomicVecFrom(rvals)
+	csc.ColMulAddAtomic(cols, coef, av)
+	for i := range plain {
+		if av.Load(i) != plain[i] {
+			t.Fatalf("ColMulAddAtomic[%d] = %v, want %v", i, av.Load(i), plain[i])
+		}
+	}
+
+	xv := mat.NewAtomicVecFrom(xvals)
+	one := make([]float64, 1)
+	for i := 0; i < csr.M; i++ {
+		csr.RowMulVec([]int{i}, xvals, one)
+		if got := csr.RowDotAtomic(i, xv); got != one[0] {
+			t.Fatalf("RowDotAtomic(%d) = %v, want %v", i, got, one[0])
+		}
+	}
+
+	plainX := append([]float64(nil), xvals...)
+	csr.RowTAxpy(2, 1.5, plainX)
+	csr.RowTAxpyAtomic(2, 1.5, xv)
+	for j := range plainX {
+		if xv.Load(j) != plainX[j] {
+			t.Fatalf("RowTAxpyAtomic[%d] = %v, want %v", j, xv.Load(j), plainX[j])
+		}
+	}
+}

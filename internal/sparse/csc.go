@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"saco/internal/mat"
+	rt "saco/internal/runtime"
 )
 
 // CSC is a compressed sparse column matrix. Column j occupies the
@@ -49,7 +50,7 @@ func (a *CSC) ColTMulVec(cols []int, v []float64, dst []float64) {
 	}
 	// Each dst[k] is an independent column dot with a fixed summation
 	// order, so partitioning the output keeps results bitwise identical.
-	mat.ParallelForWorkers(a.KernelWorkers(), len(cols), 1, func(lo, hi int) {
+	rt.For(a.KernelWorkers(), len(cols), 1, func(lo, hi int) {
 		for k := lo; k < hi; k++ {
 			j := cols[k]
 			var s float64
@@ -106,7 +107,7 @@ func (a *CSC) ColGram(cols []int, dst *mat.Dense) {
 		}
 	}
 	if w := a.KernelWorkers(); w > 1 && s >= 4 {
-		mat.ParallelRanges(mat.TriangleRanges(s, w), gramRows)
+		rt.Ranges(rt.TriangleRanges(s, w), gramRows)
 	} else {
 		gramRows(0, s)
 	}
@@ -156,7 +157,7 @@ func (a *CSC) MulVecT(x, y []float64) {
 	if len(x) != a.M || len(y) != a.N {
 		panic("sparse: CSC.MulVecT shape mismatch")
 	}
-	mat.ParallelForWorkers(a.KernelWorkers(), a.N, 64, func(lo, hi int) {
+	rt.For(a.KernelWorkers(), a.N, 64, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
 			var s float64
 			for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"saco/internal/mat"
+	rt "saco/internal/runtime"
 )
 
 // CSR is a compressed sparse row matrix. Row i occupies the half-open
@@ -73,7 +74,7 @@ func (a *CSR) MulVec(x, y []float64) {
 	if len(x) != a.N || len(y) != a.M {
 		panic(fmt.Sprintf("sparse: MulVec shape mismatch A=%dx%d len(x)=%d len(y)=%d", a.M, a.N, len(x), len(y)))
 	}
-	mat.ParallelForWorkers(a.KernelWorkers(), a.M, 128, func(lo, hi int) {
+	rt.For(a.KernelWorkers(), a.M, 128, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			var s float64
 			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
@@ -107,7 +108,7 @@ func (a *CSR) RowMulVec(rows []int, x []float64, dst []float64) {
 	if len(x) != a.N || len(dst) != len(rows) {
 		panic("sparse: RowMulVec shape mismatch")
 	}
-	mat.ParallelForWorkers(a.KernelWorkers(), len(rows), 1, func(lo, hi int) {
+	rt.For(a.KernelWorkers(), len(rows), 1, func(lo, hi int) {
 		for k := lo; k < hi; k++ {
 			r := rows[k]
 			var s float64
@@ -162,7 +163,7 @@ func (a *CSR) RowGram(rows []int, dst *mat.Dense) {
 		}
 	}
 	if w := a.KernelWorkers(); w > 1 && s >= 4 {
-		mat.ParallelRanges(mat.TriangleRanges(s, w), gramRows)
+		rt.Ranges(rt.TriangleRanges(s, w), gramRows)
 	} else {
 		gramRows(0, s)
 	}

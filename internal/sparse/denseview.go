@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"saco/internal/mat"
+	rt "saco/internal/runtime"
 )
 
 // DenseCols adapts a dense matrix to the column-sampling access pattern of
@@ -37,7 +38,7 @@ func (d DenseCols) ColTMulVec(cols []int, v []float64, dst []float64) {
 	if len(v) != d.A.R || len(dst) != len(cols) {
 		panic(fmt.Sprintf("sparse: DenseCols.ColTMulVec shape mismatch A=%dx%d len(v)=%d", d.A.R, d.A.C, len(v)))
 	}
-	mat.ParallelForWorkers(d.KernelWorkers(), len(cols), 1, func(klo, khi int) {
+	rt.For(d.KernelWorkers(), len(cols), 1, func(klo, khi int) {
 		for k := klo; k < khi; k++ {
 			dst[k] = 0
 		}
@@ -59,7 +60,7 @@ func (d DenseCols) ColMulAdd(cols []int, coef []float64, v []float64) {
 	if len(v) != d.A.R || len(coef) != len(cols) {
 		panic("sparse: DenseCols.ColMulAdd shape mismatch")
 	}
-	mat.ParallelForWorkers(d.KernelWorkers(), d.A.R, 128, func(lo, hi int) {
+	rt.For(d.KernelWorkers(), d.A.R, 128, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := d.A.Row(i)
 			var s float64
@@ -97,7 +98,7 @@ func (d DenseCols) ColGram(cols []int, dst *mat.Dense) {
 		}
 	}
 	if w := d.KernelWorkers(); w > 1 && s >= 4 {
-		mat.ParallelRanges(mat.TriangleRanges(s, w), gramRows)
+		rt.Ranges(rt.TriangleRanges(s, w), gramRows)
 	} else {
 		gramRows(0, s)
 	}
@@ -113,7 +114,7 @@ func (d DenseCols) MulVec(x, y []float64) {
 	if len(x) != d.A.C || len(y) != d.A.R {
 		panic("sparse: DenseCols.MulVec shape mismatch")
 	}
-	mat.ParallelForWorkers(d.KernelWorkers(), d.A.R, 256, func(lo, hi int) {
+	rt.For(d.KernelWorkers(), d.A.R, 256, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			y[i] = mat.Dot(d.A.Row(i), x)
 		}
@@ -143,7 +144,7 @@ func (d DenseRows) RowMulVec(rows []int, x []float64, dst []float64) {
 	if len(x) != d.A.C || len(dst) != len(rows) {
 		panic("sparse: DenseRows.RowMulVec shape mismatch")
 	}
-	mat.ParallelForWorkers(d.KernelWorkers(), len(rows), 1, func(lo, hi int) {
+	rt.For(d.KernelWorkers(), len(rows), 1, func(lo, hi int) {
 		for k := lo; k < hi; k++ {
 			dst[k] = mat.Dot(d.A.Row(rows[k]), x)
 		}
@@ -172,7 +173,7 @@ func (d DenseRows) RowGram(rows []int, dst *mat.Dense) {
 		}
 	}
 	if w := d.KernelWorkers(); w > 1 && s >= 4 {
-		mat.ParallelRanges(mat.TriangleRanges(s, w), gramRows)
+		rt.Ranges(rt.TriangleRanges(s, w), gramRows)
 	} else {
 		gramRows(0, s)
 	}
@@ -183,7 +184,7 @@ func (d DenseRows) MulVec(x, y []float64) {
 	if len(x) != d.A.C || len(y) != d.A.R {
 		panic("sparse: DenseRows.MulVec shape mismatch")
 	}
-	mat.ParallelForWorkers(d.KernelWorkers(), d.A.R, 256, func(lo, hi int) {
+	rt.For(d.KernelWorkers(), d.A.R, 256, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			y[i] = mat.Dot(d.A.Row(i), x)
 		}

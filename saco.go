@@ -75,13 +75,17 @@ const (
 	SVML2 = core.SVML2
 )
 
-// Execution-backend selection: every solve runs sequentially by default,
-// fans its matrix kernels across a shared-memory worker pool with
-// BackendMulticore, or runs on the simulated cluster via SimulateLasso /
-// SimulateSVM. Multicore execution parallelizes only independent output
-// elements with unchanged summation order, so iterates are bitwise
-// identical to the sequential backend — the shared-memory counterpart of
-// the paper's same-sequence claim.
+// Execution-backend selection: every solve runs sequentially by default;
+// BackendMulticore fans its matrix kernels across the persistent
+// shared-memory worker pool; BackendAsync runs lock-free HOGWILD!-style
+// solver workers against one shared atomic iterate; and the simulated
+// cluster (SimulateLasso / SimulateSVM) models distributed execution,
+// optionally hybrid rank×thread via Cluster.RankWorkers. Multicore
+// execution parallelizes only independent output elements with unchanged
+// summation order, so iterates are bitwise identical to the sequential
+// backend — the shared-memory counterpart of the paper's same-sequence
+// claim. Async execution keeps only convergence: runs reach the same
+// optimum (tolerance-convergent) but are not reproducible step for step.
 type (
 	// Exec selects the execution backend of one solve (LassoOptions.Exec,
 	// SVMOptions.Exec).
@@ -94,6 +98,7 @@ type (
 const (
 	BackendSequential = core.BackendSequential
 	BackendMulticore  = core.BackendMulticore
+	BackendAsync      = core.BackendAsync
 )
 
 // Multicore returns an Exec selecting the multicore backend with w
@@ -103,6 +108,18 @@ func Multicore(w int) Exec {
 		w = 0
 	}
 	return Exec{Backend: core.BackendMulticore, Workers: w}
+}
+
+// Async returns an Exec selecting the lock-free asynchronous backend
+// with w solver workers; w <= 0 uses every core (GOMAXPROCS). Async
+// solves converge to the sequential optimum but are not deterministic;
+// objective tracking (TrackEvery) and the SVM gap tolerance (Tol) are
+// skipped, and the accelerated Lasso variants are not supported.
+func Async(w int) Exec {
+	if w < 0 {
+		w = 0
+	}
+	return Exec{Backend: core.BackendAsync, Workers: w}
 }
 
 // Matrix and dataset types.
