@@ -5,74 +5,132 @@
 //
 //	sasolve -task lasso -data train.svm -lambda-frac 0.1 -mu 8 -s 64 -accel -iters 5000
 //	sasolve -task svm -data train.svm -loss l2 -s 128 -iters 100000 -tol 0.1
+//	sasolve -task lasso -data url.svm -stream -block-rows 65536 -s 64 -iters 10000
+//
+// With -stream the input is ingested once into an on-disk shard cache
+// (see internal/stream) and solved out of core: peak memory is about
+// two row blocks plus solver state instead of the whole matrix, and the
+// sequential trajectory is bitwise identical to the in-memory run.
 package main
 
 import (
+	"bufio"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
-	"sync"
+	"strconv"
+	"strings"
 
 	"saco"
 )
 
 func main() {
-	var (
-		dataPath   = flag.String("data", "", "LIBSVM input file (required)")
-		task       = flag.String("task", "lasso", "lasso or svm")
-		iters      = flag.Int("iters", 1000, "iterations H")
-		s          = flag.Int("s", 1, "recurrence unrolling parameter (1 = classical)")
-		seed       = flag.Uint64("seed", 42, "sampling seed")
-		outPath    = flag.String("out", "", "write the model vector here (text, one value per line)")
-		track      = flag.Int("track", 0, "print convergence every N iterations")
-		lambdaFrac = flag.Float64("lambda-frac", 0.1, "lasso: lambda as a fraction of ||A'b||_inf")
-		mu         = flag.Int("mu", 1, "lasso: block size")
-		accel      = flag.Bool("accel", false, "lasso: Nesterov acceleration")
-		lambda     = flag.Float64("lambda", 1, "svm: penalty parameter")
-		loss       = flag.String("loss", "l1", "svm: l1 (hinge) or l2 (squared hinge)")
-		tol        = flag.Float64("tol", 0, "svm: stop at this duality gap")
-		simP       = flag.Int("simulate", 0, "run on a simulated cluster with this many ranks (0 = local)")
-		machine    = flag.String("machine", "cray", "simulated platform: cray, ethernet, spark")
-		rankW      = flag.Int("rank-workers", 0, "simulated runs: per-rank core budget for hybrid rank x thread execution (0/1 = flat MPI)")
-		backend    = flag.String("backend", "", "local backend: sequential, multicore or async (default sequential; -workers alone implies multicore)")
-		workers    = flag.Int("workers", 0, "local backend width; with -backend, 0 or -1 = all cores; without it, legacy semantics: 0 = sequential, -1/N = multicore")
-		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the solve to this file")
-		memProf    = flag.String("memprofile", "", "write a heap profile after the solve to this file")
-	)
-	flag.Parse()
-	exec, err := resolveBackend(*backend, *workers)
-	fail(err)
-	if *dataPath == "" {
-		fmt.Fprintln(os.Stderr, "sasolve: -data is required")
-		flag.PrintDefaults()
-		os.Exit(2)
-	}
-	if *cpuProf != "" {
-		f, err := os.Create(*cpuProf)
-		fail(err)
-		fail(pprof.StartCPUProfile(f))
-		// fail() exits through os.Exit, which skips defers; route it
-		// through stopCPUProfile so an error mid-solve still flushes a
-		// valid profile instead of leaving a truncated file.
-		var once sync.Once
-		stopCPUProfile = func() {
-			once.Do(func() {
-				pprof.StopCPUProfile()
-				f.Close()
-			})
-		}
-		defer stopCPUProfile()
-	}
-	a, b, err := saco.LoadLIBSVM(*dataPath, 0)
-	fail(err)
-	fmt.Printf("loaded %s: %d points, %d features, %.4g%% nonzero\n",
-		*dataPath, a.M, a.N, 100*a.Density())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	cluster := saco.Cluster{P: *simP, RankWorkers: *rankW}
-	if *simP > 0 {
-		switch *machine {
+// usageError marks a bad invocation: run prints the flag defaults and
+// exits 2, like flag's own parse failures.
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
+
+// run is the whole program behind a testable seam: it parses args on
+// its own FlagSet, writes to the given streams, and returns the process
+// exit code instead of calling os.Exit.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sasolve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dataPath   = fs.String("data", "", "LIBSVM input file (required)")
+		task       = fs.String("task", "lasso", "lasso, svm or pegasos")
+		iters      = fs.Int("iters", 1000, "iterations H")
+		s          = fs.Int("s", 1, "recurrence unrolling parameter (1 = classical)")
+		seed       = fs.Uint64("seed", 42, "sampling seed")
+		outPath    = fs.String("out", "", "write the model vector here (text, one value per line)")
+		track      = fs.Int("track", 0, "print convergence every N iterations")
+		lambdaFrac = fs.Float64("lambda-frac", 0.1, "lasso: lambda as a fraction of ||A'b||_inf")
+		mu         = fs.Int("mu", 1, "lasso: block size")
+		accel      = fs.Bool("accel", false, "lasso: Nesterov acceleration")
+		lambda     = fs.Float64("lambda", 1, "svm: penalty parameter")
+		loss       = fs.String("loss", "l1", "svm: l1 (hinge) or l2 (squared hinge)")
+		tol        = fs.Float64("tol", 0, "svm: stop at this duality gap")
+		simP       = fs.Int("simulate", 0, "run on a simulated cluster with this many ranks (0 = local)")
+		machine    = fs.String("machine", "cray", "simulated platform: cray, ethernet, spark")
+		rankW      = fs.Int("rank-workers", 0, "simulated runs: per-rank core budget for hybrid rank x thread execution (0/1 = flat MPI)")
+		backend    = fs.String("backend", "", "local backend: sequential, multicore or async (default sequential; -workers alone implies multicore)")
+		workers    = fs.Int("workers", 0, "local backend width; with -backend, 0 or -1 = all cores; without it, legacy semantics: 0 = sequential, -1/N = multicore")
+		streaming  = fs.Bool("stream", false, "solve out of core: spill the dataset to row-block shards and stream them (bounded memory)")
+		blockRows  = fs.Int("block-rows", 8192, "streaming: rows per shard")
+		cacheDir   = fs.String("cache-dir", "", "streaming: shard cache directory (reused if it holds a manifest; default: a temp dir removed on exit)")
+		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile of the solve to this file")
+		memProf    = fs.String("memprofile", "", "write a heap profile after the solve to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0 // -h is a successful invocation, like flag.ExitOnError's os.Exit(0)
+		}
+		return 2
+	}
+	err := solve(stdout, &options{
+		dataPath: *dataPath, task: *task, iters: *iters, s: *s, seed: *seed,
+		outPath: *outPath, track: *track, lambdaFrac: *lambdaFrac, mu: *mu,
+		accel: *accel, lambda: *lambda, loss: *loss, tol: *tol, simP: *simP,
+		machine: *machine, rankW: *rankW, backend: *backend, workers: *workers,
+		streaming: *streaming, blockRows: *blockRows, cacheDir: *cacheDir,
+		cpuProf: *cpuProf, memProf: *memProf,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "sasolve: %v\n", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			fs.PrintDefaults()
+			return 2
+		}
+		return 1
+	}
+	return 0
+}
+
+// options carries the parsed flags into solve.
+type options struct {
+	dataPath, task, outPath    string
+	iters, s, track, mu        int
+	seed                       uint64
+	lambdaFrac, lambda, tol    float64
+	accel                      bool
+	loss, machine              string
+	simP, rankW, workers       int
+	backend                    string
+	streaming                  bool
+	blockRows                  int
+	cacheDir, cpuProf, memProf string
+}
+
+// solve validates the options and runs one fit end to end. All exits
+// flow back through error returns, so deferred cleanup (profiles, temp
+// shard caches) always runs — unlike the old os.Exit path, which could
+// leave a truncated CPU profile behind.
+func solve(stdout io.Writer, o *options) error {
+	exec, err := resolveBackend(o.backend, o.workers)
+	if err != nil {
+		return err
+	}
+	switch o.task {
+	case "lasso", "svm", "pegasos":
+	default:
+		return usageError{fmt.Sprintf("unknown task %q (lasso, svm, pegasos)", o.task)}
+	}
+	if o.dataPath == "" {
+		return usageError{"-data is required"}
+	}
+	cluster := saco.Cluster{P: o.simP, RankWorkers: o.rankW}
+	if o.simP > 0 {
+		switch o.machine {
 		case "cray":
 			cluster.Machine = saco.CrayXC30()
 		case "ethernet":
@@ -80,98 +138,229 @@ func main() {
 		case "spark":
 			cluster.Machine = saco.SparkLike()
 		default:
-			fmt.Fprintf(os.Stderr, "sasolve: unknown machine %q\n", *machine)
-			os.Exit(2)
+			return usageError{fmt.Sprintf("unknown machine %q (cray, ethernet, spark)", o.machine)}
 		}
+	}
+	if o.streaming && exec.Backend == saco.BackendAsync {
+		return usageError{"-stream runs the solver sequentially (streamed shards have no atomic kernels); drop -backend async"}
+	}
+
+	if o.cpuProf != "" {
+		f, err := os.Create(o.cpuProf)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	// Load the data: resident CSR, or the out-of-core shard cache.
+	var (
+		ds *saco.StreamDataset
+		a  *saco.CSR
+		b  []float64
+	)
+	if o.streaming {
+		dir := o.cacheDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "sasolve-stream-")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		if _, statErr := os.Stat(filepath.Join(dir, "manifest.bin")); statErr == nil {
+			ds, err = saco.OpenStream(dir)
+			if err != nil {
+				return err
+			}
+			if !ds.SourceMatches(o.dataPath) {
+				return fmt.Errorf("shard cache %s was built from different data than %s (size or mtime changed); delete the cache or pick another -cache-dir", dir, o.dataPath)
+			}
+			fmt.Fprintf(stdout, "reusing shard cache %s\n", dir)
+		} else {
+			ds, err = saco.BuildStream(o.dataPath, dir, saco.StreamOptions{BlockRows: o.blockRows})
+			if err != nil {
+				return err
+			}
+		}
+		b = ds.B
+		m, n := ds.Dims()
+		fmt.Fprintf(stdout, "streaming %s: %d points, %d features, %.4g%% nonzero, %d shards x %d rows\n",
+			o.dataPath, m, n, 100*ds.Density(), ds.NumShards(), ds.BlockRows())
+	} else {
+		a, b, err = saco.LoadLIBSVM(o.dataPath, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "loaded %s: %d points, %d features, %.4g%% nonzero\n",
+			o.dataPath, a.M, a.N, 100*a.Density())
 	}
 
 	var x []float64
-	switch *task {
+	switch o.task {
 	case "lasso":
-		cols := a.ToCSC()
-		lam := *lambdaFrac * saco.LambdaMax(cols, b)
-		opt := saco.LassoOptions{
-			Lambda: lam, BlockSize: *mu, Iters: *iters, S: *s,
-			Accelerated: *accel, Seed: *seed, TrackEvery: *track, Exec: exec,
+		var cols saco.ColMatrix
+		if o.streaming {
+			cols = ds.Cols()
+		} else {
+			cols = a.ToCSC()
 		}
-		if *simP > 0 {
-			res, err := saco.SimulateLasso(a, b, opt, cluster)
-			fail(err)
-			fmt.Printf("simulated P=%d%s (%s): modeled time %.4es, %d messages, %d words\n",
-				*simP, hybridSuffix(*rankW), cluster.Machine.Name, res.ModeledSeconds(),
+		lam := o.lambdaFrac * saco.LambdaMax(cols, b)
+		opt := saco.LassoOptions{
+			Lambda: lam, BlockSize: o.mu, Iters: o.iters, S: o.s,
+			Accelerated: o.accel, Seed: o.seed, TrackEvery: o.track, Exec: exec,
+		}
+		if o.simP > 0 {
+			var res *saco.DistLassoResult
+			if o.streaming {
+				res, err = saco.SimulateLassoFrom(ds, b, opt, cluster)
+			} else {
+				res, err = saco.SimulateLasso(a, b, opt, cluster)
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "simulated P=%d%s (%s): modeled time %.4es, %d messages, %d words\n",
+				o.simP, hybridSuffix(o.rankW), cluster.Machine.Name, res.ModeledSeconds(),
 				res.Stats.TotalMsgs(), res.Stats.TotalWords())
-			fmt.Printf("final objective %.6e  (lambda=%.4g)\n", res.Objective, lam)
+			fmt.Fprintf(stdout, "final objective %.6e  (lambda=%.4g)\n", res.Objective, lam)
 			x = res.X
 			break
 		}
 		res, err := saco.Lasso(cols, b, opt)
-		fail(err)
-		for _, p := range res.History {
-			fmt.Printf("iter %8d  objective %.6e\n", p.Iter, p.Value)
+		if err != nil {
+			return err
 		}
-		fmt.Printf("final objective %.6e  selected features %d/%d  (lambda=%.4g)\n",
-			res.Objective, res.NNZ(), a.N, lam)
+		for _, p := range res.History {
+			fmt.Fprintf(stdout, "iter %8d  objective %.6e\n", p.Iter, p.Value)
+		}
+		_, n := cols.Dims()
+		fmt.Fprintf(stdout, "final objective %.6e  selected features %d/%d  (lambda=%.4g)\n",
+			res.Objective, res.NNZ(), n, lam)
 		x = res.X
 	case "svm":
 		l := saco.SVML1
-		if *loss == "l2" {
+		if o.loss == "l2" {
 			l = saco.SVML2
 		}
 		opt := saco.SVMOptions{
-			Lambda: *lambda, Loss: l, Iters: *iters, S: *s, Seed: *seed,
-			TrackEvery: *track, Tol: *tol, Exec: exec,
+			Lambda: o.lambda, Loss: l, Iters: o.iters, S: o.s, Seed: o.seed,
+			TrackEvery: o.track, Tol: o.tol, Exec: exec,
 		}
-		if *simP > 0 {
-			res, err := saco.SimulateSVM(a, b, opt, cluster)
-			fail(err)
-			fmt.Printf("simulated P=%d%s (%s): modeled time %.4es, %d messages, %d words\n",
-				*simP, hybridSuffix(*rankW), cluster.Machine.Name, res.ModeledSeconds(),
+		if o.simP > 0 {
+			var res *saco.DistSVMResult
+			if o.streaming {
+				res, err = saco.SimulateSVMFrom(ds, b, opt, cluster)
+			} else {
+				res, err = saco.SimulateSVM(a, b, opt, cluster)
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "simulated P=%d%s (%s): modeled time %.4es, %d messages, %d words\n",
+				o.simP, hybridSuffix(o.rankW), cluster.Machine.Name, res.ModeledSeconds(),
 				res.Stats.TotalMsgs(), res.Stats.TotalWords())
-			fmt.Printf("final duality gap %.6e after %d iterations\n", res.Gap, res.Iters)
+			fmt.Fprintf(stdout, "final duality gap %.6e after %d iterations\n", res.Gap, res.Iters)
 			x = res.X
 			break
 		}
-		res, err := saco.SVM(a, b, opt)
-		fail(err)
-		for _, p := range res.History {
-			fmt.Printf("iter %8d  primal %.6e  dual %.6e  gap %.6e\n", p.Iter, p.Primal, p.Dual, p.Gap)
+		var rows saco.RowMatrix
+		if o.streaming {
+			rows = ds.Rows()
+		} else {
+			rows = a
 		}
-		fmt.Printf("final duality gap %.6e after %d iterations, %d support vectors\n",
+		res, err := saco.SVM(rows, b, opt)
+		if err != nil {
+			return err
+		}
+		for _, p := range res.History {
+			fmt.Fprintf(stdout, "iter %8d  primal %.6e  dual %.6e  gap %.6e\n", p.Iter, p.Primal, p.Dual, p.Gap)
+		}
+		fmt.Fprintf(stdout, "final duality gap %.6e after %d iterations, %d support vectors\n",
 			res.Gap, res.Iters, res.SupportVectors())
 		x = res.X
 	case "pegasos":
-		res, err := saco.PegasosSVM(a, b, saco.SVMOptions{
-			Lambda: *lambda, Iters: *iters, Seed: *seed, TrackEvery: *track, Exec: exec,
+		var rows saco.RowMatrix
+		if o.streaming {
+			rows = ds.Rows()
+		} else {
+			rows = a
+		}
+		res, err := saco.PegasosSVM(rows, b, saco.SVMOptions{
+			Lambda: o.lambda, Iters: o.iters, Seed: o.seed, TrackEvery: o.track, Exec: exec,
 		})
-		fail(err)
+		if err != nil {
+			return err
+		}
 		for _, p := range res.History {
-			fmt.Printf("iter %8d  primal %.6e\n", p.Iter, p.Primal)
+			fmt.Fprintf(stdout, "iter %8d  primal %.6e\n", p.Iter, p.Primal)
 		}
-		fmt.Printf("final primal objective %.6e (SGD baseline, no certificate)\n", res.Primal)
+		fmt.Fprintf(stdout, "final primal objective %.6e (SGD baseline, no certificate)\n", res.Primal)
 		x = res.X
-	default:
-		fmt.Fprintf(os.Stderr, "sasolve: unknown task %q (lasso, svm, pegasos)\n", *task)
-		os.Exit(2)
 	}
 
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		fail(err)
-		for _, v := range x {
-			fmt.Fprintf(f, "%.17g\n", v)
+	if o.outPath != "" {
+		if err := writeModel(o.outPath, x); err != nil {
+			return err
 		}
-		fail(f.Close())
-		fmt.Printf("model written to %s\n", *outPath)
+		fmt.Fprintf(stdout, "model written to %s\n", o.outPath)
 	}
 
-	if *memProf != "" {
-		f, err := os.Create(*memProf)
-		fail(err)
-		runtime.GC() // settle allocations so the profile shows retained heap
-		fail(pprof.WriteHeapProfile(f))
-		fail(f.Close())
-		fmt.Printf("heap profile written to %s\n", *memProf)
+	if rss, ok := peakRSS(); ok {
+		fmt.Fprintf(stdout, "peak RSS %.1f MiB\n", float64(rss)/(1<<20))
+	} else {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		fmt.Fprintf(stdout, "runtime sys %.1f MiB (peak RSS unavailable on this platform)\n", float64(ms.Sys)/(1<<20))
 	}
+
+	if o.memProf != "" {
+		f, err := os.Create(o.memProf)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // settle allocations so the profile shows retained heap
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "heap profile written to %s\n", o.memProf)
+	}
+	return nil
+}
+
+// writeModel writes the solution vector, one value per line, checking
+// the buffered writes and the close (a full disk must not report
+// success).
+func writeModel(path string, x []float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	for _, v := range x {
+		if _, err := fmt.Fprintf(bw, "%.17g\n", v); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // resolveBackend maps the -backend/-workers pair onto an Exec. The
@@ -192,7 +381,7 @@ func resolveBackend(backend string, workers int) (saco.Exec, error) {
 	case "async":
 		return saco.Async(workers), nil
 	default:
-		return saco.Exec{}, fmt.Errorf("unknown backend %q (sequential, multicore, async)", backend)
+		return saco.Exec{}, usageError{fmt.Sprintf("unknown backend %q (sequential, multicore, async)", backend)}
 	}
 }
 
@@ -204,15 +393,28 @@ func hybridSuffix(rankWorkers int) string {
 	return ""
 }
 
-// stopCPUProfile flushes an in-progress CPU profile; a no-op until
-// profiling starts. fail() calls it so error exits keep the profile
-// readable.
-var stopCPUProfile = func() {}
-
-func fail(err error) {
+// peakRSS returns the process's high-water resident set size in bytes
+// (VmHWM), the number the streaming memory model is about: with
+// -stream it stays near two shards + solver state however large the
+// input file is. Linux-only; callers fall back to runtime stats.
+func peakRSS() (uint64, bool) {
+	data, err := os.ReadFile("/proc/self/status")
 	if err != nil {
-		stopCPUProfile()
-		fmt.Fprintf(os.Stderr, "sasolve: %v\n", err)
-		os.Exit(1)
+		return 0, false
 	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0, false
+		}
+		kb, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		return kb << 10, true
+	}
+	return 0, false
 }

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTinyDataset writes a small solvable LIBSVM file.
+func writeTinyDataset(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "tiny.svm")
+	data := `1 1:1 3:0.5
+-1 2:-1 4:2
+1 1:0.3 4:-1
+-1 3:1.5
+1 2:0.7 3:-0.2
+-1 1:-0.4 4:0.9
+`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestUnknownBackendExitsWithUsage(t *testing.T) {
+	code, _, stderr := runCLI(t, "-data", "x.svm", "-backend", "bogus")
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr, `unknown backend "bogus"`) {
+		t.Fatalf("stderr %q lacks the backend error", stderr)
+	}
+	if !strings.Contains(stderr, "-backend") || !strings.Contains(stderr, "-task") {
+		t.Fatalf("stderr %q lacks the usage listing", stderr)
+	}
+}
+
+func TestUnknownTaskExitsWithUsage(t *testing.T) {
+	code, _, stderr := runCLI(t, "-data", "x.svm", "-task", "ridge")
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr, `unknown task "ridge"`) || !strings.Contains(stderr, "-task") {
+		t.Fatalf("stderr %q lacks the task error + usage", stderr)
+	}
+}
+
+func TestMissingDataExitsWithUsage(t *testing.T) {
+	code, _, stderr := runCLI(t)
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-data is required") {
+		t.Fatalf("stderr %q lacks the -data message", stderr)
+	}
+}
+
+func TestUnknownFlagExitsNonZero(t *testing.T) {
+	code, _, stderr := runCLI(t, "-definitely-not-a-flag")
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "definitely-not-a-flag") {
+		t.Fatalf("stderr %q lacks the flag name", stderr)
+	}
+}
+
+func TestUnknownMachineExitsWithUsage(t *testing.T) {
+	code, _, stderr := runCLI(t, "-data", "x.svm", "-simulate", "4", "-machine", "abacus")
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr, `unknown machine "abacus"`) {
+		t.Fatalf("stderr %q lacks the machine error", stderr)
+	}
+}
+
+func TestStreamRejectsAsync(t *testing.T) {
+	code, _, stderr := runCLI(t, "-data", "x.svm", "-stream", "-backend", "async")
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-stream") {
+		t.Fatalf("stderr %q lacks the stream/async conflict", stderr)
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	code, _, stderr := runCLI(t, "-h")
+	if code != 0 {
+		t.Fatalf("-h exit code %d, want 0", code)
+	}
+	if !strings.Contains(stderr, "-data") {
+		t.Fatalf("-h did not print usage: %q", stderr)
+	}
+}
+
+func TestMissingFileExitsOne(t *testing.T) {
+	code, _, stderr := runCLI(t, "-data", filepath.Join(t.TempDir(), "nope.svm"))
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1: %s", code, stderr)
+	}
+}
+
+// TestStreamMatchesInMemory runs the same tiny solve through both data
+// paths and asserts identical reported objectives (the CLI face of the
+// bitwise-parity contract).
+func TestStreamMatchesInMemory(t *testing.T) {
+	path := writeTinyDataset(t)
+	args := []string{"-data", path, "-task", "lasso", "-iters", "50", "-s", "4", "-mu", "2"}
+	code, mem, stderr := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("in-memory run failed (%d): %s", code, stderr)
+	}
+	code, str, stderr := runCLI(t, append(args, "-stream", "-block-rows", "2")...)
+	if code != 0 {
+		t.Fatalf("streaming run failed (%d): %s", code, stderr)
+	}
+	objMem := finalObjective(t, mem)
+	objStr := finalObjective(t, str)
+	if objMem != objStr {
+		t.Fatalf("objectives differ: %q vs %q", objMem, objStr)
+	}
+	if !strings.Contains(str, "shards x 2 rows") {
+		t.Fatalf("streaming output lacks shard report: %q", str)
+	}
+	for _, out := range []string{mem, str} {
+		if !strings.Contains(out, "peak RSS") && !strings.Contains(out, "runtime sys") {
+			t.Fatalf("output lacks memory report: %q", out)
+		}
+	}
+}
+
+// TestCacheDirReuse solves twice against the same cache directory; the
+// second run must reuse the shards instead of re-ingesting.
+func TestCacheDirReuse(t *testing.T) {
+	path := writeTinyDataset(t)
+	cache := t.TempDir()
+	args := []string{"-data", path, "-task", "svm", "-iters", "30", "-stream", "-cache-dir", cache}
+	if code, _, stderr := runCLI(t, args...); code != 0 {
+		t.Fatalf("first run failed: %s", stderr)
+	}
+	code, out, stderr := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("second run failed: %s", stderr)
+	}
+	if !strings.Contains(out, "reusing shard cache") {
+		t.Fatalf("second run did not reuse the cache: %q", out)
+	}
+
+	// A different dataset against the same cache must be refused, not
+	// silently solved from the stale shards.
+	other := filepath.Join(t.TempDir(), "other.svm")
+	if err := os.WriteFile(other, []byte("1 1:1\n-1 2:2\n1 3:0.5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr = runCLI(t, "-data", other, "-task", "svm", "-iters", "30", "-stream", "-cache-dir", cache)
+	if code != 1 || !strings.Contains(stderr, "different data") {
+		t.Fatalf("stale cache not rejected: code %d stderr %q", code, stderr)
+	}
+}
+
+// TestModelOutput checks the -out vector file on the streaming path.
+func TestModelOutput(t *testing.T) {
+	path := writeTinyDataset(t)
+	outPath := filepath.Join(t.TempDir(), "model.txt")
+	code, _, stderr := runCLI(t, "-data", path, "-task", "lasso", "-iters", "20",
+		"-stream", "-block-rows", "3", "-out", outPath)
+	if code != 0 {
+		t.Fatalf("run failed: %s", stderr)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 4 { // four features
+		t.Fatalf("model has %d lines, want 4", len(lines))
+	}
+}
+
+func finalObjective(t *testing.T, out string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "final objective") {
+			return line
+		}
+	}
+	t.Fatalf("no final objective in %q", out)
+	return ""
+}

@@ -19,11 +19,18 @@ import (
 // opt.S <= 1 this degenerates to the classical one-reduction-per-
 // iteration algorithm, so both variants share all update arithmetic.
 func Lasso(a *sparse.CSR, b []float64, opt core.LassoOptions, cl Options) (*LassoResult, error) {
+	return LassoFrom(CSRSource{a}, b, opt, cl)
+}
+
+// LassoFrom is Lasso over any block Source — the entry point for
+// out-of-core data (stream.Dataset), whose row blocks are loaded shard
+// by shard instead of slicing a resident CSR.
+func LassoFrom(src Source, b []float64, opt core.LassoOptions, cl Options) (*LassoResult, error) {
 	cl, err := cl.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	m, n := a.Dims()
+	m, n := src.Dims()
 	if len(b) != m {
 		return nil, fmt.Errorf("dist: len(b)=%d does not match %d rows", len(b), m)
 	}
@@ -33,7 +40,10 @@ func Lasso(a *sparse.CSR, b []float64, opt core.LassoOptions, cl Options) (*Lass
 	results := make([]*LassoResult, cl.P)
 	stats, err := mpi.RunHybrid(cl.P, cl.RankWorkers, cl.Machine, func(c *mpi.Comm) error {
 		lo, hi := mpi.BlockRange(m, cl.P, c.Rank())
-		aLoc := a.SliceRows(lo, hi).ToCSC()
+		aLoc, err := src.RowsCSC(lo, hi)
+		if err != nil {
+			return fmt.Errorf("dist: rank %d row block [%d,%d): %v", c.Rank(), lo, hi, err)
+		}
 		if cl.RankWorkers > 1 {
 			// Hybrid rank×thread: the rank's kernels really run on the
 			// shared-memory pool. Kernel worker invariance keeps the

@@ -1,0 +1,44 @@
+package dist
+
+import "saco/internal/sparse"
+
+// Source supplies the partitioned blocks the distributed loaders need,
+// decoupling the simulated cluster from a resident CSR: ranks ask for
+// exactly their block in the paper's two layouts (rows for Lasso's
+// Fig. 1, columns for the SVM's §VI) and the source decides how to
+// produce it. CSRSource adapts an in-memory matrix; stream.Dataset
+// implements the same pair out of core, so paper-scale replicas are
+// loaded shard by shard instead of materializing the full matrix before
+// partitioning.
+//
+// Implementations must be safe for concurrent calls: every simulated
+// rank runs on its own goroutine and loads its block during setup.
+type Source interface {
+	// Dims returns (rows m, columns n) of the full matrix.
+	Dims() (int, int)
+	// RowsCSC returns rows [lo, hi) as a column-accessible block with
+	// the full column space (the Lasso 1D-row layout).
+	RowsCSC(lo, hi int) (*sparse.CSC, error)
+	// ColsCSR returns columns [c0, c1), reindexed to start at zero,
+	// keeping all rows (the SVM 1D-column layout).
+	ColsCSR(c0, c1 int) (*sparse.CSR, error)
+}
+
+// CSRSource adapts a resident sparse.CSR to the Source interface. The
+// produced blocks are byte-for-byte what the loaders historically built
+// with SliceRows(...).ToCSC() and SliceCols(...), so simulated
+// trajectories are unchanged.
+type CSRSource struct{ A *sparse.CSR }
+
+// Dims returns the matrix dimensions.
+func (s CSRSource) Dims() (int, int) { return s.A.Dims() }
+
+// RowsCSC slices rows [lo, hi) and converts to CSC.
+func (s CSRSource) RowsCSC(lo, hi int) (*sparse.CSC, error) {
+	return s.A.SliceRows(lo, hi).ToCSC(), nil
+}
+
+// ColsCSR slices columns [c0, c1).
+func (s CSRSource) ColsCSR(c0, c1 int) (*sparse.CSR, error) {
+	return s.A.SliceCols(c0, c1), nil
+}

@@ -24,11 +24,18 @@ const tagGatherX = 1
 // communication-free dual updates — opt.S <= 1 degenerates to the
 // classical one-reduction-per-iteration Alg. 3.
 func SVM(a *sparse.CSR, b []float64, opt core.SVMOptions, cl Options) (*SVMResult, error) {
+	return SVMFrom(CSRSource{a}, b, opt, cl)
+}
+
+// SVMFrom is SVM over any block Source — the entry point for
+// out-of-core data (stream.Dataset), whose column blocks are assembled
+// with one shard pass per rank instead of slicing a resident CSR.
+func SVMFrom(src Source, b []float64, opt core.SVMOptions, cl Options) (*SVMResult, error) {
 	cl, err := cl.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	m, _ := a.Dims()
+	m, _ := src.Dims()
 	if len(b) != m {
 		return nil, fmt.Errorf("dist: len(b)=%d does not match %d rows", len(b), m)
 	}
@@ -40,7 +47,11 @@ func SVM(a *sparse.CSR, b []float64, opt core.SVMOptions, cl Options) (*SVMResul
 	}
 	results := make([]*SVMResult, cl.P)
 	stats, err := mpi.RunHybrid(cl.P, cl.RankWorkers, cl.Machine, func(c *mpi.Comm) error {
-		results[c.Rank()] = svmRank(c, a, b, &opt, &cl)
+		res, err := svmRank(c, src, b, &opt, &cl)
+		if err != nil {
+			return err
+		}
+		results[c.Rank()] = res
 		return nil
 	})
 	if err != nil {
@@ -52,10 +63,13 @@ func SVM(a *sparse.CSR, b []float64, opt core.SVMOptions, cl Options) (*SVMResul
 }
 
 // svmRank is one rank's SPMD program.
-func svmRank(c *mpi.Comm, a *sparse.CSR, b []float64, opt *core.SVMOptions, cl *Options) *SVMResult {
-	m, n := a.Dims()
+func svmRank(c *mpi.Comm, src Source, b []float64, opt *core.SVMOptions, cl *Options) (*SVMResult, error) {
+	m, n := src.Dims()
 	lo, hi := mpi.BlockRange(n, cl.P, c.Rank())
-	aLoc := a.SliceCols(lo, hi)
+	aLoc, err := src.ColsCSR(lo, hi)
+	if err != nil {
+		return nil, fmt.Errorf("dist: rank %d column block [%d,%d): %v", c.Rank(), lo, hi, err)
+	}
 	if cl.RankWorkers > 1 {
 		// Hybrid rank×thread: kernel worker invariance keeps the dual
 		// trajectory bitwise identical to the sequential-rank run.
@@ -185,7 +199,7 @@ func svmRank(c *mpi.Comm, a *sparse.CSR, b []float64, opt *core.SVMOptions, cl *
 	mark := c.Mark()
 	res.Primal, res.Dual, res.Gap = objectives()
 	c.Restore(mark)
-	return res
+	return res, nil
 }
 
 // gatherX concatenates the per-rank primal slices onto rank 0 in layout

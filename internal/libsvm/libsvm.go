@@ -5,11 +5,15 @@
 //
 // Indices are 1-based and strictly increasing within a line; lines
 // starting with '#' and blank lines are ignored. The reader streams, so
-// url-scale files do not need to fit in memory twice.
+// url-scale files do not need to fit in memory twice. For files whose
+// CSR does not fit in memory at all, package stream ingests the same
+// format into an out-of-core shard store through the RowParser exported
+// here.
 package libsvm
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -19,11 +23,102 @@ import (
 	"saco/internal/sparse"
 )
 
+// maxLine is the scanner token cap of the in-memory reader. The widest
+// plausible rows (url: 3M features) fit comfortably; rows beyond it are
+// reported with their line number so the caller can switch to the
+// streaming reader, which has no cap.
+const maxLine = 1 << 26
+
+// RowParser parses LIBSVM data lines into reusable buffers. It is the
+// single row grammar shared by Read and the out-of-core ingestion of
+// package stream, so both paths accept and reject exactly the same
+// inputs.
+type RowParser struct {
+	// Cols and Vals hold the parsed feature pairs of the last Parse call
+	// (0-based column indices, explicit zeros dropped). They are reused
+	// across calls.
+	Cols []int
+	Vals []float64
+
+	// maxCol is the largest index of the last Parse call, counting
+	// explicit zeros: "n:0" is the conventional way to declare a file's
+	// dimensionality, so dropped values still widen the matrix.
+	maxCol int
+}
+
+// Parse parses one non-empty, non-comment data line, returning its
+// label. lineNo is used only for error messages. Feature indices must be
+// ≥ 1 and strictly increasing; duplicate and out-of-order indices are
+// rejected with a line-numbered error because they break the CSR
+// invariant (strictly increasing columns within a row) every downstream
+// kernel relies on.
+func (p *RowParser) Parse(line string, lineNo int) (float64, error) {
+	p.Cols = p.Cols[:0]
+	p.Vals = p.Vals[:0]
+	p.maxCol = -1
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return 0, fmt.Errorf("libsvm: line %d: empty row", lineNo)
+	}
+	label, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return 0, fmt.Errorf("libsvm: line %d: bad label %q: %v", lineNo, fields[0], err)
+	}
+	prev := -1
+	for _, f := range fields[1:] {
+		colon := strings.IndexByte(f, ':')
+		if colon <= 0 {
+			return 0, fmt.Errorf("libsvm: line %d: bad feature %q", lineNo, f)
+		}
+		idx, err := strconv.Atoi(f[:colon])
+		if err != nil || idx < 1 {
+			return 0, fmt.Errorf("libsvm: line %d: bad index %q", lineNo, f[:colon])
+		}
+		v, err := strconv.ParseFloat(f[colon+1:], 64)
+		if err != nil {
+			return 0, fmt.Errorf("libsvm: line %d: bad value %q: %v", lineNo, f[colon+1:], err)
+		}
+		col := idx - 1
+		switch {
+		case col == prev:
+			return 0, fmt.Errorf("libsvm: line %d: duplicate index %d", lineNo, idx)
+		case col < prev:
+			return 0, fmt.Errorf("libsvm: line %d: index %d out of order after %d", lineNo, idx, prev+1)
+		}
+		prev = col
+		p.maxCol = col
+		if v != 0 {
+			p.Cols = append(p.Cols, col)
+			p.Vals = append(p.Vals, v)
+		}
+	}
+	return label, nil
+}
+
+// MaxCol returns the largest parsed column index of the last Parse
+// call, or -1 when the row declared no features. Explicit zeros count:
+// their values are dropped from storage, but "n:0" still declares the
+// matrix at least n wide (and must still respect a declared width).
+func (p *RowParser) MaxCol() int { return p.maxCol }
+
+// Skip reports whether a raw input line carries no data (blank or
+// comment) and should not reach Parse.
+func Skip(line string) bool {
+	line = strings.TrimSpace(line)
+	return line == "" || strings.HasPrefix(line, "#")
+}
+
 // Read parses a LIBSVM stream. n is the number of features; pass 0 to
 // infer it from the largest index seen.
 func Read(r io.Reader, n int) (*sparse.CSR, []float64, error) {
+	return read(r, n, maxLine)
+}
+
+// read is Read with an explicit scanner cap, separated so tests can
+// exercise the oversized-row path without materializing a 64 MiB line.
+func read(r io.Reader, n, cap int) (*sparse.CSR, []float64, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<26) // rows can be wide (url: 3M features)
+	sc.Buffer(make([]byte, min(1<<20, cap)), cap)
 	var (
 		rowPtr = []int{0}
 		colIdx []int
@@ -31,49 +126,31 @@ func Read(r io.Reader, n int) (*sparse.CSR, []float64, error) {
 		labels []float64
 		maxCol = -1
 		lineNo = 0
+		parser RowParser
 	)
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		line := sc.Text()
+		if Skip(line) {
 			continue
 		}
-		fields := strings.Fields(line)
-		label, err := strconv.ParseFloat(fields[0], 64)
+		label, err := parser.Parse(line, lineNo)
 		if err != nil {
-			return nil, nil, fmt.Errorf("libsvm: line %d: bad label %q: %v", lineNo, fields[0], err)
+			return nil, nil, err
 		}
 		labels = append(labels, label)
-		prev := -1
-		for _, f := range fields[1:] {
-			colon := strings.IndexByte(f, ':')
-			if colon <= 0 {
-				return nil, nil, fmt.Errorf("libsvm: line %d: bad feature %q", lineNo, f)
-			}
-			idx, err := strconv.Atoi(f[:colon])
-			if err != nil || idx < 1 {
-				return nil, nil, fmt.Errorf("libsvm: line %d: bad index %q", lineNo, f[:colon])
-			}
-			v, err := strconv.ParseFloat(f[colon+1:], 64)
-			if err != nil {
-				return nil, nil, fmt.Errorf("libsvm: line %d: bad value %q: %v", lineNo, f[colon+1:], err)
-			}
-			col := idx - 1
-			if col <= prev {
-				return nil, nil, fmt.Errorf("libsvm: line %d: indices not strictly increasing", lineNo)
-			}
-			prev = col
-			if col > maxCol {
-				maxCol = col
-			}
-			if v != 0 {
-				colIdx = append(colIdx, col)
-				vals = append(vals, v)
-			}
+		colIdx = append(colIdx, parser.Cols...)
+		vals = append(vals, parser.Vals...)
+		if c := parser.MaxCol(); c > maxCol {
+			maxCol = c
 		}
 		rowPtr = append(rowPtr, len(vals))
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			// The scanner stops on the line after the last one delivered.
+			return nil, nil, fmt.Errorf("libsvm: line %d: row exceeds the %d-byte in-memory reader cap (the streaming reader in internal/stream has no cap)", lineNo+1, cap)
+		}
 		return nil, nil, fmt.Errorf("libsvm: %v", err)
 	}
 	if n == 0 {
@@ -89,12 +166,18 @@ func Read(r io.Reader, n int) (*sparse.CSR, []float64, error) {
 }
 
 // ReadFile reads a LIBSVM file from disk.
-func ReadFile(path string, n int) (*sparse.CSR, []float64, error) {
+func ReadFile(path string, n int) (a *sparse.CSR, labels []float64, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, err
 	}
-	defer f.Close()
+	defer func() {
+		// A close error on the read path is rare but can flag delayed
+		// I/O failures (e.g. NFS); don't let it vanish on success.
+		if cerr := f.Close(); cerr != nil && err == nil {
+			a, labels, err = nil, nil, cerr
+		}
+	}()
 	return Read(f, n)
 }
 
@@ -120,13 +203,19 @@ func Write(w io.Writer, a *sparse.CSR, labels []float64) error {
 	return bw.Flush()
 }
 
-// WriteFile writes a LIBSVM file to disk.
+// WriteFile writes a LIBSVM file to disk. The file is synced before
+// close so that a short write on a full disk surfaces as an error
+// instead of silent success.
 func WriteFile(path string, a *sparse.CSR, labels []float64) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	if err := Write(f, a, labels); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
 		f.Close()
 		return err
 	}

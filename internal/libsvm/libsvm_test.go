@@ -63,6 +63,81 @@ func TestReadErrors(t *testing.T) {
 	}
 }
 
+// Explicit zeros ("n:0", the conventional dimensionality declaration)
+// must widen the inferred matrix and still hit the declared-width
+// bounds check, even though their values are not stored.
+func TestReadExplicitZeroDeclaresWidth(t *testing.T) {
+	a, _, err := Read(strings.NewReader("1 1:1 5:0\n"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N != 5 || a.NNZ() != 1 {
+		t.Fatalf("N=%d nnz=%d, want N=5 nnz=1", a.N, a.NNZ())
+	}
+	if _, _, err := Read(strings.NewReader("1 1:1 5:0\n"), 3); err == nil {
+		t.Fatal("expected out-of-range error for zero-valued index 5 with n=3")
+	}
+}
+
+func TestReadDuplicateIndex(t *testing.T) {
+	_, _, err := Read(strings.NewReader("1 1:1\n1 2:1 2:3\n"), 0)
+	if err == nil {
+		t.Fatal("expected duplicate-index error")
+	}
+	for _, want := range []string{"line 2", "duplicate index 2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestReadOutOfOrderIndex(t *testing.T) {
+	_, _, err := Read(strings.NewReader("1 5:1 2:3\n"), 0)
+	if err == nil {
+		t.Fatal("expected out-of-order error")
+	}
+	for _, want := range []string{"line 1", "index 2 out of order after 5"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestReadRowTooLong(t *testing.T) {
+	// A small cap keeps the test cheap; Read uses the same path with the
+	// 64 MiB production cap.
+	in := "1 1:1\n-1 " + strings.Repeat("1:1 ", 40) + "\n"
+	_, _, err := read(strings.NewReader(in), 0, 32)
+	if err == nil {
+		t.Fatal("expected token-too-long error")
+	}
+	for _, want := range []string{"line 2", "32-byte", "streaming reader"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestRowParserReuse(t *testing.T) {
+	var p RowParser
+	if _, err := p.Parse("1 1:1 3:2 9:4", 1); err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxCol() != 8 || len(p.Cols) != 3 {
+		t.Fatalf("cols %v maxCol %d", p.Cols, p.MaxCol())
+	}
+	// Explicit zeros are dropped from storage but still declare width.
+	if _, err := p.Parse("1 2:5 7:0", 2); err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxCol() != 6 || len(p.Cols) != 1 || p.Vals[0] != 5 {
+		t.Fatalf("reuse broken: cols %v vals %v maxCol %d", p.Cols, p.Vals, p.MaxCol())
+	}
+	if _, err := p.Parse("x", 3); err == nil {
+		t.Fatal("expected bad-label error")
+	}
+}
+
 func TestReadScientificNotation(t *testing.T) {
 	a, _, err := Read(strings.NewReader("3.5e-1 2:1e3\n"), 0)
 	if err != nil {

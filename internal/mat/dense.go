@@ -60,6 +60,17 @@ func (a *Dense) T() *Dense {
 	return b
 }
 
+// MirrorUpper copies the strict upper triangle onto the lower one,
+// completing a symmetric matrix whose upper half was accumulated
+// incrementally (the out-of-core Gram assembly of package stream).
+func (a *Dense) MirrorUpper() {
+	for i := 1; i < a.R; i++ {
+		for j := 0; j < i; j++ {
+			a.Data[i*a.C+j] = a.Data[j*a.C+i]
+		}
+	}
+}
+
 // Equal reports whether a and b have the same shape and elements.
 func (a *Dense) Equal(b *Dense) bool {
 	if a.R != b.R || a.C != b.C {

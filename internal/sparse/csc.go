@@ -113,11 +113,61 @@ func (a *CSC) ColGram(cols []int, dst *mat.Dense) {
 	}
 }
 
+// ColTMulVecAcc accumulates dst[k] += A_:cols[k] · v term by term,
+// continuing the running sum already in dst. It is the row-block
+// continuation kernel of the out-of-core column views (package stream):
+// when A is split into consecutive row blocks A = [B₀; B₁; …] and the
+// blocks are visited in order with v sliced to the matching rows, the
+// additions onto dst[k] happen in exactly the row order of the
+// in-memory ColTMulVec, so the streamed result is bitwise identical.
+func (a *CSC) ColTMulVecAcc(cols []int, v []float64, dst []float64) {
+	if len(v) != a.M || len(dst) != len(cols) {
+		panic(fmt.Sprintf("sparse: ColTMulVecAcc shape mismatch A=%dx%d len(v)=%d", a.M, a.N, len(v)))
+	}
+	for k, j := range cols {
+		s := dst[k]
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			s += a.Val[p] * v[a.RowIdx[p]]
+		}
+		dst[k] = s
+	}
+}
+
+// ColGramAcc accumulates the upper triangle of A_SᵀA_S into dst,
+// continuing the running sums already there; callers mirror the lower
+// triangle (mat.Dense.MirrorUpper) after the final block. Like
+// ColTMulVecAcc it threads each entry's accumulator through consecutive
+// row blocks in row order, so Σ_blocks ColGramAcc followed by one mirror
+// is bitwise identical to the in-memory ColGram.
+func (a *CSC) ColGramAcc(cols []int, dst *mat.Dense) {
+	s := len(cols)
+	if dst.R != s || dst.C != s {
+		panic("sparse: ColGramAcc dst shape mismatch")
+	}
+	for i := 0; i < s; i++ {
+		ci := cols[i]
+		for j := i; j < s; j++ {
+			dst.Set(i, j, a.colDotAcc(ci, cols[j], dst.At(i, j)))
+		}
+	}
+}
+
+// ColNormSqAcc returns acc + ‖A_:j‖² accumulated term by term, the
+// row-block continuation of ColNormSq.
+func (a *CSC) ColNormSqAcc(j int, acc float64) float64 {
+	for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+		acc += a.Val[p] * a.Val[p]
+	}
+	return acc
+}
+
 // colDot returns A_:i · A_:j via a sorted merge of the two columns.
-func (a *CSC) colDot(i, j int) float64 {
+func (a *CSC) colDot(i, j int) float64 { return a.colDotAcc(i, j, 0) }
+
+// colDotAcc continues a running dot product over this block's rows.
+func (a *CSC) colDotAcc(i, j int, s float64) float64 {
 	p, pEnd := a.ColPtr[i], a.ColPtr[i+1]
 	q, qEnd := a.ColPtr[j], a.ColPtr[j+1]
-	var s float64
 	for p < pEnd && q < qEnd {
 		rp, rq := a.RowIdx[p], a.RowIdx[q]
 		switch {

@@ -190,6 +190,35 @@ func (a *CSR) rowDot(i, j int) float64 {
 	return s
 }
 
+// RowDot returns A_i · B_j via a sorted merge of row i of a and row j of
+// b, which must share a column space. With a == b and i == j it reduces
+// to the in-matrix rowDot; the two-matrix form lets out-of-core row
+// views (package stream) compute Gram entries between rows that live in
+// different shards with the exact summation order of the in-memory
+// RowGram.
+func RowDot(a *CSR, i int, b *CSR, j int) float64 {
+	if a.N != b.N {
+		panic(fmt.Sprintf("sparse: RowDot column spaces %d and %d differ", a.N, b.N))
+	}
+	p, pEnd := a.RowPtr[i], a.RowPtr[i+1]
+	q, qEnd := b.RowPtr[j], b.RowPtr[j+1]
+	var s float64
+	for p < pEnd && q < qEnd {
+		cp, cq := a.ColIdx[p], b.ColIdx[q]
+		switch {
+		case cp == cq:
+			s += a.Val[p] * b.Val[q]
+			p++
+			q++
+		case cp < cq:
+			p++
+		default:
+			q++
+		}
+	}
+	return s
+}
+
 // SliceRows returns the submatrix of rows [r0, r1) with the same column
 // space. This is the 1D-row partitioner used for the Lasso layout.
 func (a *CSR) SliceRows(r0, r1 int) *CSR {

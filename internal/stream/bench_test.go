@@ -1,0 +1,65 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+
+	"saco/internal/core"
+	"saco/internal/datagen"
+	"saco/internal/libsvm"
+)
+
+// benchDataset builds a small out-of-core fixture once per benchmark.
+func benchDataset(b *testing.B, m, n, blockRows int) (*Dataset, []float64) {
+	b.Helper()
+	d := datagen.Regression("bench", 13, m, n, 0.05, 10, 0.1)
+	var buf bytes.Buffer
+	if err := libsvm.Write(&buf, d.AsCSR(), d.B); err != nil {
+		b.Fatal(err)
+	}
+	ds, err := Build(&buf, b.TempDir(), BuildOptions{BlockRows: blockRows, Features: n})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds, d.B
+}
+
+// BenchmarkBlockPass measures one prefetched sequential epoch over the
+// shards — the raw streaming substrate cost.
+func BenchmarkBlockPass(b *testing.B) {
+	ds, _ := benchDataset(b, 2048, 256, 256)
+	it := ds.Blocks()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it.Reset()
+		nnz := int64(0)
+		for it.Next() {
+			nnz += int64(it.Block().A.NNZ())
+		}
+		if err := it.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if nnz != ds.NNZ() {
+			b.Fatalf("pass saw %d nonzeros, want %d", nnz, ds.NNZ())
+		}
+	}
+}
+
+// BenchmarkLassoStream runs the s-step Lasso over the streaming column
+// view, the end-to-end out-of-core solver path.
+func BenchmarkLassoStream(b *testing.B) {
+	ds, labels := benchDataset(b, 2048, 256, 256)
+	lam := 0.1 * core.LambdaMaxL1(ds.Cols(), labels)
+	iters := 64
+	if testing.Short() {
+		iters = 16
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Lasso(ds.Cols(), labels, core.LassoOptions{
+			Lambda: lam, Iters: iters, S: 8, BlockSize: 4, Seed: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"saco/internal/libsvm"
 	"saco/internal/mpi"
 	"saco/internal/sparse"
+	"saco/internal/stream"
 )
 
 // Core solver types, re-exported from the implementation packages.
@@ -216,6 +217,50 @@ func Classification(name string, seed uint64, m, n int, density, sigma float64) 
 // news20.binary, rcv1.binary, gisette, leu.binary); see internal/datagen.
 func Replica(name string, scale float64, seed uint64) (*Dataset, error) {
 	return datagen.Replica(name, scale, seed)
+}
+
+// Out-of-core streaming dataset types (internal/stream): LIBSVM inputs
+// ingested into row-block shards on disk so paper-scale matrices solve
+// in bounded memory. StreamDataset.Cols() / .Rows() plug into Lasso,
+// LassoPath, SVM and PegasosSVM; sequential-backend trajectories are
+// bitwise identical to the in-memory solvers.
+type (
+	// StreamDataset is an out-of-core dataset spilled to a shard cache
+	// directory.
+	StreamDataset = stream.Dataset
+	// StreamOptions configures an out-of-core ingestion.
+	StreamOptions = stream.BuildOptions
+	// StreamBlock is one CSR row block of a sequential pass.
+	StreamBlock = stream.Block
+	// ClusterSource supplies partitioned blocks to the simulated
+	// cluster; StreamDataset implements it out of core.
+	ClusterSource = dist.Source
+)
+
+// BuildStream ingests a LIBSVM file into cacheDir in bounded memory,
+// spilling row-block shards; peak resident matrix data is about
+// opt.CacheShards blocks regardless of file size.
+func BuildStream(svmPath, cacheDir string, opt StreamOptions) (*StreamDataset, error) {
+	return stream.BuildFile(svmPath, cacheDir, opt)
+}
+
+// OpenStream reopens a previously built shard cache directory without
+// re-ingesting the text file.
+func OpenStream(cacheDir string) (*StreamDataset, error) {
+	return stream.Open(cacheDir)
+}
+
+// SimulateLassoFrom is SimulateLasso over any block source (an
+// out-of-core StreamDataset, or an in-memory CSR via dist.CSRSource):
+// each simulated rank loads exactly its row block.
+func SimulateLassoFrom(src ClusterSource, b []float64, opt LassoOptions, cluster Cluster) (*DistLassoResult, error) {
+	return dist.LassoFrom(src, b, opt, cluster)
+}
+
+// SimulateSVMFrom is SimulateSVM over any block source; each simulated
+// rank assembles its column block with one pass over the source.
+func SimulateSVMFrom(src ClusterSource, b []float64, opt SVMOptions, cluster Cluster) (*DistSVMResult, error) {
+	return dist.SVMFrom(src, b, opt, cluster)
 }
 
 // PathPoint is one solution along a Lasso regularization path.
