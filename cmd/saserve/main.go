@@ -1,0 +1,220 @@
+// Command saserve serves predictions over HTTP from a directory of
+// versioned binary models (the .sacm artifacts sasolve writes), and can
+// simultaneously refit the live model on new labeled data without ever
+// blocking a request.
+//
+// Train, serve, score:
+//
+//	sasolve -task lasso -data train.svm -iters 5000 -out models/model-00000001.sacm
+//	saserve -models models -addr :8700
+//	curl -d '1:0.5 3:1.2' http://localhost:8700/predict
+//
+// Publishing a higher-numbered model file into the directory hot-swaps
+// it under live traffic (the watcher polls every -watch); running with
+// -refit keeps HOGWILD! solver workers training on the given rows and
+// publishes a new version every -refit-every.
+//
+// Endpoints: POST /predict (JSON {"rows":[{"indices":[...1-based...],
+// "values":[...]}]} or LIBSVM lines), GET /healthz, GET /stats.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"saco"
+)
+
+func main() {
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// usageError marks a bad invocation (printed with the flag defaults,
+// exit 2).
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
+
+// run is the whole program behind a testable seam: parse on a private
+// FlagSet, serve until ctx is cancelled, return the exit code.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("saserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		modelDir    = fs.String("models", "", "model registry directory (required); serves the highest model-NNNNNNNN.sacm")
+		addr        = fs.String("addr", ":8700", "HTTP listen address")
+		watch       = fs.Duration("watch", 2*time.Second, "poll the model directory this often for new versions")
+		maxBatch    = fs.Int("max-batch", 256, "max rows coalesced into one scoring kernel call")
+		batchWindow = fs.Duration("batch-window", 500*time.Microsecond, "micro-batch linger window after the first request of a batch")
+		workers     = fs.Int("workers", 0, "scoring kernel width on the persistent pool (0 = all cores)")
+		refitPath   = fs.String("refit", "", "LIBSVM file of labeled rows to refit the live model on (optional)")
+		refitEvery  = fs.Duration("refit-every", 2*time.Second, "publish a new model version this often while refitting")
+		refitW      = fs.Int("refit-workers", 0, "lock-free refit solver workers (0 = all cores)")
+		refitKind   = fs.String("refit-task", "", "refit task when the model is untyped: lasso, svm or pegasos (default: from the model header)")
+		refitLambda = fs.Float64("refit-lambda", 0, "refit regularization override (0 = the model header's lambda)")
+		refitMu     = fs.Int("refit-mu", 1, "refit lasso block size")
+		refitSeed   = fs.Uint64("refit-seed", 42, "refit sampling seed")
+		refitPubs   = fs.Int("refit-publishes", 0, "stop refitting after this many publishes (0 = run until shutdown)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	err := serveMain(ctx, stdout, &config{
+		modelDir: *modelDir, addr: *addr, watch: *watch,
+		maxBatch: *maxBatch, batchWindow: *batchWindow, workers: *workers,
+		refitPath: *refitPath, refitEvery: *refitEvery, refitW: *refitW,
+		refitKind: *refitKind, refitLambda: *refitLambda, refitMu: *refitMu,
+		refitSeed: *refitSeed, refitPubs: *refitPubs,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "saserve: %v\n", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			fs.PrintDefaults()
+			return 2
+		}
+		return 1
+	}
+	return 0
+}
+
+// config carries the parsed flags.
+type config struct {
+	modelDir, addr  string
+	watch           time.Duration
+	maxBatch        int
+	batchWindow     time.Duration
+	workers         int
+	refitPath       string
+	refitEvery      time.Duration
+	refitW, refitMu int
+	refitKind       string
+	refitLambda     float64
+	refitSeed       uint64
+	refitPubs       int
+}
+
+// serveMain opens the registry, mounts the server, and runs the
+// watcher and (optionally) the refit loop until ctx is cancelled.
+func serveMain(ctx context.Context, stdout io.Writer, c *config) error {
+	if c.modelDir == "" {
+		return usageError{"-models is required"}
+	}
+	kind := saco.KindRaw
+	switch c.refitKind {
+	case "":
+	case "lasso":
+		kind = saco.KindLasso
+	case "svm":
+		kind = saco.KindSVM
+	case "pegasos":
+		kind = saco.KindPegasos
+	default:
+		return usageError{fmt.Sprintf("unknown -refit-task %q (lasso, svm, pegasos)", c.refitKind)}
+	}
+
+	reg, err := saco.OpenModelRegistry(c.modelDir)
+	if err != nil {
+		return err
+	}
+	if m := reg.Current(); m != nil {
+		fmt.Fprintf(stdout, "serving model version %d (%s, %d features, %d nonzero) from %s\n",
+			m.Version, m.Kind, m.Features, m.NNZ(), c.modelDir)
+	} else {
+		fmt.Fprintf(stdout, "no model in %s yet; serving 503 until one appears\n", c.modelDir)
+	}
+	reg.Watch(c.watch)
+	defer reg.StopWatch()
+
+	srv := saco.NewServer(reg, saco.ServeOptions{
+		MaxBatch: c.maxBatch, BatchWindow: c.batchWindow, Workers: c.workers,
+	})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- hs.Serve(ln) }()
+	fmt.Fprintf(stdout, "listening on %s\n", ln.Addr())
+
+	runCtx, stop := context.WithCancel(ctx)
+	defer stop()
+	refitDone := make(chan error, 1)
+	refitting := c.refitPath != ""
+	if refitting {
+		features := 0
+		if m := reg.Current(); m != nil {
+			features = m.Features
+		}
+		a, b, err := saco.LoadLIBSVM(c.refitPath, features)
+		if err != nil {
+			hs.Close()
+			return fmt.Errorf("loading -refit data: %w", err)
+		}
+		fmt.Fprintf(stdout, "refitting on %s: %d rows, publishing every %v\n", c.refitPath, a.M, c.refitEvery)
+		go func() {
+			refitDone <- saco.Refit(runCtx, reg, a, b, saco.RefitOptions{
+				Every: c.refitEvery, Workers: c.refitW, Seed: c.refitSeed,
+				BlockSize: c.refitMu, Lambda: c.refitLambda, Kind: kind,
+				MaxPublishes: c.refitPubs, Log: stdout,
+			})
+		}()
+	}
+
+	shutdown := func() error {
+		fmt.Fprintln(stdout, "shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			hs.Close()
+		}
+		stop()
+		if refitting {
+			return <-refitDone
+		}
+		return nil
+	}
+
+	for {
+		select {
+		case err := <-httpDone:
+			// The listener died underneath us; stop everything and surface it.
+			stop()
+			if refitting {
+				<-refitDone
+			}
+			return err
+		case err := <-refitDone:
+			refitting = false
+			if err != nil && runCtx.Err() == nil {
+				// A failed refit is fatal: the operator asked for live
+				// training and is not getting it.
+				shutdown() //nolint:errcheck // already returning the cause
+				return fmt.Errorf("refit: %w", err)
+			}
+			fmt.Fprintln(stdout, "refit finished; serving continues")
+		case <-ctx.Done():
+			if err := shutdown(); err != nil {
+				return fmt.Errorf("refit: %w", err)
+			}
+			return nil
+		}
+	}
+}

@@ -51,7 +51,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		iters      = fs.Int("iters", 1000, "iterations H")
 		s          = fs.Int("s", 1, "recurrence unrolling parameter (1 = classical)")
 		seed       = fs.Uint64("seed", 42, "sampling seed")
-		outPath    = fs.String("out", "", "write the model vector here (text, one value per line)")
+		outPath    = fs.String("out", "", "write the model vector here (text, one value per line; a .sacm/.bin suffix selects the versioned binary model format saserve serves)")
 		track      = fs.Int("track", 0, "print convergence every N iterations")
 		lambdaFrac = fs.Float64("lambda-frac", 0.1, "lasso: lambda as a fraction of ||A'b||_inf")
 		mu         = fs.Int("mu", 1, "lasso: block size")
@@ -166,6 +166,7 @@ func solve(stdout io.Writer, o *options) error {
 		a  *saco.CSR
 		b  []float64
 	)
+	trainRows := 0
 	if o.streaming {
 		dir := o.cacheDir
 		if dir == "" {
@@ -193,6 +194,7 @@ func solve(stdout io.Writer, o *options) error {
 		}
 		b = ds.B
 		m, n := ds.Dims()
+		trainRows = m
 		fmt.Fprintf(stdout, "streaming %s: %d points, %d features, %.4g%% nonzero, %d shards x %d rows\n",
 			o.dataPath, m, n, 100*ds.Density(), ds.NumShards(), ds.BlockRows())
 	} else {
@@ -200,11 +202,14 @@ func solve(stdout io.Writer, o *options) error {
 		if err != nil {
 			return err
 		}
+		trainRows = a.M
 		fmt.Fprintf(stdout, "loaded %s: %d points, %d features, %.4g%% nonzero\n",
 			o.dataPath, a.M, a.N, 100*a.Density())
 	}
 
 	var x []float64
+	modelKind := saco.KindRaw
+	modelLambda := 0.0
 	switch o.task {
 	case "lasso":
 		var cols saco.ColMatrix
@@ -214,6 +219,7 @@ func solve(stdout io.Writer, o *options) error {
 			cols = a.ToCSC()
 		}
 		lam := o.lambdaFrac * saco.LambdaMax(cols, b)
+		modelKind, modelLambda = saco.KindLasso, lam
 		opt := saco.LassoOptions{
 			Lambda: lam, BlockSize: o.mu, Iters: o.iters, S: o.s,
 			Accelerated: o.accel, Seed: o.seed, TrackEvery: o.track, Exec: exec,
@@ -247,6 +253,7 @@ func solve(stdout io.Writer, o *options) error {
 			res.Objective, res.NNZ(), n, lam)
 		x = res.X
 	case "svm":
+		modelKind, modelLambda = saco.KindSVM, o.lambda
 		l := saco.SVML1
 		if o.loss == "l2" {
 			l = saco.SVML2
@@ -289,6 +296,7 @@ func solve(stdout io.Writer, o *options) error {
 			res.Gap, res.Iters, res.SupportVectors())
 		x = res.X
 	case "pegasos":
+		modelKind, modelLambda = saco.KindPegasos, o.lambda
 		var rows saco.RowMatrix
 		if o.streaming {
 			rows = ds.Rows()
@@ -309,10 +317,21 @@ func solve(stdout io.Writer, o *options) error {
 	}
 
 	if o.outPath != "" {
-		if err := writeModel(o.outPath, x); err != nil {
-			return err
+		if binaryModelPath(o.outPath) {
+			m := saco.NewModel(modelKind, x)
+			m.TrainRows = trainRows
+			m.Lambda = modelLambda
+			if err := saco.SaveModel(o.outPath, m); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "binary model written to %s (%s, %d/%d nonzero)\n",
+				o.outPath, modelKind, m.NNZ(), m.Features)
+		} else {
+			if err := writeModel(o.outPath, x); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "model written to %s\n", o.outPath)
 		}
-		fmt.Fprintf(stdout, "model written to %s\n", o.outPath)
 	}
 
 	if rss, ok := peakRSS(); ok {
@@ -339,6 +358,17 @@ func solve(stdout io.Writer, o *options) error {
 		fmt.Fprintf(stdout, "heap profile written to %s\n", o.memProf)
 	}
 	return nil
+}
+
+// binaryModelPath reports whether -out asks for the versioned binary
+// model format (.sacm / .bin) instead of the historical text format —
+// the artifact cmd/saserve serves and refits.
+func binaryModelPath(path string) bool {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".sacm", ".bin":
+		return true
+	}
+	return false
 }
 
 // writeModel writes the solution vector, one value per line, checking

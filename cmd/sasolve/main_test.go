@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"saco"
 )
 
 // writeTinyDataset writes a small solvable LIBSVM file.
@@ -186,6 +188,63 @@ func TestModelOutput(t *testing.T) {
 	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
 	if len(lines) != 4 { // four features
 		t.Fatalf("model has %d lines, want 4", len(lines))
+	}
+}
+
+// TestBinaryModelOutput: a .sacm -out writes the versioned binary
+// format with provenance — the exact text-model coefficients, the task
+// kind and the resolved lambda — and the facade loader round-trips it.
+func TestBinaryModelOutput(t *testing.T) {
+	path := writeTinyDataset(t)
+	dir := t.TempDir()
+	txtPath := filepath.Join(dir, "model.txt")
+	binPath := filepath.Join(dir, "model.sacm")
+	if code, _, stderr := runCLI(t, "-data", path, "-task", "lasso", "-iters", "40", "-out", txtPath); code != 0 {
+		t.Fatalf("text run failed: %s", stderr)
+	}
+	code, stdout, stderr := runCLI(t, "-data", path, "-task", "lasso", "-iters", "40", "-out", binPath)
+	if code != 0 {
+		t.Fatalf("binary run failed: %s", stderr)
+	}
+	if !strings.Contains(stdout, "binary model written to") {
+		t.Fatalf("stdout %q lacks the binary write report", stdout)
+	}
+
+	bm, err := saco.LoadModel(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := saco.LoadModel(txtPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm.Kind != saco.KindLasso || tm.Kind != saco.KindRaw {
+		t.Fatalf("kinds: binary %v, text %v", bm.Kind, tm.Kind)
+	}
+	if bm.TrainRows != 6 || bm.Lambda <= 0 {
+		t.Fatalf("provenance: rows %d lambda %v", bm.TrainRows, bm.Lambda)
+	}
+	bd, td := bm.Dense(), tm.Dense()
+	if len(bd) != len(td) {
+		t.Fatalf("widths %d vs %d", len(bd), len(td))
+	}
+	for j := range bd {
+		if bd[j] != td[j] {
+			t.Fatalf("coef %d: binary %v != text %v (same solve must produce identical models)", j, bd[j], td[j])
+		}
+	}
+
+	// SVM task stamps its kind too.
+	svmPath := filepath.Join(dir, "svm.bin")
+	if code, _, stderr := runCLI(t, "-data", path, "-task", "svm", "-iters", "200", "-out", svmPath); code != 0 {
+		t.Fatalf("svm run failed: %s", stderr)
+	}
+	sm, err := saco.LoadModel(svmPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.Kind != saco.KindSVM || sm.Lambda != 1 {
+		t.Fatalf("svm model: kind %v lambda %v", sm.Kind, sm.Lambda)
 	}
 }
 

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"errors"
-	"fmt"
 	"sync"
 
 	"saco/internal/mat"
@@ -69,83 +67,38 @@ func splitIters(total, w, k int) int {
 // the same proximal step as lassoPlain, but performed by concurrent
 // workers against a shared iterate x and shared residual image
 // r = A·x − b held in atomic vectors. Stale gradient reads and
-// interleaved updates replace the sequential ordering; step sizes are
-// unchanged (1/λmax of the sampled block), which is the regime where
-// HOGWILD-style CD converges for sparse problems.
+// interleaved updates replace the sequential ordering; the step
+// (1/λmax of the sampled block) is scaled by the collision damping of
+// asyncDamping at high worker counts. The worker loop itself lives in
+// the exported AsyncLasso stepper (asyncstate.go), which the serving
+// refit drives open-endedly; this entry runs a fixed budget and joins.
 func lassoAsync(a ColMatrix, b []float64, opt LassoOptions) (*LassoResult, error) {
-	if opt.Accelerated {
-		return nil, errors.New("core: BackendAsync does not support the accelerated Lasso variants (acceleration needs an ordered θ-schedule); use plain CD/BCD or a deterministic backend")
-	}
-	ac, ok := a.(asyncColMatrix)
-	if !ok {
-		return nil, fmt.Errorf("core: matrix type %T does not provide atomic kernels for BackendAsync (sparse.CSC does)", a)
-	}
-	m, n := a.Dims()
-	g := opt.Regularizer()
-	w := opt.Exec.asyncWorkers()
+	w := opt.Exec.AsyncWorkers()
 	if w > opt.Iters {
 		w = opt.Iters
 	}
-
-	x := make([]float64, n)
-	if opt.X0 != nil {
-		copy(x, opt.X0)
+	st, err := NewAsyncLasso(a, b, w, opt)
+	if err != nil {
+		return nil, err
 	}
-	r := make([]float64, m)
-	a.MulVec(x, r)
-	mat.Axpy(-1, b, r) // r = A·x0 − b
-	xv := mat.NewAtomicVecFrom(x)
-	rv := mat.NewAtomicVecFrom(r)
-
-	streams := asyncStreams(opt.Seed, w)
 	var wg sync.WaitGroup
 	for k := 0; k < w; k++ {
 		wg.Add(1)
-		go func(k int) {
+		go func(wk *AsyncLassoWorker, iters int) {
 			defer wg.Done()
-			smp := &BlockSampler{r: streams[k], n: n, mu: opt.mu(), groups: opt.Groups}
-			muMax := smp.MaxBlock()
-			gram := mat.NewDense(muMax, muMax)
-			grad := make([]float64, muMax)
-			wbuf := make([]float64, muMax)
-			gv := make([]float64, muMax)
-			delta := make([]float64, muMax)
-			iters := splitIters(opt.Iters, w, k)
 			for h := 0; h < iters; h++ {
-				idx := smp.Next()
-				mu := len(idx)
-				gb := mat.NewDenseData(mu, mu, gram.Data[:mu*mu])
-				a.ColGram(idx, gb) // read-only: plain kernel is safe
-				v := blockLargestEig(gb)
-				ac.ColTMulVecAtomic(idx, rv, grad[:mu])
-				xv.Gather(wbuf[:mu], idx)
-				var eta float64
-				if v > 0 {
-					eta = 1 / v
-					for i := 0; i < mu; i++ {
-						gv[i] = wbuf[i] - eta*grad[i]
-					}
-				} else {
-					eta = BigEta
-					copy(gv[:mu], wbuf[:mu])
-				}
-				g.Prox(eta, gv[:mu])
-				for i := 0; i < mu; i++ {
-					delta[i] = gv[i] - wbuf[i]
-				}
-				xv.ScatterAdd(delta[:mu], idx)
-				ac.ColMulAddAtomic(idx, delta[:mu], rv)
+				wk.Step()
 			}
-		}(k)
+		}(st.Worker(k), splitIters(opt.Iters, w, k))
 	}
 	wg.Wait()
 
 	res := &LassoResult{Iters: opt.Iters}
-	res.X = xv.Snapshot(nil)
+	res.X = st.SnapshotX(nil)
 	// The maintained residual is exact up to the roundoff of the racy
 	// accumulation order; with one worker it equals the sequential
 	// solver's bit for bit.
-	res.Objective = LassoObjective(rv.Snapshot(r), res.X, g)
+	res.Objective = st.Objective()
 	return res, nil
 }
 
@@ -156,73 +109,30 @@ func lassoAsync(a ColMatrix, b []float64, opt LassoOptions) (*LassoResult, error
 // kept exactly inside its box by a compare-and-swap and the primal
 // updated by atomic adds.
 func svmAsync(a RowMatrix, b []float64, opt SVMOptions) (*SVMResult, error) {
-	ar, ok := a.(asyncRowMatrix)
-	if !ok {
-		return nil, fmt.Errorf("core: matrix type %T does not provide atomic kernels for BackendAsync (sparse.CSR does)", a)
-	}
-	m, n := a.Dims()
-	gamma, nu := opt.GammaNu()
-	w := opt.Exec.asyncWorkers()
+	w := opt.Exec.AsyncWorkers()
 	if w > opt.Iters {
 		w = opt.Iters
 	}
-
-	alpha := make([]float64, m)
-	x := make([]float64, n)
-	if opt.Alpha0 != nil {
-		copy(alpha, opt.Alpha0)
-		for i, ai := range alpha {
-			if ai != 0 {
-				a.RowTAxpy(i, ai*b[i], x)
-			}
-		}
+	st, err := NewAsyncSVM(a, b, w, opt)
+	if err != nil {
+		return nil, err
 	}
-	av := mat.NewAtomicVecFrom(alpha)
-	xv := mat.NewAtomicVecFrom(x)
-
-	streams := asyncStreams(opt.Seed, w)
 	var wg sync.WaitGroup
 	for k := 0; k < w; k++ {
 		wg.Add(1)
-		go func(k int) {
+		go func(wk *AsyncSVMWorker, iters int) {
 			defer wg.Done()
-			r := streams[k]
-			iters := splitIters(opt.Iters, w, k)
 			for h := 0; h < iters; h++ {
-				i := r.Intn(m)
-				eta := a.RowNormSq(i) + gamma
-				dot := ar.RowDotAtomic(i, xv)
-				// CAS keeps α_i in [0, ν] exactly even when two workers
-				// collide on the coordinate: the loser recomputes its step
-				// from the fresh dual value (the margin read stays stale —
-				// that is the async part).
-				var theta float64
-				for {
-					ai := av.Load(i)
-					g := b[i]*dot - 1 + gamma*ai
-					if gt := Clip(ai-g, 0, nu) - ai; gt == 0 {
-						theta = 0
-						break
-					}
-					theta = Clip(ai-g/eta, 0, nu) - ai
-					if theta == 0 || av.CompareAndSwap(i, ai, ai+theta) {
-						break
-					}
-				}
-				if theta != 0 {
-					ar.RowTAxpyAtomic(i, theta*b[i], xv)
-				}
+				wk.Step()
 			}
-		}(k)
+		}(st.Worker(k), splitIters(opt.Iters, w, k))
 	}
 	wg.Wait()
 
 	res := &SVMResult{Iters: opt.Iters}
-	res.X = xv.Snapshot(x)
-	res.Alpha = av.Snapshot(alpha)
-	margins := make([]float64, m)
-	a.MulVec(res.X, margins)
-	res.Primal, res.Dual, res.Gap = SVMObjectives(res.X, res.Alpha, margins, b, opt.Lambda, gamma, opt.Loss)
+	res.X = st.SnapshotX(nil)
+	res.Alpha = st.SnapshotAlpha(nil)
+	res.Primal, res.Dual, res.Gap = st.ObjectivesAt(res.X, res.Alpha)
 	return res, nil
 }
 
@@ -240,7 +150,7 @@ func pegasosAsync(a RowMatrix, b []float64, opt SVMOptions) (*SVMResult, error) 
 	if err := opt.validate(m, len(b)); err != nil {
 		return nil, err
 	}
-	w := opt.Exec.asyncWorkers()
+	w := opt.Exec.AsyncWorkers()
 	if w > opt.Iters {
 		w = opt.Iters
 	}

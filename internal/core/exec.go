@@ -75,8 +75,11 @@ func (e Exec) workers() int {
 	return e.width()
 }
 
-// asyncWorkers returns the solver worker count of an async solve.
-func (e Exec) asyncWorkers() int {
+// AsyncWorkers returns the solver worker count of an async solve
+// (1 for non-async backends). Exported for callers of the async
+// stepper hooks (NewAsyncLasso / NewAsyncSVM), which take an explicit
+// worker count.
+func (e Exec) AsyncWorkers() int {
 	if e.Backend != BackendAsync {
 		return 1
 	}

@@ -159,3 +159,19 @@ func ScatterAxpy(alpha float64, dst, v []float64, idx []int) {
 		dst[j] += alpha * v[k]
 	}
 }
+
+// SparseDot returns Σ_k val[k]·x[idx[k]] — the inner product of a dense
+// vector with a sparse vector given as (index, value) pairs. It is the
+// per-row primitive of the dense-batch × sparse-model scoring kernel:
+// only the model's nonzero coordinates are touched, so scoring a dense
+// row against a k-sparse Lasso model costs O(k) instead of O(n).
+func SparseDot(x []float64, idx []int, val []float64) float64 {
+	if len(idx) != len(val) {
+		panic(fmt.Sprintf("mat: SparseDot index/value length mismatch %d != %d", len(idx), len(val)))
+	}
+	var s float64
+	for k, j := range idx {
+		s += val[k] * x[j]
+	}
+	return s
+}

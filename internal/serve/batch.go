@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"saco/internal/sparse"
+)
+
+// The micro-batcher. Concurrent /predict requests land as predictJobs
+// on one channel; the dispatcher goroutine coalesces whatever arrives
+// within a short window (or until a row cap) into a single sparse
+// matrix and makes one batched kernel call on the persistent worker
+// pool — the serving-side analogue of the solvers' batched Gram
+// kernels, where one dispatch amortizes across many rows.
+//
+// Correctness under hot swaps is by construction: the dispatcher loads
+// the registry pointer once per batch and scores every row of the
+// batch against that one immutable model, so no request can ever see a
+// mix of two versions, and the response reports which version scored
+// it.
+
+// predictJob is one request's parsed rows plus its reply channel.
+type predictJob struct {
+	cols   [][]int // per row: 0-based, strictly increasing
+	vals   [][]float64
+	maxCol int // largest index across rows, -1 when all rows empty
+	resp   chan predictResult
+}
+
+// predictResult is what the dispatcher sends back: scores against one
+// model version, or an HTTP-ready error.
+type predictResult struct {
+	scores  []float64
+	model   *Model
+	status  int // non-zero = error
+	errText string
+}
+
+// dispatch is the batcher loop: take one job, linger BatchWindow for
+// companions (up to MaxBatch rows), score the coalesced batch.
+func (s *Server) dispatch() {
+	defer close(s.done)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case j := <-s.jobs:
+			batch := []*predictJob{j}
+			rows := len(j.cols)
+			if rows < s.opt.MaxBatch {
+				timer := time.NewTimer(s.opt.BatchWindow)
+			collect:
+				for rows < s.opt.MaxBatch {
+					select {
+					case j2 := <-s.jobs:
+						batch = append(batch, j2)
+						rows += len(j2.cols)
+					case <-timer.C:
+						break collect
+					}
+				}
+				timer.Stop()
+			}
+			s.scoreBatch(batch, rows)
+		}
+	}
+}
+
+// scoreBatch scores every job in the batch against one atomic load of
+// the serving model.
+func (s *Server) scoreBatch(batch []*predictJob, totalRows int) {
+	m := s.reg.Current()
+	if m == nil {
+		for _, j := range batch {
+			j.resp <- predictResult{status: http.StatusServiceUnavailable, errText: "no model loaded yet"}
+		}
+		return
+	}
+
+	// Per-job dimensionality check against this batch's model snapshot;
+	// oversized requests fail alone, not the whole batch.
+	valid := batch[:0:0]
+	validRows := 0
+	for _, j := range batch {
+		if j.maxCol >= m.Features {
+			j.resp <- predictResult{
+				status:  http.StatusBadRequest,
+				errText: fmt.Sprintf("feature index %d exceeds model dimensionality %d (model version %d)", j.maxCol+1, m.Features, m.Version),
+			}
+			continue
+		}
+		valid = append(valid, j)
+		validRows += len(j.cols)
+	}
+	if len(valid) == 0 {
+		return
+	}
+
+	// Assemble the batch matrix and make the one kernel call.
+	rowPtr := make([]int, 1, validRows+1)
+	var colIdx []int
+	var vals []float64
+	for _, j := range valid {
+		for r := range j.cols {
+			colIdx = append(colIdx, j.cols[r]...)
+			vals = append(vals, j.vals[r]...)
+			rowPtr = append(rowPtr, len(vals))
+		}
+	}
+	a, err := sparse.NewCSR(validRows, m.Features, rowPtr, colIdx, vals)
+	if err == nil {
+		y := make([]float64, validRows)
+		if err = m.Score(a, s.opt.Workers, y); err == nil {
+			off := 0
+			for _, j := range valid {
+				j.resp <- predictResult{scores: y[off : off+len(j.cols)], model: m}
+				off += len(j.cols)
+			}
+			s.stats.batches.Add(1)
+			s.stats.rowsScored.Add(uint64(validRows))
+			s.stats.maxBatchRows.Max(uint64(validRows))
+			return
+		}
+	}
+	// Assembly or scoring rejected the batch wholesale (malformed rows
+	// slipping past parsing would be a server bug; report, don't hang).
+	for _, j := range valid {
+		j.resp <- predictResult{status: http.StatusInternalServerError, errText: err.Error()}
+	}
+}

@@ -1,0 +1,54 @@
+// Package serve is the lock-free model-serving layer: it turns the
+// solvers' coefficient vectors into versioned model artifacts and
+// answers prediction traffic against them while a background trainer
+// refits the live model without ever taking a lock.
+//
+// The paper's core trade — replace synchronization with atomic updates
+// that stay convergent — applies to serving directly. Three lock-free
+// mechanisms compose here:
+//
+//   - Registry holds the current model behind an atomic pointer.
+//     Readers (request handlers) load it wait-free; a publish is one
+//     pointer swap, so in-flight requests always score against exactly
+//     one immutable model version — never a torn mix of two.
+//   - Server micro-batches concurrent /predict requests into a single
+//     sparse matrix and scores it with one batched kernel call on the
+//     persistent internal/runtime pool, amortizing dispatch across the
+//     batch exactly like the solvers' Gram kernels.
+//   - Refit drives the exported core.AsyncLasso / core.AsyncSVM HOGWILD
+//     steppers against a live atomic coefficient vector and snapshots
+//     it into a new registry version on a fixed cadence: training and
+//     serving share one lock-free vector, with immutable snapshots as
+//     the only hand-off.
+//
+// # Model file format (.sacm, version 1)
+//
+// A model is a sparse coefficient vector plus provenance, stored
+// little-endian with a trailing checksum:
+//
+//	offset  size        field
+//	0       8           magic "SACOMDL1"
+//	8       4           format version (uint32, = 1)
+//	12      4           problem kind (uint32: 0 raw, 1 lasso, 2 svm, 3 pegasos)
+//	16      8           features n (uint64)
+//	24      8           training rows m (uint64, informational)
+//	32      8           lambda (float64 bits)
+//	40      8           model version (uint64; registry sequence, 0 = unpublished)
+//	48      8           nnz (uint64)
+//	56      8·nnz       nonzero coordinate indices (uint64, strictly increasing, < n)
+//	56+8·nnz  8·nnz     nonzero values (float64 bits)
+//	...     8           CRC-64/ECMA of every preceding byte
+//
+// ReadModel rejects bad magic, unknown versions, truncated or oversized
+// payloads, checksum mismatches, and indices out of order or out of
+// range — a corrupt or half-written file can never become the serving
+// model (the registry additionally publishes via rename, so a watcher
+// never even opens a partial file). The text format (one "%.17g" value
+// per line, the historical sasolve -out format) is read and written for
+// compatibility; %.17g round-trips float64 exactly, so text↔binary
+// conversion is lossless.
+//
+// Registry versions are encoded in the file name (model-%08d.sacm);
+// the watcher polls the directory and hot-swaps the pointer when a
+// higher version appears.
+package serve

@@ -1,0 +1,332 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"saco/internal/sparse"
+)
+
+// Kind identifies the problem family a model was trained on. It decides
+// how predictions are interpreted (regression value vs. classification
+// margin); scoring itself is kind-agnostic.
+type Kind uint32
+
+const (
+	// KindRaw marks a model of unknown provenance (e.g. loaded from the
+	// text format, which carries no metadata).
+	KindRaw Kind = iota
+	// KindLasso is a sparse least-squares model; scores are regression
+	// values.
+	KindLasso
+	// KindSVM is a linear SVM; scores are margins, sign(score) the label.
+	KindSVM
+	// KindPegasos is a Pegasos-trained SVM; scores are margins.
+	KindPegasos
+	kindEnd
+)
+
+// String names the kind for logs, stats and flags.
+func (k Kind) String() string {
+	switch k {
+	case KindLasso:
+		return "lasso"
+	case KindSVM:
+		return "svm"
+	case KindPegasos:
+		return "pegasos"
+	default:
+		return "raw"
+	}
+}
+
+// Classifier reports whether sign(score) is a class label.
+func (k Kind) Classifier() bool { return k == KindSVM || k == KindPegasos }
+
+// Model is one immutable trained coefficient vector plus provenance.
+// Fields are set at construction and never mutated afterwards — the
+// registry hands the same *Model to every concurrent reader, and
+// immutability is what makes the atomic-pointer hand-off torn-read
+// free.
+type Model struct {
+	// Kind is the problem family (lasso, svm, pegasos, raw).
+	Kind Kind
+	// Features is the model dimensionality n; requests with indices
+	// beyond it are rejected.
+	Features int
+	// TrainRows is the number of rows the model was fitted on
+	// (informational).
+	TrainRows int
+	// Lambda is the regularization strength used in training.
+	Lambda float64
+	// Version is the registry sequence number (0 until published).
+	Version uint64
+	// Idx/Val are the nonzero coordinates, Idx strictly increasing.
+	Idx []int
+	Val []float64
+
+	denseOnce sync.Once
+	dense     []float64
+}
+
+// NewModel builds a model from a dense coefficient vector, keeping only
+// the nonzeros (the Lasso penalty exists to make that small).
+func NewModel(kind Kind, x []float64) *Model {
+	m := &Model{Kind: kind, Features: len(x)}
+	for j, v := range x {
+		if v != 0 {
+			m.Idx = append(m.Idx, j)
+			m.Val = append(m.Val, v)
+		}
+	}
+	return m
+}
+
+// NNZ returns the model's support size.
+func (m *Model) NNZ() int { return len(m.Idx) }
+
+// Dense returns the dense expansion of the coefficient vector, built
+// once and cached. The returned slice is shared — callers must not
+// mutate it. (The refit loop uses it as the warm start X0.)
+func (m *Model) Dense() []float64 {
+	m.denseOnce.Do(func() {
+		m.dense = make([]float64, m.Features)
+		for k, j := range m.Idx {
+			m.dense[j] = m.Val[k]
+		}
+	})
+	return m.dense
+}
+
+// Score computes y = A·x for a batch of request rows against this
+// model with the batched sparse-model kernel on workers pool lanes
+// (0 = GOMAXPROCS, 1 = sequential). It is the single scoring path:
+// the server's micro-batches and the tests' per-request references both
+// go through it, which is what makes "batched equals sequential
+// bitwise" checkable.
+func (m *Model) Score(a *sparse.CSR, workers int, y []float64) error {
+	if a.N != m.Features {
+		return fmt.Errorf("serve: batch has %d features, model has %d", a.N, m.Features)
+	}
+	if len(y) != a.M {
+		return fmt.Errorf("serve: %d outputs for %d rows", len(y), a.M)
+	}
+	a.WithKernelWorkers(workers).(*sparse.CSR).MulSparseVec(m.Idx, m.Val, y)
+	return nil
+}
+
+// validate checks the structural invariants shared by every load path.
+func (m *Model) validate() error {
+	if m.Features < 0 {
+		return fmt.Errorf("serve: negative feature count %d", m.Features)
+	}
+	if len(m.Idx) != len(m.Val) {
+		return fmt.Errorf("serve: %d indices for %d values", len(m.Idx), len(m.Val))
+	}
+	prev := -1
+	for _, j := range m.Idx {
+		if j <= prev {
+			return fmt.Errorf("serve: model indices not strictly increasing at %d", j)
+		}
+		if j >= m.Features {
+			return fmt.Errorf("serve: model index %d out of range (dim mismatch: %d features declared)", j, m.Features)
+		}
+		prev = j
+	}
+	if m.Kind >= kindEnd {
+		return fmt.Errorf("serve: unknown model kind %d", uint32(m.Kind))
+	}
+	return nil
+}
+
+// Binary format constants (layout documented in doc.go).
+var modelMagic = [8]byte{'S', 'A', 'C', 'O', 'M', 'D', 'L', '1'}
+
+const (
+	modelFormatVersion = 1
+	modelHeaderSize    = 56 // magic through nnz
+	// maxModelBytes bounds how large a model file a reader will accept
+	// (1 << 31 covers ~134M nonzeros — far past any dataset in the
+	// paper) so a corrupt nnz field cannot drive allocation.
+	maxModelBytes = 1 << 31
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// WriteModel writes m in the versioned binary format.
+func WriteModel(w io.Writer, m *Model) error {
+	if err := m.validate(); err != nil {
+		return err
+	}
+	buf := make([]byte, modelHeaderSize+16*len(m.Idx)+8)
+	copy(buf, modelMagic[:])
+	le := binary.LittleEndian
+	le.PutUint32(buf[8:], modelFormatVersion)
+	le.PutUint32(buf[12:], uint32(m.Kind))
+	le.PutUint64(buf[16:], uint64(m.Features))
+	le.PutUint64(buf[24:], uint64(m.TrainRows))
+	le.PutUint64(buf[32:], math.Float64bits(m.Lambda))
+	le.PutUint64(buf[40:], m.Version)
+	le.PutUint64(buf[48:], uint64(len(m.Idx)))
+	off := modelHeaderSize
+	for _, j := range m.Idx {
+		le.PutUint64(buf[off:], uint64(j))
+		off += 8
+	}
+	for _, v := range m.Val {
+		le.PutUint64(buf[off:], math.Float64bits(v))
+		off += 8
+	}
+	le.PutUint64(buf[off:], crc64.Checksum(buf[:off], crcTable))
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadModel reads a binary model, verifying magic, format version,
+// size, checksum and index invariants. Any failure is an error — a
+// corrupt file never yields a partially-trusted model.
+func ReadModel(r io.Reader) (*Model, error) {
+	data, err := io.ReadAll(io.LimitReader(r, maxModelBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) > maxModelBytes {
+		return nil, fmt.Errorf("serve: model file exceeds the %d-byte reader cap", maxModelBytes)
+	}
+	if len(data) < modelHeaderSize+8 {
+		return nil, fmt.Errorf("serve: model file truncated (%d bytes)", len(data))
+	}
+	if !bytes.Equal(data[:8], modelMagic[:]) {
+		return nil, fmt.Errorf("serve: bad magic %q (not a saco binary model)", data[:8])
+	}
+	le := binary.LittleEndian
+	if v := le.Uint32(data[8:]); v != modelFormatVersion {
+		return nil, fmt.Errorf("serve: unsupported model format version %d (have %d)", v, modelFormatVersion)
+	}
+	nnz := le.Uint64(data[48:])
+	want := modelHeaderSize + 16*nnz + 8
+	if uint64(len(data)) != want {
+		return nil, fmt.Errorf("serve: model file is %d bytes, header declares %d (nnz=%d)", len(data), want, nnz)
+	}
+	payload := data[:len(data)-8]
+	if got, stored := crc64.Checksum(payload, crcTable), le.Uint64(data[len(data)-8:]); got != stored {
+		return nil, fmt.Errorf("serve: model checksum mismatch (stored %016x, computed %016x): corrupted file", stored, got)
+	}
+	m := &Model{
+		Kind:      Kind(le.Uint32(data[12:])),
+		Features:  int(le.Uint64(data[16:])),
+		TrainRows: int(le.Uint64(data[24:])),
+		Lambda:    math.Float64frombits(le.Uint64(data[32:])),
+		Version:   le.Uint64(data[40:]),
+	}
+	if nnz > 0 {
+		m.Idx = make([]int, nnz)
+		m.Val = make([]float64, nnz)
+		off := modelHeaderSize
+		for k := range m.Idx {
+			m.Idx[k] = int(le.Uint64(data[off:]))
+			off += 8
+		}
+		for k := range m.Val {
+			m.Val[k] = math.Float64frombits(le.Uint64(data[off:]))
+			off += 8
+		}
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// WriteModelFile writes the binary format to path through a temp file
+// and a rename, so a reader — in particular a registry watching the
+// directory the model is being trained into — can never observe a
+// partial artifact. The temp file is synced before the rename so a
+// full disk surfaces as an error instead of silent success.
+func WriteModelFile(path string, m *Model) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".sacm-*.tmp")
+	if err != nil {
+		return err
+	}
+	cleanup := func() {
+		f.Close()
+		os.Remove(f.Name())
+	}
+	if err := WriteModel(f, m); err != nil {
+		cleanup()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return nil
+}
+
+// WriteTextModel writes the historical text format: one "%.17g" value
+// per line, dense. %.17g round-trips float64 exactly.
+func WriteTextModel(w io.Writer, m *Model) error {
+	bw := bufio.NewWriter(w)
+	for _, v := range m.Dense() {
+		if _, err := fmt.Fprintf(bw, "%.17g\n", v); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTextModel parses the text format. The result is KindRaw with no
+// lambda/rows provenance — the format predates the header.
+func ReadTextModel(r io.Reader) (*Model, error) {
+	sc := bufio.NewScanner(r)
+	var x []float64
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("serve: text model line %d: %v", line, err)
+		}
+		x = append(x, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewModel(KindRaw, x), nil
+}
+
+// LoadModelFile reads a model from path, auto-detecting the binary
+// format by its magic and falling back to the text format.
+func LoadModelFile(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) >= 8 && bytes.Equal(data[:8], modelMagic[:]) {
+		return ReadModel(bytes.NewReader(data))
+	}
+	return ReadTextModel(bytes.NewReader(data))
+}

@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"saco/internal/core"
+	"saco/internal/sparse"
+)
+
+// The live refit loop: HOGWILD! solver workers run open-endedly against
+// one lock-free atomic coefficient vector (the exported core.AsyncLasso
+// / core.AsyncSVM steppers) while a publisher thread snapshots that
+// vector on a fixed cadence and hands each snapshot to the registry as
+// a new immutable version. Training and serving thus share a single
+// synchronization-free vector; the only hand-off is the atomic pointer
+// swap of a publish, so scoring traffic is never blocked — not by the
+// trainer, not by the publisher.
+
+// RefitOptions configures a live refit.
+type RefitOptions struct {
+	// Every is the publish cadence (default 2s).
+	Every time.Duration
+	// Workers is the HOGWILD worker count (0 = GOMAXPROCS).
+	Workers int
+	// Seed drives the workers' sampling streams.
+	Seed uint64
+	// BlockSize is the Lasso block size µ (default 1).
+	BlockSize int
+	// Lambda overrides the regularization strength; 0 inherits the
+	// serving model's recorded lambda.
+	Lambda float64
+	// Loss selects the SVM loss for KindSVM/KindPegasos refits.
+	Loss core.SVMLoss
+	// Kind overrides the task; KindRaw (the zero value) infers it from
+	// the serving model.
+	Kind Kind
+	// MaxPublishes stops the refit after this many publishes
+	// (0 = run until the context is cancelled).
+	MaxPublishes int
+	// Log, when set, receives one progress line per publish.
+	Log io.Writer
+}
+
+// Refit streams the labeled rows (a, b) into a lock-free solver warm-
+// started from the serving model and publishes snapshots of the live
+// coefficient vector until ctx is cancelled (a final quiescent snapshot
+// is flushed on the way out) or MaxPublishes is reached.
+//
+// Lasso refits warm-start X0 from the serving model's coefficients.
+// SVM/Pegasos refits retrain the dual from scratch on the new rows (a
+// published primal vector cannot be decomposed back into dual
+// variables), publishing primal snapshots; Pegasos models keep their
+// kind, scored identically.
+func Refit(ctx context.Context, reg *Registry, a *sparse.CSR, b []float64, opt RefitOptions) error {
+	cur := reg.Current()
+	kind := opt.Kind
+	if kind == KindRaw && cur != nil {
+		kind = cur.Kind
+	}
+	if kind == KindRaw {
+		return errors.New("serve: cannot infer the refit task (no typed serving model); set RefitOptions.Kind")
+	}
+	if cur != nil && a.N != cur.Features {
+		return fmt.Errorf("serve: refit data has %d features, serving model has %d", a.N, cur.Features)
+	}
+	lambda := opt.Lambda
+	if lambda == 0 && cur != nil {
+		lambda = cur.Lambda
+	}
+	workers := opt.Workers
+	every := opt.Every
+	if every <= 0 {
+		every = 2 * time.Second
+	}
+
+	// Build the solver-specific stepper behind a uniform pair of
+	// closures; everything after this is solver-agnostic.
+	var (
+		newWorker func(k int) func() // per-worker Step closure
+		snapshot  func() []float64
+		objective func(x []float64) float64
+		nWorkers  int
+	)
+	switch kind {
+	case KindLasso:
+		lopt := core.LassoOptions{
+			Lambda: lambda, BlockSize: opt.BlockSize, Seed: opt.Seed,
+			Exec: core.Exec{Backend: core.BackendAsync, Workers: workers},
+		}
+		if cur != nil {
+			lopt.X0 = cur.Dense()
+		}
+		w := lopt.Exec.AsyncWorkers()
+		st, err := core.NewAsyncLasso(a.ToCSC(), b, w, lopt)
+		if err != nil {
+			return err
+		}
+		nWorkers = w
+		newWorker = func(k int) func() { wk := st.Worker(k); return wk.Step }
+		snapshot = func() []float64 { return st.SnapshotX(nil) }
+		objective = st.ObjectiveAt
+	case KindSVM, KindPegasos:
+		sopt := core.SVMOptions{
+			Lambda: lambda, Loss: opt.Loss, Seed: opt.Seed,
+			Exec: core.Exec{Backend: core.BackendAsync, Workers: workers},
+		}
+		w := sopt.Exec.AsyncWorkers()
+		st, err := core.NewAsyncSVM(a, b, w, sopt)
+		if err != nil {
+			return err
+		}
+		nWorkers = w
+		newWorker = func(k int) func() { wk := st.Worker(k); return wk.Step }
+		snapshot = func() []float64 { return st.SnapshotX(nil) }
+		objective = func(x []float64) float64 {
+			p, _, _ := st.ObjectivesAt(x, st.SnapshotAlpha(nil))
+			return p
+		}
+	default:
+		return fmt.Errorf("serve: cannot refit a %s model", kind)
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	for k := 0; k < nWorkers; k++ {
+		step := newWorker(k)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// Steps are cheap; amortize the cancellation check.
+				for i := 0; i < 64; i++ {
+					step()
+				}
+				select {
+				case <-runCtx.Done():
+					return
+				default:
+				}
+			}
+		}()
+	}
+
+	publish := func(quiescent bool) error {
+		x := snapshot()
+		m := NewModel(kind, x)
+		m.TrainRows = len(b)
+		m.Lambda = lambda
+		v, err := reg.Publish(m)
+		if err != nil {
+			return err
+		}
+		if opt.Log != nil {
+			state := "live"
+			if quiescent {
+				state = "final"
+			}
+			fmt.Fprintf(opt.Log, "refit: published version %d (%s snapshot, objective %.6e, nnz %d/%d, %d workers)\n",
+				v, state, objective(x), m.NNZ(), m.Features, nWorkers)
+		}
+		return nil
+	}
+
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	published := 0
+	for {
+		select {
+		case <-ctx.Done():
+			// Quiesce the workers, flush one exact final model.
+			cancel()
+			wg.Wait()
+			return publish(true)
+		case <-ticker.C:
+			if err := publish(false); err != nil {
+				cancel()
+				wg.Wait()
+				return err
+			}
+			published++
+			if opt.MaxPublishes > 0 && published >= opt.MaxPublishes {
+				cancel()
+				wg.Wait()
+				return nil
+			}
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestRegistryPublishAndReopen: publishes number versions sequentially,
+// the pointer tracks the latest, and a fresh registry over the same
+// directory recovers the newest model.
+func TestRegistryPublishAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	r, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Current() != nil || r.Version() != 0 {
+		t.Fatal("empty registry must serve no model")
+	}
+	for i := 1; i <= 3; i++ {
+		m := testModel(KindLasso, 40, 5, int64(i))
+		v, err := r.Publish(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != uint64(i) || r.Version() != uint64(i) || r.Current() != m {
+			t.Fatalf("publish %d: got version %d, serving %d", i, v, r.Version())
+		}
+	}
+	if r.Publishes() != 3 || r.Swaps() != 3 {
+		t.Fatalf("publishes=%d swaps=%d", r.Publishes(), r.Swaps())
+	}
+
+	r2, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Version() != 3 {
+		t.Fatalf("reopened registry serves version %d, want 3", r2.Version())
+	}
+}
+
+// TestRegistryPollHotSwap: a model dropped into the directory by
+// another process (simulated by a second registry) is picked up by
+// Poll, and stale or foreign files are ignored.
+func TestRegistryPollHotSwap(t *testing.T) {
+	dir := t.TempDir()
+	writer, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := writer.Publish(testModel(KindLasso, 40, 5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Foreign junk the scan must skip.
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ".model-xyz.tmp"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	swapped, err := reader.Poll()
+	if err != nil || !swapped {
+		t.Fatalf("Poll = (%v, %v), want swap", swapped, err)
+	}
+	if reader.Version() != 1 {
+		t.Fatalf("reader serves %d, want 1", reader.Version())
+	}
+	if swapped, _ := reader.Poll(); swapped {
+		t.Fatal("second Poll with nothing new must not swap")
+	}
+
+	// A corrupt newer file must not displace the serving model, but an
+	// even newer valid one must still win.
+	if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf(modelFilePattern, uint64(2))), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	swapped, err = reader.Poll()
+	if swapped || err == nil {
+		t.Fatalf("Poll over corrupt v2 = (%v, %v), want no swap + error", swapped, err)
+	}
+	if reader.Version() != 1 {
+		t.Fatalf("corrupt file displaced the serving model (now %d)", reader.Version())
+	}
+	if _, err := writer.Publish(testModel(KindSVM, 40, 4, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if writer.Version() != 3 {
+		t.Fatalf("publisher must skip past the corrupt v2 number, got %d", writer.Version())
+	}
+	swapped, _ = reader.Poll()
+	if !swapped || reader.Version() != 3 || reader.Current().Kind != KindSVM {
+		t.Fatalf("reader did not reach v3: swapped=%v version=%d", swapped, reader.Version())
+	}
+}
+
+// TestRegistryWatch: the background watcher picks up a publish within
+// a few intervals.
+func TestRegistryWatch(t *testing.T) {
+	dir := t.TempDir()
+	writer, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader.Watch(time.Millisecond)
+	defer reader.StopWatch()
+	if _, err := writer.Publish(testModel(KindLasso, 30, 3, 7)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for reader.Version() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("watcher never swapped (version %d)", reader.Version())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestOpenRegistryRecoversFromCorruptOnlyDir: a directory holding only
+// a partial/corrupt artifact (a trainer crashed mid-write) must open
+// and serve nothing, and the normal Poll path must recover once a
+// whole model appears — startup must not be the one moment corruption
+// is fatal.
+func TestOpenRegistryRecoversFromCorruptOnlyDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf(modelFilePattern, uint64(1))), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatalf("open over corrupt-only dir: %v", err)
+	}
+	if r.Current() != nil {
+		t.Fatal("corrupt file must not become the serving model")
+	}
+	// A whole model appears (any writer); Poll recovers.
+	w, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Publish(testModel(KindLasso, 20, 3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if swapped, _ := r.Poll(); !swapped || r.Version() != 2 {
+		t.Fatalf("recovery: swapped=%v version=%d", swapped, r.Version())
+	}
+}
+
+// TestRegistryRetention: Publish keeps only the newest Retain versions
+// on disk, without ever touching the serving pointer, and never prunes
+// with a negative Retain.
+func TestRegistryRetention(t *testing.T) {
+	dir := t.TempDir()
+	r, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Retain = 2
+	for i := 0; i < 5; i++ {
+		if _, err := r.Publish(testModel(KindLasso, 20, 3, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Version() != 5 {
+		t.Fatalf("serving version %d", r.Version())
+	}
+	var versions []uint64
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if v, ok := modelFileVersion(e.Name()); ok {
+			versions = append(versions, v)
+		}
+	}
+	if len(versions) != 2 {
+		t.Fatalf("retained %v, want exactly the newest 2", versions)
+	}
+	for _, v := range versions {
+		if v != 4 && v != 5 {
+			t.Fatalf("retained unexpected version %d", v)
+		}
+	}
+	// A reopened registry still serves the newest survivor.
+	r2, err := OpenRegistry(dir)
+	if err != nil || r2.Version() != 5 {
+		t.Fatalf("reopen after prune: version %d (%v)", r2.Version(), err)
+	}
+
+	keep := &Registry{dir: dir, Retain: -1}
+	for i := 0; i < 3; i++ {
+		if _, err := keep.Publish(testModel(KindLasso, 20, 3, 9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, _ = os.ReadDir(dir)
+	n := 0
+	for _, e := range entries {
+		if _, ok := modelFileVersion(e.Name()); ok {
+			n++
+		}
+	}
+	if n != 5 { // 2 survivors + 3 unpruned
+		t.Fatalf("negative Retain pruned: %d files", n)
+	}
+}
+
+// TestModelFileVersion pins the artifact-name grammar.
+func TestModelFileVersion(t *testing.T) {
+	if v, ok := modelFileVersion("model-00000042.sacm"); !ok || v != 42 {
+		t.Fatalf("parse = (%d, %v)", v, ok)
+	}
+	for _, bad := range []string{"model-1.sacm", "model-00000042.txt", ".model-x.tmp", "model-00000042.sacm.bak"} {
+		if _, ok := modelFileVersion(bad); ok {
+			t.Fatalf("%q accepted", bad)
+		}
+	}
+}

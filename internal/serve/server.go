@@ -1,0 +1,314 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"saco/internal/libsvm"
+)
+
+// Options tunes the serving layer; the zero value is usable.
+type Options struct {
+	// MaxBatch caps the rows coalesced into one scoring call
+	// (default 256). A single oversized request still scores in one
+	// call of its own.
+	MaxBatch int
+	// BatchWindow is how long the dispatcher lingers for companion
+	// requests after the first of a batch (default 500µs). Shorter
+	// windows favour latency, longer ones throughput.
+	BatchWindow time.Duration
+	// Workers is the kernel width of the batched scoring call on the
+	// persistent pool (0 = GOMAXPROCS, 1 = sequential).
+	Workers int
+	// MaxBodyBytes caps a /predict request body (default 32 MiB).
+	MaxBodyBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 256
+	}
+	if o.BatchWindow <= 0 {
+		o.BatchWindow = 500 * time.Microsecond
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 32 << 20
+	}
+	return o
+}
+
+// maxUint64 is an atomic running maximum.
+type maxUint64 struct{ v atomic.Uint64 }
+
+func (m *maxUint64) Max(x uint64) {
+	for {
+		cur := m.v.Load()
+		if x <= cur || m.v.CompareAndSwap(cur, x) {
+			return
+		}
+	}
+}
+func (m *maxUint64) Load() uint64 { return m.v.Load() }
+
+// serverStats are the monotone counters /stats reports.
+type serverStats struct {
+	requests     atomic.Uint64
+	rowsScored   atomic.Uint64
+	batches      atomic.Uint64
+	errors       atomic.Uint64
+	maxBatchRows maxUint64
+}
+
+// Server answers prediction traffic against a Registry. Construct with
+// NewServer, mount Handler on an http.Server, Close when done.
+type Server struct {
+	reg   *Registry
+	opt   Options
+	jobs  chan *predictJob
+	stop  chan struct{}
+	done  chan struct{}
+	stats serverStats
+	start time.Time
+}
+
+// NewServer starts the dispatcher goroutine and returns the server.
+func NewServer(reg *Registry, opt Options) *Server {
+	s := &Server{
+		reg:   reg,
+		opt:   opt.withDefaults(),
+		jobs:  make(chan *predictJob, 1024),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+		start: time.Now(),
+	}
+	go s.dispatch()
+	return s
+}
+
+// Close stops the dispatcher. In-flight handlers receive 503s; callers
+// should shut the http.Server down first.
+func (s *Server) Close() {
+	close(s.stop)
+	<-s.done
+}
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// predictResponse is the /predict reply.
+type predictResponse struct {
+	// ModelVersion is the registry version every score in this reply
+	// was computed against — exactly one, never a mix.
+	ModelVersion uint64 `json:"model_version"`
+	// Scores are the decision values A·x, one per request row.
+	Scores []float64 `json:"scores"`
+	// Labels are sign(score), present only for classifier models.
+	Labels []int `json:"labels,omitempty"`
+}
+
+// jsonRow is one request row in the JSON body: parallel 1-based
+// indices (LIBSVM convention) and values.
+type jsonRow struct {
+	Indices []int     `json:"indices"`
+	Values  []float64 `json:"values"`
+}
+
+// jsonPredictRequest is the JSON body: {"rows": [{"indices": [1,7],
+// "values": [0.5, 1.0]}, ...]}.
+type jsonPredictRequest struct {
+	Rows []jsonRow `json:"rows"`
+}
+
+// handlePredict parses the body (JSON or LIBSVM lines by Content-Type),
+// enqueues the rows on the micro-batcher, and waits for its verdict.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	s.stats.requests.Add(1)
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST a JSON or LIBSVM body to /predict")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes))
+	if err != nil {
+		s.fail(w, http.StatusRequestEntityTooLarge, "request body too large or unreadable")
+		return
+	}
+
+	job := &predictJob{maxCol: -1, resp: make(chan predictResult, 1)}
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		err = job.parseJSON(body)
+	} else {
+		err = job.parseLIBSVM(body)
+	}
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(job.cols) == 0 {
+		s.fail(w, http.StatusBadRequest, "no rows in request")
+		return
+	}
+
+	select {
+	case s.jobs <- job:
+	case <-s.stop:
+		s.fail(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	select {
+	case res := <-job.resp:
+		if res.status != 0 {
+			s.fail(w, res.status, res.errText)
+			return
+		}
+		resp := predictResponse{ModelVersion: res.model.Version, Scores: res.scores}
+		if res.model.Kind.Classifier() {
+			resp.Labels = make([]int, len(res.scores))
+			for i, v := range res.scores {
+				if v >= 0 {
+					resp.Labels[i] = 1
+				} else {
+					resp.Labels[i] = -1
+				}
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp) //nolint:errcheck // client gone = nothing to do
+	case <-s.stop:
+		s.fail(w, http.StatusServiceUnavailable, "server shutting down")
+	}
+}
+
+// parseJSON fills the job from the JSON body format.
+func (j *predictJob) parseJSON(body []byte) error {
+	var req jsonPredictRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return fmt.Errorf("bad JSON body: %v", err)
+	}
+	for r, row := range req.Rows {
+		if len(row.Indices) != len(row.Values) {
+			return fmt.Errorf("row %d: %d indices for %d values", r, len(row.Indices), len(row.Values))
+		}
+		cols := make([]int, len(row.Indices))
+		prev := 0
+		for k, idx := range row.Indices {
+			if idx < 1 {
+				return fmt.Errorf("row %d: index %d (indices are 1-based, LIBSVM convention)", r, idx)
+			}
+			if idx <= prev {
+				return fmt.Errorf("row %d: index %d out of order after %d (must be strictly increasing)", r, idx, prev)
+			}
+			prev = idx
+			cols[k] = idx - 1
+			if cols[k] > j.maxCol {
+				j.maxCol = cols[k]
+			}
+		}
+		j.cols = append(j.cols, cols)
+		j.vals = append(j.vals, append([]float64(nil), row.Values...))
+	}
+	return nil
+}
+
+// parseLIBSVM fills the job from LIBSVM-format lines. A leading label
+// field is accepted and ignored (so training files can be replayed
+// against /predict verbatim); lines of bare index:value pairs work too.
+func (j *predictJob) parseLIBSVM(body []byte) error {
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 1<<16), 1<<26)
+	var parser libsvm.RowParser
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if libsvm.Skip(line) {
+			continue
+		}
+		// A first field without ':' is a label; otherwise synthesize one
+		// so the shared grammar applies.
+		fields := strings.Fields(line)
+		if len(fields) > 0 && strings.Contains(fields[0], ":") {
+			line = "0 " + line
+		}
+		if _, err := parser.Parse(line, lineNo); err != nil {
+			return err
+		}
+		j.cols = append(j.cols, append([]int(nil), parser.Cols...))
+		j.vals = append(j.vals, append([]float64(nil), parser.Vals...))
+		if c := parser.MaxCol(); c > j.maxCol {
+			j.maxCol = c
+		}
+	}
+	return sc.Err()
+}
+
+// fail writes a plain-text error and counts it.
+func (s *Server) fail(w http.ResponseWriter, status int, msg string) {
+	s.stats.errors.Add(1)
+	http.Error(w, msg, status)
+}
+
+// handleHealthz is the liveness/readiness probe: 200 once a model is
+// servable, 503 before.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.reg.Current() == nil {
+		http.Error(w, "no model loaded", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// statsResponse is the /stats reply.
+type statsResponse struct {
+	ModelVersion  uint64  `json:"model_version"`
+	ModelKind     string  `json:"model_kind"`
+	Features      int     `json:"features"`
+	ModelNNZ      int     `json:"model_nnz"`
+	Lambda        float64 `json:"lambda"`
+	Requests      uint64  `json:"requests"`
+	RowsScored    uint64  `json:"rows_scored"`
+	Batches       uint64  `json:"batches"`
+	MaxBatchRows  uint64  `json:"max_batch_rows"`
+	Errors        uint64  `json:"errors"`
+	Publishes     uint64  `json:"registry_publishes"`
+	Swaps         uint64  `json:"registry_swaps"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// handleStats reports the serving counters and the current model's
+// provenance.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	resp := statsResponse{
+		Requests:      s.stats.requests.Load(),
+		RowsScored:    s.stats.rowsScored.Load(),
+		Batches:       s.stats.batches.Load(),
+		MaxBatchRows:  s.stats.maxBatchRows.Load(),
+		Errors:        s.stats.errors.Load(),
+		Publishes:     s.reg.Publishes(),
+		Swaps:         s.reg.Swaps(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+	if m := s.reg.Current(); m != nil {
+		resp.ModelVersion = m.Version
+		resp.ModelKind = m.Kind.String()
+		resp.Features = m.Features
+		resp.ModelNNZ = m.NNZ()
+		resp.Lambda = m.Lambda
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp) //nolint:errcheck
+}

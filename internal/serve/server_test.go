@@ -1,0 +1,445 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newTestServer wires a registry-backed server into httptest.
+func newTestServer(t *testing.T, reg *Registry, opt Options) *httptest.Server {
+	t.Helper()
+	s := NewServer(reg, opt)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return ts
+}
+
+// post sends a body and returns (status, bytes).
+func post(t *testing.T, url, contentType string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// decodePredict parses a successful /predict reply.
+func decodePredict(t *testing.T, data []byte) predictResponse {
+	t.Helper()
+	var pr predictResponse
+	if err := json.Unmarshal(data, &pr); err != nil {
+		t.Fatalf("bad predict reply %q: %v", data, err)
+	}
+	return pr
+}
+
+// TestPredictBothBodyFormats: the same rows through the JSON and the
+// LIBSVM body produce identical scores, and classifier models add
+// labels.
+func TestPredictBothBodyFormats(t *testing.T) {
+	reg, err := OpenRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 10)
+	for j := range x {
+		x[j] = float64(j + 1)
+	}
+	m := NewModel(KindSVM, x)
+	if _, err := reg.Publish(m); err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestServer(t, reg, Options{Workers: 1})
+
+	jsonBody := []byte(`{"rows":[{"indices":[1,3],"values":[1,1]},{"indices":[2],"values":[-1]}]}`)
+	st, data := post(t, ts.URL+"/predict", "application/json", jsonBody)
+	if st != http.StatusOK {
+		t.Fatalf("JSON predict: %d %s", st, data)
+	}
+	pj := decodePredict(t, data)
+
+	// Same rows as LIBSVM lines — one with a label field (replayed
+	// training data), one bare.
+	svmBody := []byte("+1 1:1 3:1\n2:-1\n")
+	st, data = post(t, ts.URL+"/predict", "text/plain", svmBody)
+	if st != http.StatusOK {
+		t.Fatalf("LIBSVM predict: %d %s", st, data)
+	}
+	pl := decodePredict(t, data)
+
+	wantScores := []float64{1 + 3, -2} // x[0]·1 + x[2]·1, x[1]·(−1)
+	for i, want := range wantScores {
+		if pj.Scores[i] != want || pl.Scores[i] != want {
+			t.Fatalf("row %d: JSON %v, LIBSVM %v, want %v", i, pj.Scores[i], pl.Scores[i], want)
+		}
+	}
+	wantLabels := []int{1, -1}
+	for i, want := range wantLabels {
+		if pj.Labels[i] != want || pl.Labels[i] != want {
+			t.Fatalf("label %d: JSON %d, LIBSVM %d, want %d", i, pj.Labels[i], pl.Labels[i], want)
+		}
+	}
+	if pj.ModelVersion != 1 || pl.ModelVersion != 1 {
+		t.Fatalf("versions %d/%d, want 1", pj.ModelVersion, pl.ModelVersion)
+	}
+}
+
+// TestPredictErrorSurface pins the failure modes: no model yet (503,
+// and /healthz agrees), malformed bodies (400), dimension overflow
+// (400 naming both sides), wrong method (405).
+func TestPredictErrorSurface(t *testing.T) {
+	reg, err := OpenRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestServer(t, reg, Options{Workers: 1})
+
+	if st, _ := post(t, ts.URL+"/predict", "text/plain", []byte("1:1\n")); st != http.StatusServiceUnavailable {
+		t.Fatalf("no-model predict: %d, want 503", st)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("no-model healthz: %d, want 503", resp.StatusCode)
+	}
+
+	if _, err := reg.Publish(NewModel(KindLasso, []float64{1, 2, 3})); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after publish: %d", resp.StatusCode)
+	}
+
+	for name, tc := range map[string]struct {
+		ct   string
+		body string
+		want int
+	}{
+		"bad json":          {"application/json", `{"rows":`, http.StatusBadRequest},
+		"unknown field":     {"application/json", `{"rowz":[]}`, http.StatusBadRequest},
+		"len mismatch":      {"application/json", `{"rows":[{"indices":[1,2],"values":[1]}]}`, http.StatusBadRequest},
+		"zero index":        {"application/json", `{"rows":[{"indices":[0],"values":[1]}]}`, http.StatusBadRequest},
+		"unordered":         {"application/json", `{"rows":[{"indices":[3,2],"values":[1,1]}]}`, http.StatusBadRequest},
+		"empty":             {"application/json", `{"rows":[]}`, http.StatusBadRequest},
+		"dim overflow":      {"application/json", `{"rows":[{"indices":[4],"values":[1]}]}`, http.StatusBadRequest},
+		"dim overflow svm":  {"text/plain", "1:1 9:2\n", http.StatusBadRequest},
+		"bad libsvm pair":   {"text/plain", "1 one:two\n", http.StatusBadRequest},
+		"duplicate indices": {"text/plain", "1:1 1:2\n", http.StatusBadRequest},
+	} {
+		if st, data := post(t, ts.URL+"/predict", tc.ct, []byte(tc.body)); st != tc.want {
+			t.Fatalf("%s: %d %s, want %d", name, st, data, tc.want)
+		}
+	}
+	st, data := post(t, ts.URL+"/predict", "application/json", []byte(`{"rows":[{"indices":[4],"values":[1]}]}`))
+	if st != http.StatusBadRequest || !strings.Contains(string(data), "model dimensionality 3") {
+		t.Fatalf("dim error must name the model width: %d %s", st, data)
+	}
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/predict", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /predict: %d", resp.StatusCode)
+	}
+}
+
+// TestPredictNoTornModel is the tentpole acceptance test: under
+// concurrent /predict load racing a hot swap, every response's scores
+// must equal — bitwise — the full scoring under the single version the
+// response names. The two versions differ in every coordinate (v2 is
+// the negation of v1) and every row has a nonzero score, so a torn
+// read mixing any coordinates of the two versions could not match
+// either expectation.
+func TestPredictNoTornModel(t *testing.T) {
+	const n = 32
+	x1 := make([]float64, n)
+	for j := range x1 {
+		x1[j] = float64(j + 1)
+	}
+	x2 := make([]float64, n)
+	for j := range x2 {
+		x2[j] = -x1[j]
+	}
+	m1, m2 := NewModel(KindLasso, x1), NewModel(KindLasso, x2)
+
+	reg, err := OpenRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Publish(m1); err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestServer(t, reg, Options{Workers: 2, MaxBatch: 8, BatchWindow: 200 * time.Microsecond})
+
+	const clients = 8
+	const perClient = 40
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	seen := make([]uint64, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			for q := 0; q < perClient; q++ {
+				j := rng.Intn(n)
+				k := (j + 1 + rng.Intn(n-1)) % n
+				if k < j {
+					j, k = k, j
+				}
+				body := fmt.Sprintf(`{"rows":[{"indices":[%d,%d],"values":[1,1]}]}`, j+1, k+1)
+				resp, err := http.Post(ts.URL+"/predict", "application/json", strings.NewReader(body))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				data, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("client %d: %d %s (%v)", c, resp.StatusCode, data, err)
+					return
+				}
+				var pr predictResponse
+				if err := json.Unmarshal(data, &pr); err != nil {
+					errCh <- err
+					return
+				}
+				var want float64
+				switch pr.ModelVersion {
+				case 1:
+					want = x1[j] + x1[k]
+				case 2:
+					want = x2[j] + x2[k]
+				default:
+					errCh <- fmt.Errorf("client %d: impossible model version %d", c, pr.ModelVersion)
+					return
+				}
+				if len(pr.Scores) != 1 || pr.Scores[0] != want {
+					errCh <- fmt.Errorf("client %d: version %d scored %v, want exactly %v — torn or mixed-version read",
+						c, pr.ModelVersion, pr.Scores, want)
+					return
+				}
+				seen[c] = seen[c] | (1 << (pr.ModelVersion - 1))
+			}
+		}(c)
+	}
+	// Hot-swap mid-flight.
+	time.Sleep(5 * time.Millisecond)
+	if _, err := reg.Publish(m2); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	var union uint64
+	for _, s := range seen {
+		union |= s
+	}
+	if union&0b10 == 0 {
+		t.Log("note: no client observed v2 (publish landed after the load); torn-read check still exercised v1")
+	}
+}
+
+// TestBatchedMatchesSequential is the second acceptance property: the
+// micro-batched concurrent path returns, bit for bit, what scoring
+// each request alone through a sequential kernel returns. A long batch
+// window forces heavy coalescing.
+func TestBatchedMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const n = 48
+	m := testModel(KindLasso, n, 14, 33)
+	reg, err := OpenRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Publish(m); err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestServer(t, reg, Options{Workers: 4, MaxBatch: 512, BatchWindow: 3 * time.Millisecond})
+
+	// Pre-generate each client's rows and its sequential reference:
+	// one row at a time, sequential kernel (workers = 1).
+	const clients = 12
+	type clientReq struct {
+		body string
+		want []float64
+	}
+	reqs := make([]clientReq, clients)
+	for c := range reqs {
+		rows := 1 + rng.Intn(4)
+		var sb strings.Builder
+		sb.WriteString(`{"rows":[`)
+		want := make([]float64, rows)
+		for r := 0; r < rows; r++ {
+			cr := randRequestCSR(rng, 1, n)
+			one := make([]float64, 1)
+			if err := m.Score(cr, 1, one); err != nil {
+				t.Fatal(err)
+			}
+			want[r] = one[0]
+			if r > 0 {
+				sb.WriteString(",")
+			}
+			sb.WriteString(`{"indices":[`)
+			for k := cr.RowPtr[0]; k < cr.RowPtr[1]; k++ {
+				if k > 0 {
+					sb.WriteString(",")
+				}
+				fmt.Fprintf(&sb, "%d", cr.ColIdx[k]+1)
+			}
+			sb.WriteString(`],"values":[`)
+			for k := cr.RowPtr[0]; k < cr.RowPtr[1]; k++ {
+				if k > 0 {
+					sb.WriteString(",")
+				}
+				fmt.Fprintf(&sb, "%.17g", cr.Val[k])
+			}
+			sb.WriteString(`]}`)
+		}
+		sb.WriteString(`]}`)
+		reqs[c] = clientReq{body: sb.String(), want: want}
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for c := range reqs {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/predict", "application/json", strings.NewReader(reqs[c].body))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			data, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK {
+				errCh <- fmt.Errorf("client %d: %d %s (%v)", c, resp.StatusCode, data, err)
+				return
+			}
+			var pr predictResponse
+			if err := json.Unmarshal(data, &pr); err != nil {
+				errCh <- err
+				return
+			}
+			if len(pr.Scores) != len(reqs[c].want) {
+				errCh <- fmt.Errorf("client %d: %d scores for %d rows", c, len(pr.Scores), len(reqs[c].want))
+				return
+			}
+			for r, want := range reqs[c].want {
+				if pr.Scores[r] != want {
+					errCh <- fmt.Errorf("client %d row %d: batched %v != sequential %v (must be bitwise identical)",
+						c, r, pr.Scores[r], want)
+					return
+				}
+			}
+			errCh <- nil
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// /stats must account for every row exactly once.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	var totalRows uint64
+	for c := range reqs {
+		totalRows += uint64(len(reqs[c].want))
+	}
+	if st.RowsScored != totalRows {
+		t.Fatalf("stats rows_scored = %d, want %d", st.RowsScored, totalRows)
+	}
+	if st.Batches == 0 || st.Batches > uint64(clients) {
+		t.Fatalf("stats batches = %d for %d requests", st.Batches, clients)
+	}
+	if st.ModelVersion != 1 || st.ModelKind != "lasso" || st.Features != n || st.ModelNNZ != m.NNZ() {
+		t.Fatalf("stats model block wrong: %+v", st)
+	}
+}
+
+// TestOversizedSingleRequest: one request larger than MaxBatch still
+// scores (as its own batch).
+func TestOversizedSingleRequest(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	m := testModel(KindLasso, 20, 6, 5)
+	reg, err := OpenRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Publish(m); err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestServer(t, reg, Options{Workers: 1, MaxBatch: 4})
+
+	rows := randRequestCSR(rng, 32, 20)
+	want := make([]float64, 32)
+	if err := m.Score(rows, 1, want); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for i := 0; i < rows.M; i++ {
+		for k := rows.RowPtr[i]; k < rows.RowPtr[i+1]; k++ {
+			if k > rows.RowPtr[i] {
+				sb.WriteString(" ")
+			}
+			fmt.Fprintf(&sb, "%d:%.17g", rows.ColIdx[k]+1, rows.Val[k])
+		}
+		sb.WriteString("\n")
+	}
+	st, data := post(t, ts.URL+"/predict", "text/plain", []byte(sb.String()))
+	if st != http.StatusOK {
+		t.Fatalf("oversized request: %d %s", st, data)
+	}
+	pr := decodePredict(t, data)
+	for i, w := range want {
+		if pr.Scores[i] != w {
+			t.Fatalf("row %d: %v != %v", i, pr.Scores[i], w)
+		}
+	}
+}

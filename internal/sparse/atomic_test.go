@@ -69,3 +69,68 @@ func TestAtomicKernelsMatchPlain(t *testing.T) {
 		}
 	}
 }
+
+// TestDenseAtomicKernelsMatchPlain is the same anchor for the dense
+// views: without contention each atomic kernel replays the plain dense
+// kernel bit for bit, including which zero terms it skips.
+func TestDenseAtomicKernelsMatchPlain(t *testing.T) {
+	csr, _ := atomicTestMatrix(t)
+	dc := DenseCols{A: csr.ToDense()}
+	dr := DenseRows{A: csr.ToDense()}
+	rvals := []float64{0.5, 0, 2, 0.25} // a zero exercises the skip path
+	xvals := []float64{1, -2, 0, 3, -0.75}
+
+	cols := []int{0, 3, 4}
+	want := make([]float64, len(cols))
+	dc.ColTMulVec(cols, rvals, want)
+	got := make([]float64, len(cols))
+	dc.ColTMulVecAtomic(cols, mat.NewAtomicVecFrom(rvals), got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DenseCols.ColTMulVecAtomic[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	coef := []float64{2, -0.5, 1}
+	plain := append([]float64(nil), rvals...)
+	dc.ColMulAdd(cols, coef, plain)
+	av := mat.NewAtomicVecFrom(rvals)
+	dc.ColMulAddAtomic(cols, coef, av)
+	for i := range plain {
+		if av.Load(i) != plain[i] {
+			t.Fatalf("DenseCols.ColMulAddAtomic[%d] = %v, want %v", i, av.Load(i), plain[i])
+		}
+	}
+
+	xv := mat.NewAtomicVecFrom(xvals)
+	one := make([]float64, 1)
+	for i := 0; i < dr.A.R; i++ {
+		dr.RowMulVec([]int{i}, xvals, one)
+		if got := dr.RowDotAtomic(i, xv); got != one[0] {
+			t.Fatalf("DenseRows.RowDotAtomic(%d) = %v, want %v", i, got, one[0])
+		}
+	}
+
+	plainX := append([]float64(nil), xvals...)
+	dr.RowTAxpy(2, 1.5, plainX)
+	dr.RowTAxpyAtomic(2, 1.5, xv)
+	dr.RowTAxpy(0, 0, plainX) // alpha = 0: both paths must no-op
+	dr.RowTAxpyAtomic(0, 0, xv)
+	for j := range plainX {
+		if xv.Load(j) != plainX[j] {
+			t.Fatalf("DenseRows.RowTAxpyAtomic[%d] = %v, want %v", j, xv.Load(j), plainX[j])
+		}
+	}
+}
+
+// TestDenseViewDensity pins the Density capability the async damping
+// heuristic consults.
+func TestDenseViewDensity(t *testing.T) {
+	csr, _ := atomicTestMatrix(t) // 7 nonzeros in 4x5
+	if d := (DenseCols{A: csr.ToDense()}).Density(); d != 7.0/20.0 {
+		t.Fatalf("DenseCols.Density() = %v, want %v", d, 7.0/20.0)
+	}
+	if d := (DenseRows{A: csr.ToDense()}).Density(); d != 7.0/20.0 {
+		t.Fatalf("DenseRows.Density() = %v, want %v", d, 7.0/20.0)
+	}
+}

@@ -21,6 +21,11 @@ type DenseCols struct {
 // Dims returns (rows, columns).
 func (d DenseCols) Dims() (int, int) { return d.A.R, d.A.C }
 
+// Density returns the fraction of stored entries that are nonzero; the
+// async backend's collision-rate damping reads it through the optional
+// Density capability shared with CSR/CSC.
+func (d DenseCols) Density() float64 { return denseDensity(d.A) }
+
 // ColNormSq returns ‖A_:j‖².
 func (d DenseCols) ColNormSq(j int) float64 {
 	var s float64
@@ -134,6 +139,25 @@ type DenseRows struct {
 
 // Dims returns (rows, columns).
 func (d DenseRows) Dims() (int, int) { return d.A.R, d.A.C }
+
+// Density returns the fraction of stored entries that are nonzero (see
+// DenseCols.Density).
+func (d DenseRows) Density() float64 { return denseDensity(d.A) }
+
+// denseDensity counts nonzeros; one O(R·C) scan, trivial next to any
+// solve that would consult it.
+func denseDensity(a *mat.Dense) float64 {
+	if a.R == 0 || a.C == 0 {
+		return 0
+	}
+	nnz := 0
+	for _, v := range a.Data {
+		if v != 0 {
+			nnz++
+		}
+	}
+	return float64(nnz) / float64(len(a.Data))
+}
 
 // RowNormSq returns ‖A_row‖².
 func (d DenseRows) RowNormSq(row int) float64 { return mat.Nrm2Sq(d.A.Row(row)) }

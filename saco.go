@@ -30,12 +30,15 @@
 package saco
 
 import (
+	"context"
+
 	"saco/internal/casvm"
 	"saco/internal/core"
 	"saco/internal/datagen"
 	"saco/internal/dist"
 	"saco/internal/libsvm"
 	"saco/internal/mpi"
+	"saco/internal/serve"
 	"saco/internal/sparse"
 	"saco/internal/stream"
 )
@@ -301,6 +304,65 @@ func TrainCASVM(a *CSR, b []float64, opt CASVMOptions) (*CASVMModel, error) {
 // solution x with residual r = A·x − b.
 func LassoDualityGap(a ColMatrix, b, x, r []float64, lambda float64) float64 {
 	return core.LassoDualityGap(a, b, x, r, lambda)
+}
+
+// Model-serving types (internal/serve): a versioned binary model
+// format, a registry that hot-swaps model versions through an atomic
+// pointer, an HTTP scoring server that micro-batches concurrent
+// requests into pooled kernel calls, and a live HOGWILD! refit that
+// shares one lock-free coefficient vector between training and
+// publishing. See cmd/saserve for the binary.
+type (
+	// Model is one immutable trained coefficient vector plus provenance
+	// (kind, dims, lambda, registry version).
+	Model = serve.Model
+	// ModelKind tags the problem family of a Model.
+	ModelKind = serve.Kind
+	// ModelRegistry stores versioned models behind a lock-free atomic
+	// pointer, watching a directory for hot swaps.
+	ModelRegistry = serve.Registry
+	// ServeOptions tunes the scoring server (batch size, linger window,
+	// kernel workers).
+	ServeOptions = serve.Options
+	// ServeServer answers /predict, /healthz and /stats.
+	ServeServer = serve.Server
+	// RefitOptions tunes the live lock-free refit loop.
+	RefitOptions = serve.RefitOptions
+)
+
+// Model kinds.
+const (
+	KindRaw     = serve.KindRaw
+	KindLasso   = serve.KindLasso
+	KindSVM     = serve.KindSVM
+	KindPegasos = serve.KindPegasos
+)
+
+// NewModel builds a Model from a dense coefficient vector, keeping the
+// nonzeros.
+func NewModel(kind ModelKind, x []float64) *Model { return serve.NewModel(kind, x) }
+
+// LoadModel reads a model file, auto-detecting the versioned binary
+// format (by magic) or the text format (one value per line).
+func LoadModel(path string) (*Model, error) { return serve.LoadModelFile(path) }
+
+// SaveModel writes a model in the versioned binary format (sparse
+// coefficients, provenance header, checksum).
+func SaveModel(path string, m *Model) error { return serve.WriteModelFile(path, m) }
+
+// OpenModelRegistry opens (creating if needed) a model directory and
+// serves the newest valid version in it.
+func OpenModelRegistry(dir string) (*ModelRegistry, error) { return serve.OpenRegistry(dir) }
+
+// NewServer starts a scoring server over a registry; mount Handler()
+// on an http.Server (or use cmd/saserve).
+func NewServer(reg *ModelRegistry, opt ServeOptions) *ServeServer { return serve.NewServer(reg, opt) }
+
+// Refit streams labeled rows into a lock-free HOGWILD! solver warm-
+// started from the registry's serving model and publishes snapshots of
+// the live coefficient vector until ctx is cancelled.
+func Refit(ctx context.Context, reg *ModelRegistry, a *CSR, b []float64, opt RefitOptions) error {
+	return serve.Refit(ctx, reg, a, b, opt)
 }
 
 // Predict returns the decision values A·x for a fitted model.
