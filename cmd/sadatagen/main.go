@@ -8,8 +8,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -18,29 +20,44 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole program behind a testable seam: it parses args on
+// its own FlagSet, writes to the given streams, and returns the process
+// exit code instead of calling os.Exit (the same shape as sasolve's).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sadatagen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		name  = flag.String("name", "", "replica name (required); one of: "+strings.Join(datagen.ReplicaNames(), ", "))
-		scale = flag.Float64("scale", 1, "dimension scale multiplier")
-		seed  = flag.Uint64("seed", 42, "generation seed")
-		out   = flag.String("out", "", "output path (required)")
+		name  = fs.String("name", "", "replica name (required); one of: "+strings.Join(datagen.ReplicaNames(), ", "))
+		scale = fs.Float64("scale", 1, "dimension scale multiplier")
+		seed  = fs.Uint64("seed", 42, "generation seed")
+		out   = fs.String("out", "", "output path (required)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 	if *name == "" || *out == "" {
-		fmt.Fprintln(os.Stderr, "sadatagen: -name and -out are required")
-		flag.PrintDefaults()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "sadatagen: -name and -out are required")
+		fs.PrintDefaults()
+		return 2
 	}
 	d, err := saco.Replica(*name, *scale, *seed)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sadatagen: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "sadatagen: %v\n", err)
+		return 1
 	}
 	a := d.AsCSR()
 	if err := saco.SaveLIBSVM(*out, a, d.B); err != nil {
-		fmt.Fprintf(os.Stderr, "sadatagen: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "sadatagen: %v\n", err)
+		return 1
 	}
 	m, n := d.Dims()
-	fmt.Printf("wrote %s: %d points, %d features, %d nonzeros (%.4g%%)\n",
+	fmt.Fprintf(stdout, "wrote %s: %d points, %d features, %d nonzeros (%.4g%%)\n",
 		*out, m, n, d.NNZ(), 100*d.Density())
+	return 0
 }

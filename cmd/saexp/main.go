@@ -13,8 +13,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -23,18 +25,32 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole program behind a testable seam: it parses args on
+// its own FlagSet, writes to the given streams, and returns the process
+// exit code instead of calling os.Exit (the same shape as sasolve's).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("saexp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		scale   = flag.Float64("scale", 1, "dataset scale multiplier")
-		iters   = flag.Float64("iters", 1, "iteration-count multiplier")
-		seed    = flag.Uint64("seed", 0, "experiment seed (0 = default)")
-		machine = flag.String("machine", "cray", "modeled platform: cray, ethernet, spark")
+		scale   = fs.Float64("scale", 1, "dataset scale multiplier")
+		iters   = fs.Float64("iters", 1, "iteration-count multiplier")
+		seed    = fs.Uint64("seed", 0, "experiment seed (0 = default)")
+		machine = fs.String("machine", "cray", "modeled platform: cray, ethernet, spark")
 	)
-	flag.Parse()
-	args := flag.Args()
-	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: saexp [flags] {table1|table2|fig2|table3|fig3|fig4|fig5|table5|ablations|all}...")
-		flag.PrintDefaults()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	exps := fs.Args()
+	if len(exps) == 0 {
+		fmt.Fprintln(stderr, "usage: saexp [flags] {table1|table2|fig2|table3|fig3|fig4|fig5|table5|ablations|all}...")
+		fs.PrintDefaults()
+		return 2
 	}
 
 	var mc mpi.Machine
@@ -46,10 +62,10 @@ func main() {
 	case "spark":
 		mc = mpi.SparkLike()
 	default:
-		fmt.Fprintf(os.Stderr, "saexp: unknown machine %q\n", *machine)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "saexp: unknown machine %q\n", *machine)
+		return 2
 	}
-	cfg := bench.Config{Scale: *scale, IterScale: *iters, Machine: mc, Out: os.Stdout, Seed: *seed}
+	cfg := bench.Config{Scale: *scale, IterScale: *iters, Machine: mc, Out: stdout, Seed: *seed}
 
 	type experiment struct {
 		name string
@@ -58,7 +74,7 @@ func main() {
 	wrap2 := func(f func(bench.Config) (*bench.Fig2Result, error)) func(bench.Config) error {
 		return func(c bench.Config) error { _, err := f(c); return err }
 	}
-	exps := []experiment{
+	exptab := []experiment{
 		{"table1", func(c bench.Config) error { _, err := bench.Table1(c); return err }},
 		{"table2", func(c bench.Config) error { _, err := bench.Tables2and4(c); return err }},
 		{"table4", func(c bench.Config) error { _, err := bench.Tables2and4(c); return err }},
@@ -71,25 +87,26 @@ func main() {
 		{"ablations", func(c bench.Config) error { _, err := bench.Ablations(c); return err }},
 	}
 	lookup := map[string]func(bench.Config) error{}
-	for _, e := range exps {
+	for _, e := range exptab {
 		lookup[e.name] = e.run
 	}
 
-	requested := args
-	if len(args) == 1 && args[0] == "all" {
+	requested := exps
+	if len(exps) == 1 && exps[0] == "all" {
 		requested = []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "table5", "ablations"}
 	}
 	for _, name := range requested {
-		run, ok := lookup[name]
+		runExp, ok := lookup[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "saexp: unknown experiment %q\n", name)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "saexp: unknown experiment %q\n", name)
+			return 2
 		}
 		start := time.Now()
-		if err := run(cfg); err != nil {
-			fmt.Fprintf(os.Stderr, "saexp: %s: %v\n", name, err)
-			os.Exit(1)
+		if err := runExp(cfg); err != nil {
+			fmt.Fprintf(stderr, "saexp: %s: %v\n", name, err)
+			return 1
 		}
-		fmt.Fprintf(os.Stdout, "\n[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "\n[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestNoExperimentsExitsWithUsage(t *testing.T) {
+	code, _, stderr := runCLI(t)
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "usage: saexp") || !strings.Contains(stderr, "-machine") {
+		t.Fatalf("stderr %q lacks the usage", stderr)
+	}
+}
+
+func TestUnknownExperimentExitsWithUsage(t *testing.T) {
+	code, _, stderr := runCLI(t, "table99")
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr, `unknown experiment "table99"`) {
+		t.Fatalf("stderr %q lacks the experiment error", stderr)
+	}
+}
+
+func TestUnknownMachineExitsWithUsage(t *testing.T) {
+	code, _, stderr := runCLI(t, "-machine", "abacus", "table1")
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr, `unknown machine "abacus"`) {
+		t.Fatalf("stderr %q lacks the machine error", stderr)
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	code, _, stderr := runCLI(t, "-h")
+	if code != 0 {
+		t.Fatalf("-h exit code %d, want 0", code)
+	}
+	if !strings.Contains(stderr, "-scale") {
+		t.Fatalf("-h did not print usage: %q", stderr)
+	}
+}
+
+// TestTable1Smoke runs the cheapest experiment (the analytic Table I
+// cost model — no solves) end to end and pins the golden structure of
+// its output: the header, every s row of the sweep, and the completion
+// stamp. The cost model is deterministic, so the row set is stable.
+func TestTable1Smoke(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "table1")
+	if code != 0 {
+		t.Fatalf("run failed (%d): %s", code, stderr)
+	}
+	for _, want := range []string{
+		"Table I",
+		"s", "F (flops)", "M (words)", "L (msgs)", "W (words)",
+		"[table1 completed in",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("output lacks %q:\n%s", want, stdout)
+		}
+	}
+	for _, s := range []string{"1", "2", "512"} {
+		if !strings.Contains(stdout, "\n"+s+" ") && !strings.Contains(stdout, "\n "+s+" ") && !strings.Contains(stdout, s) {
+			t.Fatalf("output lacks the s=%s row:\n%s", s, stdout)
+		}
+	}
+	// Determinism: the analytic table is byte-identical across runs
+	// apart from the wall-clock completion stamp.
+	_, again, _ := runCLI(t, "table1")
+	if tableBody(stdout) != tableBody(again) {
+		t.Fatal("table1 output is not deterministic")
+	}
+}
+
+// TestMachineFlagChangesModel: the modeled platform must actually reach
+// the cost model (ethernet and cray produce different modeled times).
+func TestMachineFlagChangesModel(t *testing.T) {
+	_, cray, _ := runCLI(t, "table1")
+	code, eth, stderr := runCLI(t, "-machine", "ethernet", "table1")
+	if code != 0 {
+		t.Fatalf("ethernet run failed: %s", stderr)
+	}
+	if tableBody(cray) == tableBody(eth) {
+		t.Fatal("machine flag did not change the modeled costs")
+	}
+}
+
+// tableBody strips the timing stamp, which legitimately varies.
+func tableBody(out string) string {
+	if i := strings.Index(out, "completed in"); i >= 0 {
+		return out[:i]
+	}
+	return out
+}

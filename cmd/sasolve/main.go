@@ -67,6 +67,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		streaming  = fs.Bool("stream", false, "solve out of core: spill the dataset to row-block shards and stream them (bounded memory)")
 		blockRows  = fs.Int("block-rows", 8192, "streaming: rows per shard")
 		cacheDir   = fs.String("cache-dir", "", "streaming: shard cache directory (reused if it holds a manifest; default: a temp dir removed on exit)")
+		layout     = fs.String("layout", "csr", "streaming ingest: shard layout, csr or csc (csc makes Lasso column access conversion-free)")
+		codec      = fs.String("codec", "raw", "streaming ingest: shard codec, raw or delta (delta-varint roughly halves url-like shard bytes)")
+		useMmap    = fs.Bool("mmap", false, "streaming: read shards via mmap instead of copying (zero-copy raw vals; falls back to copy reads where unsupported)")
 		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile of the solve to this file")
 		memProf    = fs.String("memprofile", "", "write a heap profile after the solve to this file")
 	)
@@ -82,6 +85,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		accel: *accel, lambda: *lambda, loss: *loss, tol: *tol, simP: *simP,
 		machine: *machine, rankW: *rankW, backend: *backend, workers: *workers,
 		streaming: *streaming, blockRows: *blockRows, cacheDir: *cacheDir,
+		layout: *layout, codec: *codec, useMmap: *useMmap,
 		cpuProf: *cpuProf, memProf: *memProf,
 	})
 	if err != nil {
@@ -108,6 +112,8 @@ type options struct {
 	backend                    string
 	streaming                  bool
 	blockRows                  int
+	layout, codec              string
+	useMmap                    bool
 	cacheDir, cpuProf, memProf string
 }
 
@@ -143,6 +149,14 @@ func solve(stdout io.Writer, o *options) error {
 	}
 	if o.streaming && exec.Backend == saco.BackendAsync {
 		return usageError{"-stream runs the solver sequentially (streamed shards have no atomic kernels); drop -backend async"}
+	}
+	layout, err := saco.ParseStreamLayout(o.layout)
+	if err != nil {
+		return usageError{fmt.Sprintf("unknown layout %q (csr, csc)", o.layout)}
+	}
+	codec, err := saco.ParseStreamCodec(o.codec)
+	if err != nil {
+		return usageError{fmt.Sprintf("unknown codec %q (raw, delta)", o.codec)}
 	}
 
 	if o.cpuProf != "" {
@@ -187,16 +201,27 @@ func solve(stdout io.Writer, o *options) error {
 			}
 			fmt.Fprintf(stdout, "reusing shard cache %s\n", dir)
 		} else {
-			ds, err = saco.BuildStream(o.dataPath, dir, saco.StreamOptions{BlockRows: o.blockRows})
+			ds, err = saco.BuildStream(o.dataPath, dir, saco.StreamOptions{
+				BlockRows: o.blockRows, Layout: layout, Codec: codec,
+			})
 			if err != nil {
 				return err
 			}
+		}
+		if o.useMmap {
+			ds.SetReadMode(saco.StreamMmap)
 		}
 		b = ds.B
 		m, n := ds.Dims()
 		trainRows = m
 		fmt.Fprintf(stdout, "streaming %s: %d points, %d features, %.4g%% nonzero, %d shards x %d rows\n",
 			o.dataPath, m, n, 100*ds.Density(), ds.NumShards(), ds.BlockRows())
+		// Reused caches keep their ingest-time layout/codec, so report
+		// the manifest's values rather than the flags'.
+		if bytes, err := ds.ShardBytes(); err == nil {
+			fmt.Fprintf(stdout, "shards: layout=%s codec=%s read=%s, %.1f MiB on disk\n",
+				ds.Layout(), ds.Codec(), ds.ReadMode(), float64(bytes)/(1<<20))
+		}
 	} else {
 		a, b, err = saco.LoadLIBSVM(o.dataPath, 0)
 		if err != nil {

@@ -97,6 +97,68 @@ func TestStreamRejectsAsync(t *testing.T) {
 	}
 }
 
+func TestUnknownLayoutExitsWithUsage(t *testing.T) {
+	code, _, stderr := runCLI(t, "-data", "x.svm", "-stream", "-layout", "coo")
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr, `unknown layout "coo"`) {
+		t.Fatalf("stderr %q lacks the layout error", stderr)
+	}
+}
+
+func TestUnknownCodecExitsWithUsage(t *testing.T) {
+	code, _, stderr := runCLI(t, "-data", "x.svm", "-stream", "-codec", "zstd")
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr, `unknown codec "zstd"`) {
+		t.Fatalf("stderr %q lacks the codec error", stderr)
+	}
+}
+
+// TestStreamLayoutCodecParity is the CLI face of the format matrix: the
+// same solve through every layout × codec × read-mode combination must
+// report a byte-identical objective line, and the streaming report must
+// name the active layout/codec/read mode and the shard bytes.
+func TestStreamLayoutCodecParity(t *testing.T) {
+	path := writeTinyDataset(t)
+	args := []string{"-data", path, "-task", "lasso", "-iters", "50", "-s", "4", "-mu", "2"}
+	code, mem, stderr := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("in-memory run failed (%d): %s", code, stderr)
+	}
+	want := finalObjective(t, mem)
+	for _, layout := range []string{"csr", "csc"} {
+		for _, codec := range []string{"raw", "delta"} {
+			for _, mmap := range []bool{false, true} {
+				run := append(append([]string{}, args...),
+					"-stream", "-block-rows", "2", "-layout", layout, "-codec", codec)
+				if mmap {
+					run = append(run, "-mmap")
+				}
+				code, out, stderr := runCLI(t, run...)
+				if code != 0 {
+					t.Fatalf("%s/%s mmap=%v failed (%d): %s", layout, codec, mmap, code, stderr)
+				}
+				if got := finalObjective(t, out); got != want {
+					t.Fatalf("%s/%s mmap=%v: objective %q != %q", layout, codec, mmap, got, want)
+				}
+				report := "shards: layout=" + layout + " codec=" + codec
+				if !strings.Contains(out, report) {
+					t.Fatalf("%s/%s: output lacks %q: %q", layout, codec, report, out)
+				}
+				if !strings.Contains(out, "MiB on disk") {
+					t.Fatalf("output lacks the shard-bytes report: %q", out)
+				}
+				if mmap && !strings.Contains(out, "read=mmap") {
+					t.Fatalf("-mmap run does not report read=mmap: %q", out)
+				}
+			}
+		}
+	}
+}
+
 func TestHelpExitsZero(t *testing.T) {
 	code, _, stderr := runCLI(t, "-h")
 	if code != 0 {

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc64"
+	"testing"
+)
+
+// fuzzSeedModel renders a small valid binary model for the seed corpus.
+func fuzzSeedModel() []byte {
+	m := NewModel(KindLasso, []float64{0, 1.5, 0, -2, 0.25})
+	m.TrainRows = 7
+	m.Lambda = 0.3
+	m.Version = 4
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, m); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// overflowingNNZModel builds a file whose nnz field is 2⁶⁰+k so that
+// 16·nnz wraps modulo 2⁶⁴ and the declared size matches the actual
+// length — the header-arithmetic overflow that once drove make() into a
+// panic instead of an error.
+func overflowingNNZModel() []byte {
+	const k = 3
+	data := make([]byte, modelHeaderSize+16*k+8)
+	copy(data, modelMagic[:])
+	le := binary.LittleEndian
+	le.PutUint32(data[8:], modelFormatVersion)
+	le.PutUint64(data[48:], 1<<60+k)
+	le.PutUint64(data[len(data)-8:], crc64.Checksum(data[:len(data)-8], crcTable))
+	return data
+}
+
+// TestReadModelOverflowingNNZRejected pins the overflow guard as a
+// plain unit test (the fuzz corpus carries the same seed).
+func TestReadModelOverflowingNNZRejected(t *testing.T) {
+	if _, err := ReadModel(bytes.NewReader(overflowingNNZModel())); err == nil {
+		t.Fatal("wrapping nnz header accepted")
+	}
+}
+
+// FuzzLoadModel: the .sacm decoder feeds the serving registry from a
+// watched directory, so it must treat every byte stream as hostile —
+// malformed input always returns an error, never a panic, and never an
+// allocation driven by a corrupt header (ReadModel validates the
+// declared nnz against the actual file size before allocating). The
+// checked-in corpus under testdata/fuzz/FuzzLoadModel replays on plain
+// `go test`.
+func FuzzLoadModel(f *testing.F) {
+	valid := fuzzSeedModel()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])           // truncated checksum
+	f.Add(append([]byte{}, valid[8:]...)) // missing magic
+	f.Add([]byte("SACOMDL1"))             // magic only
+	f.Add([]byte("0.5\n-1.25\n0\n"))      // text model (LoadModelFile fallback)
+	f.Add([]byte{})
+	corrupt := append([]byte{}, valid...)
+	corrupt[20] ^= 0xff // flip a dims byte under the checksum
+	f.Add(corrupt)
+	f.Add(overflowingNNZModel())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadModel(bytes.NewReader(data))
+		if err == nil {
+			// An accepted model must satisfy the registry's structural
+			// invariants — validate() is what every load path promises.
+			if verr := m.validate(); verr != nil {
+				t.Fatalf("ReadModel accepted an invalid model: %v", verr)
+			}
+			// And it must round-trip: decode(encode(m)) == m is what
+			// makes the hot-swap artifacts trustworthy.
+			var buf bytes.Buffer
+			if werr := WriteModel(&buf, m); werr != nil {
+				t.Fatalf("re-encode failed: %v", werr)
+			}
+			back, rerr := ReadModel(bytes.NewReader(buf.Bytes()))
+			if rerr != nil {
+				t.Fatalf("re-decode failed: %v", rerr)
+			}
+			if back.Features != m.Features || back.NNZ() != m.NNZ() || back.Kind != m.Kind {
+				t.Fatal("model did not round-trip")
+			}
+		}
+		// The text fallback must be equally panic-free.
+		if tm, terr := ReadTextModel(bytes.NewReader(data)); terr == nil {
+			if tm.validate() != nil {
+				t.Fatal("ReadTextModel accepted an invalid model")
+			}
+		}
+	})
+}

@@ -214,6 +214,12 @@ func ReadModel(r io.Reader) (*Model, error) {
 		return nil, fmt.Errorf("serve: unsupported model format version %d (have %d)", v, modelFormatVersion)
 	}
 	nnz := le.Uint64(data[48:])
+	// Bound nnz by the file length before any arithmetic on it: a
+	// corrupt field near 2⁶⁴/16 would otherwise wrap 16*nnz, slip past
+	// the size equality and drive make() into a panic.
+	if nnz > uint64(len(data))/16 {
+		return nil, fmt.Errorf("serve: model header declares %d nonzeros in a %d-byte file", nnz, len(data))
+	}
 	want := modelHeaderSize + 16*nnz + 8
 	if uint64(len(data)) != want {
 		return nil, fmt.Errorf("serve: model file is %d bytes, header declares %d (nnz=%d)", len(data), want, nnz)

@@ -22,6 +22,36 @@ type CSC struct {
 	workers int
 }
 
+// NewCSC validates the three arrays and returns the matrix. It returns an
+// error (rather than panicking) because CSC data now also arrives from
+// disk (the column-sharded spill format of package stream), mirroring
+// NewCSR.
+func NewCSC(m, n int, colPtr, rowIdx []int, val []float64) (*CSC, error) {
+	if len(colPtr) != n+1 {
+		return nil, fmt.Errorf("sparse: len(colPtr)=%d, want %d", len(colPtr), n+1)
+	}
+	if len(rowIdx) != len(val) {
+		return nil, fmt.Errorf("sparse: len(rowIdx)=%d != len(val)=%d", len(rowIdx), len(val))
+	}
+	if colPtr[0] != 0 || colPtr[n] != len(val) {
+		return nil, fmt.Errorf("sparse: colPtr bounds [%d,%d], want [0,%d]", colPtr[0], colPtr[n], len(val))
+	}
+	for j := 0; j < n; j++ {
+		if colPtr[j] > colPtr[j+1] {
+			return nil, fmt.Errorf("sparse: colPtr not monotone at column %d", j)
+		}
+		for p := colPtr[j]; p < colPtr[j+1]; p++ {
+			if rowIdx[p] < 0 || rowIdx[p] >= m {
+				return nil, fmt.Errorf("sparse: row %d out of range in column %d", rowIdx[p], j)
+			}
+			if p > colPtr[j] && rowIdx[p] <= rowIdx[p-1] {
+				return nil, fmt.Errorf("sparse: rows not strictly increasing in column %d", j)
+			}
+		}
+	}
+	return &CSC{M: m, N: n, ColPtr: colPtr, RowIdx: rowIdx, Val: val}, nil
+}
+
 // Dims returns (rows, columns).
 func (a *CSC) Dims() (int, int) { return a.M, a.N }
 

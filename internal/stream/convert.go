@@ -1,0 +1,73 @@
+package stream
+
+import (
+	"fmt"
+	"os"
+
+	"saco/internal/sparse"
+)
+
+// Convert re-spills an existing store into dstDir with a different
+// layout and/or codec in one sequential prefetched pass: each shard is
+// decoded in its stored form, transposed if the layouts differ, and
+// re-encoded — peak memory stays at the cache budget plus one block.
+// Labels, block size and the source-identity stamp carry over, so a
+// converted store passes the same SourceMatches check as the original.
+// The conversion is exact: both codecs round-trip every float64
+// bit-for-bit, and the block transpose is the same counting transpose
+// the column views' per-load conversion used, so solver trajectories
+// over the converted store are bitwise identical.
+func Convert(src *Dataset, dstDir string, layout Layout, codec Codec) (*Dataset, error) {
+	if dstDir == "" {
+		return nil, fmt.Errorf("stream: empty destination directory")
+	}
+	if dstDir == src.dir {
+		return nil, fmt.Errorf("stream: conversion cannot overwrite the source store %s", src.dir)
+	}
+	if err := os.MkdirAll(dstDir, 0o755); err != nil {
+		return nil, err
+	}
+	d := &Dataset{
+		dir: dstDir, m: src.m, n: src.n, nnz: src.nnz,
+		blockRows: src.blockRows, layout: layout, codec: codec,
+		srcSize: src.srcSize, srcMTime: src.srcMTime,
+		shards: append([]ShardInfo(nil), src.shards...),
+		B:      append([]float64(nil), src.B...),
+	}
+	for i := range src.shards {
+		var block shardBlock
+		if layout == LayoutCSC {
+			a, err := src.cache.getCSC(i, true)
+			if err != nil {
+				return nil, err
+			}
+			block.csc = trimCSC(a)
+		} else {
+			a, err := src.cache.getCSR(i, true)
+			if err != nil {
+				return nil, err
+			}
+			block.csr = a
+		}
+		if err := writeShard(shardPath(dstDir, i), layout, codec, block); err != nil {
+			return nil, err
+		}
+	}
+	d.cache = newShardCache(d, defaultCacheShards)
+	if err := writeManifest(d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// trimCSC narrows a decoded block to its occupied column width before
+// encoding, matching what an at-ingest CSC spill writes (the decoder
+// pads back out to the dataset width, so trailing empty columns never
+// cost disk bytes).
+func trimCSC(a *sparse.CSC) *sparse.CSC {
+	width := a.N
+	for width > 0 && a.ColPtr[width-1] == a.ColPtr[width] {
+		width--
+	}
+	return &sparse.CSC{M: a.M, N: width, ColPtr: a.ColPtr[:width+1], RowIdx: a.RowIdx, Val: a.Val}
+}

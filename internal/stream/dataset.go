@@ -15,6 +15,25 @@
 //     of the simulated cluster, so paper-scale replicas need never
 //     materialize the full CSR.
 //
+// Streaming v2 adds three orthogonal knobs, all preserving the bitwise
+// contract:
+//
+//   - Layout: shards spill row-major (LayoutCSR) or column-major
+//     (LayoutCSC). A CSC store is decoded natively by the column views,
+//     so streamed Lasso runs perform zero CSR→CSC conversions
+//     (CacheStats.Conversions counts the cross-layout loads that remain).
+//   - Codec: CodecRaw fixed-width sections, or CodecDelta varint
+//     segment lengths / index deltas / byte-reversed value bits —
+//     roughly half the shard bytes on url-like skewed inputs, exact
+//     round-trip either way.
+//   - ReadMode: ReadCopy loads shard files through a transient heap
+//     buffer; ReadMmap maps them and decodes in place, serving the raw
+//     vals section as a zero-copy []float64 where alignment and
+//     endianness allow. Mmap falls back to copy reads gracefully
+//     (unsupported platform or a failing map), and both modes drive the
+//     LRU/prefetch cache through identical decisions — CacheStats is
+//     the proof hook the parity tests use.
+//
 // The memory model: peak resident matrix data ≈ CacheShards blocks
 // (default 2: the block in use plus the prefetched one) regardless of
 // file size, plus solver state (iterate vectors and the s·µ batch).
@@ -35,6 +54,27 @@ import (
 // consumed plus one being prefetched.
 const defaultCacheShards = 2
 
+// ReadMode selects how shard bytes reach the decoder.
+type ReadMode uint8
+
+const (
+	// ReadCopy reads each shard file into a transient buffer (the
+	// historical path; works everywhere).
+	ReadCopy ReadMode = iota
+	// ReadMmap maps shard files and decodes from the mapping, serving
+	// raw-codec vals sections zero-copy. Falls back to ReadCopy when the
+	// platform has no mmap or a map fails (CacheStats.MmapFallbacks).
+	ReadMmap
+)
+
+// String names the read mode for flags and reports.
+func (m ReadMode) String() string {
+	if m == ReadMmap {
+		return "mmap"
+	}
+	return "copy"
+}
+
 // ShardInfo locates one spilled row block.
 type ShardInfo struct {
 	// Row0 is the shard's first global row.
@@ -45,6 +85,36 @@ type ShardInfo struct {
 	NNZ int64
 }
 
+// CacheStats is a snapshot of the shard cache's decision counters. The
+// parity tests use it two ways: Conversions == 0 proves a column solve
+// over a CSC store never materialized a CSR→CSC conversion, and equal
+// snapshots across ReadCopy and ReadMmap runs prove the two read paths
+// take identical cache decisions.
+type CacheStats struct {
+	// Hits counts requests satisfied by a resident entry.
+	Hits uint64
+	// Misses counts requests that had to produce an entry (by draining
+	// the in-flight prefetch or loading synchronously).
+	Misses uint64
+	// Loads counts shard files actually read and decoded (synchronous
+	// loads plus prefetch loads). A sequential pass that never discards
+	// a prefetch has Loads == Misses — the "prefetch never double-reads"
+	// invariant.
+	Loads uint64
+	// Evictions counts entries dropped over the budget.
+	Evictions uint64
+	// PrefetchStarts counts background loads launched; PrefetchHits
+	// counts misses satisfied by draining one.
+	PrefetchStarts uint64
+	PrefetchHits   uint64
+	// Conversions counts cross-layout decodes (CSR shard asked for as
+	// CSC or vice versa) — zero when views match the store layout.
+	Conversions uint64
+	// MmapFallbacks counts shard loads that wanted ReadMmap but fell
+	// back to a copy read.
+	MmapFallbacks uint64
+}
+
 // Dataset is an out-of-core LIBSVM dataset: labels resident, matrix
 // spilled to row-block shards under a cache directory.
 type Dataset struct {
@@ -52,6 +122,8 @@ type Dataset struct {
 	m, n      int
 	nnz       int64
 	blockRows int
+	layout    Layout
+	codec     Codec
 	shards    []ShardInfo
 
 	// srcSize/srcMTime identify the source file of a BuildFile
@@ -94,6 +166,44 @@ func (d *Dataset) Shards() []ShardInfo { return d.shards }
 // Dir returns the cache directory holding the shards and manifest.
 func (d *Dataset) Dir() string { return d.dir }
 
+// Layout returns the store's shard arrangement (row- or column-major).
+func (d *Dataset) Layout() Layout { return d.layout }
+
+// Codec returns the store's shard section encoding.
+func (d *Dataset) Codec() Codec { return d.codec }
+
+// ShardBytes returns the total on-disk size of the shard files — the
+// number the delta codec roughly halves on url-like inputs.
+func (d *Dataset) ShardBytes() (int64, error) {
+	var total int64
+	for i := range d.shards {
+		st, err := os.Stat(shardPath(d.dir, i))
+		if err != nil {
+			return 0, err
+		}
+		total += st.Size()
+	}
+	return total, nil
+}
+
+// SetReadMode selects copy or mmap shard reads for every view of this
+// dataset. Switching modes does not invalidate resident entries; it
+// applies to subsequent loads. ReadMmap on a platform without mmap
+// support degrades to copy reads per shard (counted in CacheStats).
+func (d *Dataset) SetReadMode(m ReadMode) { d.cache.setReadMode(m) }
+
+// ReadMode returns the configured read mode.
+func (d *Dataset) ReadMode() ReadMode { return d.cache.readMode() }
+
+// CacheStats returns a snapshot of the shard cache counters.
+func (d *Dataset) CacheStats() CacheStats { return d.cache.stats() }
+
+// Close releases every retained shard mapping. Views handed out earlier
+// may alias mapped memory (the zero-copy vals path), so Close must only
+// run once no decoded block is in use; a Dataset is otherwise free of
+// resources (shard files are opened per load). Closing twice is safe.
+func (d *Dataset) Close() error { return d.cache.close() }
+
 // SourceMatches reports whether path looks like the file this dataset
 // was ingested from (same size and modification time). It returns true
 // when the manifest recorded no source (built from a generic reader),
@@ -126,31 +236,58 @@ func (d *Dataset) locate(i int) (int, int) {
 
 // shardCache is the bounded LRU of decoded shards shared by every view
 // of a Dataset, with a single-slot background prefetch for sequential
-// passes. CSR is the decoded form; the column views attach a lazily
-// converted CSC per entry. Entries handed out remain valid after
-// eviction (eviction only drops the cache reference).
+// passes. Each entry holds the shard in its stored layout; the
+// cross-layout form is converted lazily per entry and counted. Entries
+// handed out remain valid after eviction (eviction only drops the cache
+// reference); retained mmap regions live until Dataset.Close.
 type shardCache struct {
 	d *Dataset
 
 	mu      sync.Mutex
 	max     int
+	mode    ReadMode
 	entries map[int]*cacheEntry
 	tick    int64
+	st      CacheStats
 
 	pfIdx int                 // shard index of the in-flight prefetch, -1 if none
 	pfCh  chan prefetchResult // buffered(1); producer sends exactly once
+
+	// regions are the retained mmap regions of zero-copy decodes,
+	// released at Close. Eviction cannot release them: handed-out blocks
+	// alias the mapped vals.
+	regions [][]byte
 }
 
 type cacheEntry struct {
-	csr  *sparse.CSR
-	csc  *sparse.CSC
-	used int64
+	block shardBlock
+	used  int64
+}
+
+// csrOf returns the entry's row-major form, converting (and caching the
+// conversion) on first cross-layout use.
+func (e *cacheEntry) csrOf(c *shardCache) *sparse.CSR {
+	if e.block.csr == nil {
+		e.block.csr = e.block.csc.ToCSR()
+		c.st.Conversions++
+	}
+	return e.block.csr
+}
+
+// cscOf is the column-major mirror of csrOf.
+func (e *cacheEntry) cscOf(c *shardCache) *sparse.CSC {
+	if e.block.csc == nil {
+		e.block.csc = e.block.csr.ToCSC()
+		c.st.Conversions++
+	}
+	return e.block.csc
 }
 
 type prefetchResult struct {
-	idx int
-	csr *sparse.CSR
-	err error
+	idx    int
+	block  shardBlock
+	region []byte // retained mapping, nil unless the decode aliased it
+	err    error
 }
 
 func newShardCache(d *Dataset, max int) *shardCache {
@@ -167,6 +304,82 @@ func (c *shardCache) setMax(k int) {
 	c.evictLocked(-1)
 }
 
+func (c *shardCache) setReadMode(m ReadMode) {
+	c.mu.Lock()
+	c.mode = m
+	c.mu.Unlock()
+}
+
+func (c *shardCache) readMode() ReadMode {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mode
+}
+
+func (c *shardCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st
+}
+
+// close drains any in-flight prefetch and unmaps retained regions.
+func (c *shardCache) close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pfIdx >= 0 {
+		res := <-c.pfCh
+		c.pfIdx = -1
+		if res.region != nil {
+			c.regions = append(c.regions, res.region)
+		}
+	}
+	clear(c.entries)
+	var first error
+	for _, r := range c.regions {
+		if err := munmapFile(r); err != nil && first == nil {
+			first = err
+		}
+	}
+	c.regions = nil
+	return first
+}
+
+// loadShard reads and decodes shard i under the given read mode. It
+// touches no cache state (prefetch goroutines call it without c.mu);
+// counter updates for fallbacks are deferred to the caller via the
+// returned region/fallback flags.
+func (c *shardCache) loadShard(i int, mode ReadMode) (block shardBlock, region []byte, fellBack bool, err error) {
+	path := shardPath(c.d.dir, i)
+	if mode == ReadMmap {
+		data, merr := mmapFile(path)
+		if merr == nil {
+			block, refs, derr := decodeShard(data, c.d.n, true)
+			if derr != nil {
+				munmapFile(data)
+				return shardBlock{}, nil, false, fmt.Errorf("stream: %s: %v", path, derr)
+			}
+			if refs {
+				return block, data, false, nil
+			}
+			// Nothing aliases the mapping (delta codec, or an empty
+			// shard): release it immediately.
+			munmapFile(data)
+			return block, nil, false, nil
+		}
+		if !mmapSupported {
+			// Expected on these platforms; degrade quietly.
+			block, err := readShardFile(path, c.d.n)
+			return block, nil, true, err
+		}
+		// A real mmap failure on a supporting platform: fall back, but
+		// count it so operators can see the degradation.
+		block, err := readShardFile(path, c.d.n)
+		return block, nil, true, err
+	}
+	block, err = readShardFile(path, c.d.n)
+	return block, nil, false, err
+}
+
 // getCSR returns shard i decoded as CSR. sequential marks accesses that
 // walk shards in order: they consume the prefetched block and schedule
 // the next one ((i+1) mod shards, so multi-epoch passes wrap warm).
@@ -180,11 +393,11 @@ func (c *shardCache) getCSR(i int, sequential bool) (*sparse.CSR, error) {
 	if sequential && len(c.d.shards) > 1 {
 		c.prefetchLocked((i + 1) % len(c.d.shards))
 	}
-	return e.csr, nil
+	return e.csrOf(c), nil
 }
 
-// getCSC returns shard i decoded as CSC, converting (and caching the
-// conversion) on first use.
+// getCSC returns shard i decoded as CSC — natively for a LayoutCSC
+// store, converting (and caching the conversion) on a CSR store.
 func (c *shardCache) getCSC(i int, sequential bool) (*sparse.CSC, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -192,13 +405,10 @@ func (c *shardCache) getCSC(i int, sequential bool) (*sparse.CSC, error) {
 	if err != nil {
 		return nil, err
 	}
-	if e.csc == nil {
-		e.csc = e.csr.ToCSC()
-	}
 	if sequential && len(c.d.shards) > 1 {
 		c.prefetchLocked((i + 1) % len(c.d.shards))
 	}
-	return e.csc, nil
+	return e.cscOf(c), nil
 }
 
 // entryLocked resolves shard i: cache hit, draining the in-flight
@@ -207,8 +417,10 @@ func (c *shardCache) entryLocked(i int) (*cacheEntry, error) {
 	c.tick++
 	if e, ok := c.entries[i]; ok {
 		e.used = c.tick
+		c.st.Hits++
 		return e, nil
 	}
+	c.st.Misses++
 	if c.pfIdx >= 0 {
 		if c.pfIdx == i {
 			// The in-flight load is exactly this shard: wait for it (the
@@ -218,7 +430,9 @@ func (c *shardCache) entryLocked(i int) (*cacheEntry, error) {
 			if res.err != nil {
 				return nil, res.err
 			}
-			return c.insertLocked(i, res.csr), nil
+			c.st.PrefetchHits++
+			c.bankRegionLocked(res.region)
+			return c.insertLocked(i, res.block), nil
 		}
 		// An unrelated prefetch is in flight: bank it if it already
 		// finished, but never block this consumer (or, through c.mu,
@@ -227,20 +441,34 @@ func (c *shardCache) entryLocked(i int) (*cacheEntry, error) {
 		case res := <-c.pfCh:
 			c.pfIdx = -1
 			if res.err == nil {
-				c.insertLocked(res.idx, res.csr)
+				c.bankRegionLocked(res.region)
+				c.insertLocked(res.idx, res.block)
 			}
 		default:
 		}
 	}
-	csr, err := readShard(shardPath(c.d.dir, i), c.d.n)
+	c.st.Loads++
+	block, region, fellBack, err := c.loadShard(i, c.mode)
 	if err != nil {
+		c.st.Loads-- // the failed read produced no decoded shard
 		return nil, err
 	}
-	return c.insertLocked(i, csr), nil
+	if fellBack {
+		c.st.MmapFallbacks++
+	}
+	c.bankRegionLocked(region)
+	return c.insertLocked(i, block), nil
 }
 
-func (c *shardCache) insertLocked(i int, csr *sparse.CSR) *cacheEntry {
-	e := &cacheEntry{csr: csr, used: c.tick}
+// bankRegionLocked retains a mapping that a decoded block aliases.
+func (c *shardCache) bankRegionLocked(region []byte) {
+	if region != nil {
+		c.regions = append(c.regions, region)
+	}
+}
+
+func (c *shardCache) insertLocked(i int, block shardBlock) *cacheEntry {
+	e := &cacheEntry{block: block, used: c.tick}
 	c.entries[i] = e
 	c.evictLocked(i)
 	return e
@@ -260,6 +488,7 @@ func (c *shardCache) evictLocked(keep int) {
 			return
 		}
 		delete(c.entries, victim)
+		c.st.Evictions++
 	}
 }
 
@@ -274,12 +503,14 @@ func (c *shardCache) prefetchLocked(i int) {
 		return
 	}
 	c.pfIdx = i
+	c.st.PrefetchStarts++
+	c.st.Loads++
 	ch := make(chan prefetchResult, 1)
 	c.pfCh = ch
-	path, n := shardPath(c.d.dir, i), c.d.n
+	mode := c.mode
 	go func() {
-		csr, err := readShard(path, n)
-		ch <- prefetchResult{idx: i, csr: csr, err: err}
+		block, region, _, err := c.loadShard(i, mode)
+		ch <- prefetchResult{idx: i, block: block, region: region, err: err}
 	}()
 }
 

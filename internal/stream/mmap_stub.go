@@ -1,0 +1,21 @@
+//go:build !unix
+
+package stream
+
+import (
+	"errors"
+)
+
+// mmapSupported reports whether this build carries a working mmap path;
+// ReadMmap silently degrades to ReadCopy where it does not.
+const mmapSupported = false
+
+var errNoMmap = errors.New("stream: mmap is not supported on this platform")
+
+// mmapFile always fails on platforms without the mmap read path; the
+// shard cache falls back to copy reads.
+func mmapFile(path string) ([]byte, error) { return nil, errNoMmap }
+
+// munmapFile matches mmap_unix.go's signature; never called on these
+// platforms.
+func munmapFile(data []byte) error { return nil }

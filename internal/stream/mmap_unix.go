@@ -1,0 +1,49 @@
+//go:build unix
+
+package stream
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this build carries a working mmap path;
+// ReadMmap silently degrades to ReadCopy where it does not.
+const mmapSupported = true
+
+// mmapFile maps path read-only. The returned bytes stay valid until
+// munmapFile; writes through decoded views would fault (the mapping is
+// PROT_READ), which is exactly the immutability the shard contract wants.
+// Empty files map to an empty non-nil slice so callers need no special
+// case.
+func mmapFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() == 0 {
+		return []byte{}, nil
+	}
+	if st.Size() != int64(int(st.Size())) {
+		return nil, fmt.Errorf("stream: %s: file too large to map", path)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("stream: mmap %s: %v", path, err)
+	}
+	return data, nil
+}
+
+// munmapFile releases a mapping produced by mmapFile.
+func munmapFile(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,327 @@
+// Cross-backend × dataset-form parity harness: the ROADMAP determinism
+// matrix asserted in one table-driven place. Every past PR promised one
+// cell of this matrix ("multicore is bitwise", "streamed sequential is
+// bitwise", "async is 1e-6-convergent", "simulated runs don't care where
+// blocks come from"); this file runs the full cross product so a
+// regression in any representation × backend pair fails loudly, with
+// the dataset forms enumerated by internal/testmatrix.
+package stream_test
+
+import (
+	"testing"
+
+	"saco/internal/core"
+	"saco/internal/datagen"
+	"saco/internal/dist"
+	"saco/internal/stream"
+	"saco/internal/testmatrix"
+)
+
+// lassoOpts is the deterministic s-step preset of the matrix: enough
+// iterations to leave the initial zeros, small enough to keep ~60 cells
+// fast. TrackEvery makes trajectories (not just endpoints) comparable.
+func lassoOpts() core.LassoOptions {
+	return core.LassoOptions{Lambda: 0.4, Iters: 120, S: 4, BlockSize: 2, Seed: 42, TrackEvery: 30}
+}
+
+func svmOpts() core.SVMOptions {
+	return core.SVMOptions{Lambda: 1, Iters: 120, S: 4, Seed: 9, TrackEvery: 30}
+}
+
+// TestParityMatrixLasso runs the Lasso column-access solvers over every
+// dataset form × backend cell.
+func TestParityMatrixLasso(t *testing.T) {
+	d := datagen.Regression("parity-lasso", 21, 256, 64, 0.12, 8, 0.1)
+	a := d.AsCSR()
+	forms := testmatrix.Forms(t, a, d.B, 32) // 8 shards vs the 2-shard cache
+	opt := lassoOpts()
+
+	seqRef, err := core.Lasso(a.ToCSC(), d.B, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqRef.History) == 0 {
+		t.Fatal("reference produced no trajectory")
+	}
+	distRef, err := dist.Lasso(a, d.B, opt, dist.Options{P: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The bitwise promise holds within a kernel family: streamed views
+	// reproduce the sparse kernels' summation order exactly, so they
+	// share the sparse reference; the dense views sum every (zero
+	// included) term with their own loop order, so they anchor their own
+	// reference — still bitwise across backends, and roundoff-close to
+	// the sparse optimum.
+	refFor := make(map[string]*core.LassoResult)
+	for _, f := range forms {
+		if f.Name == "inmem-dense" {
+			denseRef, err := core.Lasso(f.Col, d.B, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rd := testmatrix.RelDiff(denseRef.Objective, seqRef.Objective); rd > 1e-12 {
+				t.Fatalf("dense and sparse sequential objectives drift: rel %.3e", rd)
+			}
+			refFor[f.Name] = denseRef
+		} else {
+			refFor[f.Name] = seqRef
+		}
+	}
+
+	for _, f := range forms {
+		f := f
+		// Sequential: bitwise against the form's reference, full
+		// trajectory. For streamed forms the reference is the in-memory
+		// sparse run — the cross-representation bitwise contract.
+		t.Run(f.Name+"/sequential", func(t *testing.T) {
+			res, err := core.Lasso(f.Col, d.B, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertLassoBitwise(t, res, refFor[f.Name])
+		})
+		// Multicore: bitwise too — parallel kernels preserve summation
+		// order; streamed forms degrade to sequential kernels, which is
+		// the same bits by the row above.
+		t.Run(f.Name+"/multicore", func(t *testing.T) {
+			o := opt
+			o.Exec = core.Exec{Backend: core.BackendMulticore, Workers: 3}
+			res, err := core.Lasso(f.Col, d.B, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertLassoBitwise(t, res, refFor[f.Name])
+		})
+		// Simulated cluster and hybrid rank×thread: bitwise against the
+		// distributed reference — block loaders must not change the
+		// arithmetic, and neither must intra-rank threading.
+		if f.Source != nil {
+			t.Run(f.Name+"/simulated", func(t *testing.T) {
+				res, err := dist.LassoFrom(f.Source, d.B, opt, dist.Options{P: 3})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Objective != distRef.Objective {
+					t.Fatalf("objective %.17g != %.17g", res.Objective, distRef.Objective)
+				}
+				testmatrix.SameFloats(t, "X", res.X, distRef.X)
+			})
+			t.Run(f.Name+"/hybrid", func(t *testing.T) {
+				res, err := dist.LassoFrom(f.Source, d.B, opt, dist.Options{P: 3, RankWorkers: 2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Objective != distRef.Objective {
+					t.Fatalf("objective %.17g != %.17g", res.Objective, distRef.Objective)
+				}
+				testmatrix.SameFloats(t, "X", res.X, distRef.X)
+			})
+		}
+		// Async: tolerance-convergent on atomic-capable forms, a typed
+		// rejection on streamed ones.
+		t.Run(f.Name+"/async", func(t *testing.T) {
+			o := core.LassoOptions{Lambda: asyncLambda(t, f, d.B), Iters: asyncIters(), Seed: 1,
+				Exec: core.Exec{Backend: core.BackendAsync, Workers: 3}}
+			res, err := core.Lasso(f.Col, d.B, o)
+			if !f.Async {
+				if err == nil {
+					t.Fatal("async solve over a streamed view did not error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			so := o
+			so.Exec = core.Exec{}
+			seq, err := core.Lasso(f.Col, d.B, so)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rd := testmatrix.RelDiff(res.Objective, seq.Objective); rd > 1e-6 {
+				t.Fatalf("async objective %.12e vs sequential %.12e (rel %.3e)", res.Objective, seq.Objective, rd)
+			}
+		})
+	}
+}
+
+// asyncLambda picks the convergence-friendly λ of the async cells
+// (0.2·λmax, the preset core's own async tests use).
+func asyncLambda(t *testing.T, f testmatrix.Form, b []float64) float64 {
+	t.Helper()
+	return 0.2 * core.LambdaMaxL1(f.Col, b)
+}
+
+// asyncIters gives the async cells enough iterations to actually reach
+// the optimum, where the 1e-6 comparison is meaningful.
+func asyncIters() int { return 12000 }
+
+func assertLassoBitwise(t *testing.T, got, want *core.LassoResult) {
+	t.Helper()
+	if len(got.History) != len(want.History) {
+		t.Fatalf("history lengths %d vs %d", len(got.History), len(want.History))
+	}
+	for k := range want.History {
+		if got.History[k].Value != want.History[k].Value {
+			t.Fatalf("trajectory diverges at point %d (iter %d): %.17g != %.17g",
+				k, want.History[k].Iter, got.History[k].Value, want.History[k].Value)
+		}
+	}
+	if got.Objective != want.Objective {
+		t.Fatalf("objective %.17g != %.17g", got.Objective, want.Objective)
+	}
+	testmatrix.SameFloats(t, "X", got.X, want.X)
+}
+
+// TestParityMatrixSVM runs the dual-CD SVM over every dataset form ×
+// backend cell (row access).
+func TestParityMatrixSVM(t *testing.T) {
+	d := datagen.Classification("parity-svm", 23, 256, 48, 0.15, 0.05)
+	a := d.AsCSR()
+	forms := testmatrix.Forms(t, a, d.B, 32)
+	opt := svmOpts()
+
+	seqRef, err := core.SVM(a, d.B, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distRef, err := dist.SVM(a, d.B, opt, dist.Options{P: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Per-family bitwise references, as in the Lasso matrix: streamed
+	// forms share the sparse anchor, dense anchors itself.
+	refFor := make(map[string]*core.SVMResult)
+	for _, f := range forms {
+		if f.Name == "inmem-dense" {
+			denseRef, err := core.SVM(f.Row, d.B, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rd := testmatrix.RelDiff(denseRef.Primal, seqRef.Primal); rd > 1e-12 {
+				t.Fatalf("dense and sparse sequential primals drift: rel %.3e", rd)
+			}
+			refFor[f.Name] = denseRef
+		} else {
+			refFor[f.Name] = seqRef
+		}
+	}
+
+	// The async reference: SVM-L2's strongly convex dual converges tight
+	// enough for the 1e-6 bound on the matrix's iteration budget (the
+	// hinge-loss tolerance cell needs millions of iterations and lives in
+	// core's own async suite).
+	asyncOpt := core.SVMOptions{Lambda: 1, Loss: core.SVML2, Iters: 200000, Seed: 9}
+	asyncSeqRef, err := core.SVM(a, d.B, asyncOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, f := range forms {
+		f := f
+		t.Run(f.Name+"/sequential", func(t *testing.T) {
+			res, err := core.SVM(f.Row, d.B, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSVMBitwise(t, res, refFor[f.Name])
+		})
+		t.Run(f.Name+"/multicore", func(t *testing.T) {
+			o := opt
+			o.Exec = core.Exec{Backend: core.BackendMulticore, Workers: 3}
+			res, err := core.SVM(f.Row, d.B, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSVMBitwise(t, res, refFor[f.Name])
+		})
+		if f.Source != nil {
+			t.Run(f.Name+"/simulated", func(t *testing.T) {
+				res, err := dist.SVMFrom(f.Source, d.B, opt, dist.Options{P: 3})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Gap != distRef.Gap {
+					t.Fatalf("gap %.17g != %.17g", res.Gap, distRef.Gap)
+				}
+				testmatrix.SameFloats(t, "X", res.X, distRef.X)
+			})
+			t.Run(f.Name+"/hybrid", func(t *testing.T) {
+				res, err := dist.SVMFrom(f.Source, d.B, opt, dist.Options{P: 3, RankWorkers: 2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Gap != distRef.Gap {
+					t.Fatalf("gap %.17g != %.17g", res.Gap, distRef.Gap)
+				}
+				testmatrix.SameFloats(t, "X", res.X, distRef.X)
+			})
+		}
+		t.Run(f.Name+"/async", func(t *testing.T) {
+			o := asyncOpt
+			o.Exec = core.Exec{Backend: core.BackendAsync, Workers: 3}
+			res, err := core.SVM(f.Row, d.B, o)
+			if !f.Async {
+				if err == nil {
+					t.Fatal("async solve over a streamed view did not error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rd := testmatrix.RelDiff(res.Primal, asyncSeqRef.Primal); rd > 1e-6 {
+				t.Fatalf("async primal %.12e vs sequential %.12e (rel %.3e)", res.Primal, asyncSeqRef.Primal, rd)
+			}
+		})
+	}
+}
+
+func assertSVMBitwise(t *testing.T, got, want *core.SVMResult) {
+	t.Helper()
+	if len(got.History) != len(want.History) {
+		t.Fatalf("history lengths %d vs %d", len(got.History), len(want.History))
+	}
+	for k := range want.History {
+		if got.History[k].Gap != want.History[k].Gap || got.History[k].Primal != want.History[k].Primal {
+			t.Fatalf("gap trajectory diverges at point %d", k)
+		}
+	}
+	if got.Gap != want.Gap {
+		t.Fatalf("gap %.17g != %.17g", got.Gap, want.Gap)
+	}
+	testmatrix.SameFloats(t, "X", got.X, want.X)
+}
+
+// TestParityStreamedConversionCounters closes the loop on the matrix's
+// layout promise at harness level: the CSC×(codec×mode) cells above ran
+// column solves natively. Re-run one sequential cell per layout here
+// and assert the counter split (CSC: zero conversions; CSR: one per
+// shard load).
+func TestParityStreamedConversionCounters(t *testing.T) {
+	d := datagen.Regression("parity-conv", 29, 192, 48, 0.12, 6, 0.1)
+	a := d.AsCSR()
+	forms := testmatrix.Forms(t, a, d.B, 32)
+	opt := lassoOpts()
+	for _, f := range forms {
+		if !f.Streamed() {
+			continue
+		}
+		if _, err := core.Lasso(f.Col, d.B, opt); err != nil {
+			t.Fatal(err)
+		}
+		st := f.Dataset.CacheStats()
+		if f.Dataset.Layout() == stream.LayoutCSC && st.Conversions != 0 {
+			t.Fatalf("%s: %d conversions on a CSC store (%+v)", f.Name, st.Conversions, st)
+		}
+		if f.Dataset.Layout() == stream.LayoutCSR && st.Conversions == 0 {
+			t.Fatalf("%s: CSR store reported no conversions (%+v)", f.Name, st)
+		}
+		if st.Loads > st.Misses+1 {
+			t.Fatalf("%s: prefetch double-read (%+v)", f.Name, st)
+		}
+	}
+}

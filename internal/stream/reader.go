@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"saco/internal/libsvm"
+	"saco/internal/sparse"
 )
 
 // BuildOptions configures an out-of-core ingestion.
@@ -19,6 +20,13 @@ type BuildOptions struct {
 	// CacheShards is the loaded-shard budget of the dataset's views;
 	// values below 2 (one consumed + one prefetched) are raised to 2.
 	CacheShards int
+	// Layout selects row-major (LayoutCSR, the zero value) or
+	// column-major (LayoutCSC) shards. Column solves over a CSC store
+	// skip the per-load CSR→CSC conversion entirely.
+	Layout Layout
+	// Codec selects fixed-width (CodecRaw, the zero value) or
+	// delta-varint (CodecDelta) shard sections.
+	Codec Codec
 }
 
 func (o BuildOptions) withDefaults() BuildOptions {
@@ -51,7 +59,11 @@ func build(r io.Reader, dir string, opt BuildOptions, srcSize, srcMTime int64) (
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	d := &Dataset{dir: dir, n: opt.Features, blockRows: opt.BlockRows, srcSize: srcSize, srcMTime: srcMTime}
+	d := &Dataset{
+		dir: dir, n: opt.Features, blockRows: opt.BlockRows,
+		layout: opt.Layout, codec: opt.Codec,
+		srcSize: srcSize, srcMTime: srcMTime,
+	}
 
 	var (
 		br     = bufio.NewReaderSize(r, 1<<20)
@@ -71,7 +83,13 @@ func build(r io.Reader, dir string, opt BuildOptions, srcSize, srcMTime int64) (
 			return nil
 		}
 		info := ShardInfo{Row0: d.m, Rows: rows, NNZ: int64(len(vals))}
-		if err := writeShard(shardPath(dir, len(d.shards)), rowPtr, colIdx, vals); err != nil {
+		block := shardBlock{csr: &sparse.CSR{M: rows, RowPtr: rowPtr, ColIdx: colIdx, Val: vals}}
+		if opt.Layout == LayoutCSC {
+			// Transpose the block before it spills — the same counting
+			// transpose a CSR store pays per load, paid once at ingest.
+			block = shardBlock{csc: cscFromBlock(rowPtr, colIdx, vals)}
+		}
+		if err := writeShard(shardPath(dir, len(d.shards)), opt.Layout, opt.Codec, block); err != nil {
 			return err
 		}
 		d.shards = append(d.shards, info)

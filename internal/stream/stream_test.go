@@ -552,21 +552,35 @@ func TestSourceMatches(t *testing.T) {
 
 func TestShardValuesExact(t *testing.T) {
 	// Exact float64 round-trip through the shard encoding, including
-	// values that decimal text would mangle.
+	// values that decimal text would mangle — in every layout × codec.
 	vals := []float64{math.Pi, -math.SmallestNonzeroFloat64, 1e300, -0.1, 3}
 	rowPtr := []int{0, len(vals)}
 	cols := []int{0, 1, 2, 3, 4}
-	dir := t.TempDir()
-	if err := writeShard(shardPath(dir, 0), rowPtr, cols, vals); err != nil {
-		t.Fatal(err)
-	}
-	a, err := readShard(shardPath(dir, 0), 5)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for k, v := range vals {
-		if a.Val[k] != v {
-			t.Fatalf("val %d: %v != %v", k, a.Val[k], v)
+	for _, layout := range []Layout{LayoutCSR, LayoutCSC} {
+		for _, codec := range []Codec{CodecRaw, CodecDelta} {
+			dir := t.TempDir()
+			block := shardBlock{csr: &sparse.CSR{M: 1, N: 5, RowPtr: rowPtr, ColIdx: cols, Val: vals}}
+			if layout == LayoutCSC {
+				block = shardBlock{csc: cscFromBlock(rowPtr, cols, vals)}
+			}
+			if err := writeShard(shardPath(dir, 0), layout, codec, block); err != nil {
+				t.Fatal(err)
+			}
+			back, err := readShardFile(shardPath(dir, 0), 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []float64
+			if layout == LayoutCSC {
+				got = back.csc.ToCSR().Val
+			} else {
+				got = back.csr.Val
+			}
+			for k, v := range vals {
+				if got[k] != v {
+					t.Fatalf("%v/%v val %d: %v != %v", layout, codec, k, got[k], v)
+				}
+			}
 		}
 	}
 }

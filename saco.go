@@ -226,19 +226,62 @@ func Replica(name string, scale float64, seed uint64) (*Dataset, error) {
 // ingested into row-block shards on disk so paper-scale matrices solve
 // in bounded memory. StreamDataset.Cols() / .Rows() plug into Lasso,
 // LassoPath, SVM and PegasosSVM; sequential-backend trajectories are
-// bitwise identical to the in-memory solvers.
+// bitwise identical to the in-memory solvers. Streaming v2 adds a
+// column-major spill layout (LayoutCSC — column solves perform zero
+// CSR→CSC conversions), a delta-varint shard codec (CodecDelta —
+// roughly half the bytes on url-like inputs) and an mmap read mode
+// (StreamMmap — shards decode from page-mapped files, raw vals served
+// zero-copy, graceful fallback where mmap is unavailable).
 type (
 	// StreamDataset is an out-of-core dataset spilled to a shard cache
 	// directory.
 	StreamDataset = stream.Dataset
-	// StreamOptions configures an out-of-core ingestion.
+	// StreamOptions configures an out-of-core ingestion (block rows,
+	// feature count, spill layout, shard codec).
 	StreamOptions = stream.BuildOptions
 	// StreamBlock is one CSR row block of a sequential pass.
 	StreamBlock = stream.Block
+	// StreamLayout selects row-major (LayoutCSR) or column-major
+	// (LayoutCSC) shards.
+	StreamLayout = stream.Layout
+	// StreamCodec selects fixed-width (CodecRaw) or delta-varint
+	// (CodecDelta) shard sections.
+	StreamCodec = stream.Codec
+	// StreamReadMode selects copy (StreamCopy) or mmap (StreamMmap)
+	// shard reads.
+	StreamReadMode = stream.ReadMode
+	// StreamCacheStats is a snapshot of the shard cache's decision
+	// counters (hits, misses, loads, prefetches, conversions).
+	StreamCacheStats = stream.CacheStats
 	// ClusterSource supplies partitioned blocks to the simulated
 	// cluster; StreamDataset implements it out of core.
 	ClusterSource = dist.Source
 )
+
+// Streaming layout, codec and read-mode selectors.
+const (
+	LayoutCSR  = stream.LayoutCSR
+	LayoutCSC  = stream.LayoutCSC
+	CodecRaw   = stream.CodecRaw
+	CodecDelta = stream.CodecDelta
+	StreamCopy = stream.ReadCopy
+	StreamMmap = stream.ReadMmap
+)
+
+// ParseStreamLayout maps a flag value ("csr", "csc") onto a StreamLayout.
+func ParseStreamLayout(s string) (StreamLayout, error) { return stream.ParseLayout(s) }
+
+// ParseStreamCodec maps a flag value ("raw", "delta") onto a StreamCodec.
+func ParseStreamCodec(s string) (StreamCodec, error) { return stream.ParseCodec(s) }
+
+// ConvertStream re-spills an existing shard store into dstDir with a
+// different layout and/or codec in one bounded-memory pass (e.g. the
+// CSR→CSC transpose that makes streamed Lasso conversion-free). The
+// conversion is exact: trajectories over the converted store are
+// bitwise identical.
+func ConvertStream(src *StreamDataset, dstDir string, layout StreamLayout, codec StreamCodec) (*StreamDataset, error) {
+	return stream.Convert(src, dstDir, layout, codec)
+}
 
 // BuildStream ingests a LIBSVM file into cacheDir in bounded memory,
 // spilling row-block shards; peak resident matrix data is about
