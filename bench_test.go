@@ -6,6 +6,7 @@
 package saco_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -220,9 +221,11 @@ func BenchmarkKernelAllreduce(b *testing.B) {
 	for _, p := range []int{4, 16} {
 		b.Run(sizeName("p", p), func(b *testing.B) {
 			data := make([]float64, 256)
-			_, err := mpi.Run(p, mpi.Zero(), func(c *mpi.Comm) error {
+			_, err := mpi.Run(context.Background(), p, mpi.Zero(), func(c *mpi.Comm) error {
 				for i := 0; i < b.N; i++ {
-					c.Allreduce(mpi.Sum, data)
+					if err := c.Allreduce(mpi.Sum, data); err != nil {
+						return err
+					}
 				}
 				return nil
 			})

@@ -6,6 +6,7 @@
 //	sasolve -task lasso -data train.svm -lambda-frac 0.1 -mu 8 -s 64 -accel -iters 5000
 //	sasolve -task svm -data train.svm -loss l2 -s 128 -iters 100000 -tol 0.1
 //	sasolve -task lasso -data url.svm -stream -block-rows 65536 -s 64 -iters 10000
+//	sasolve -task lasso -data train.svm -simulate 4 -transport tcp -s 64 -iters 5000
 //
 // With -stream the input is ingested once into an on-disk shard cache
 // (see internal/stream) and solved out of core: peak memory is about
@@ -59,7 +60,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		lambda     = fs.Float64("lambda", 1, "svm: penalty parameter")
 		loss       = fs.String("loss", "l1", "svm: l1 (hinge) or l2 (squared hinge)")
 		tol        = fs.Float64("tol", 0, "svm: stop at this duality gap")
-		simP       = fs.Int("simulate", 0, "run on a simulated cluster with this many ranks (0 = local)")
+		simP       = fs.Int("simulate", 0, "run on a distributed cluster with this many ranks (0 = local)")
+		transport  = fs.String("transport", "sim", "distributed runs: rank transport, sim (in-process simulated world) or tcp (real loopback TCP mesh; trajectories are bitwise identical)")
 		machine    = fs.String("machine", "cray", "simulated platform: cray, ethernet, spark")
 		rankW      = fs.Int("rank-workers", 0, "simulated runs: per-rank core budget for hybrid rank x thread execution (0/1 = flat MPI)")
 		backend    = fs.String("backend", "", "local backend: sequential, multicore or async (default sequential; -workers alone implies multicore)")
@@ -83,7 +85,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		dataPath: *dataPath, task: *task, iters: *iters, s: *s, seed: *seed,
 		outPath: *outPath, track: *track, lambdaFrac: *lambdaFrac, mu: *mu,
 		accel: *accel, lambda: *lambda, loss: *loss, tol: *tol, simP: *simP,
-		machine: *machine, rankW: *rankW, backend: *backend, workers: *workers,
+		transport: *transport, machine: *machine, rankW: *rankW,
+		backend: *backend, workers: *workers,
 		streaming: *streaming, blockRows: *blockRows, cacheDir: *cacheDir,
 		layout: *layout, codec: *codec, useMmap: *useMmap,
 		cpuProf: *cpuProf, memProf: *memProf,
@@ -107,7 +110,7 @@ type options struct {
 	seed                       uint64
 	lambdaFrac, lambda, tol    float64
 	accel                      bool
-	loss, machine              string
+	loss, transport, machine   string
 	simP, rankW, workers       int
 	backend                    string
 	streaming                  bool
@@ -145,6 +148,14 @@ func solve(stdout io.Writer, o *options) error {
 			cluster.Machine = saco.SparkLike()
 		default:
 			return usageError{fmt.Sprintf("unknown machine %q (cray, ethernet, spark)", o.machine)}
+		}
+		switch o.transport {
+		case "", "sim":
+			cluster.Transport = saco.TransportSim
+		case "tcp":
+			cluster.Transport = saco.TransportTCP
+		default:
+			return usageError{fmt.Sprintf("unknown transport %q (sim, tcp)", o.transport)}
 		}
 	}
 	if o.streaming && exec.Backend == saco.BackendAsync {
@@ -250,17 +261,18 @@ func solve(stdout io.Writer, o *options) error {
 			Accelerated: o.accel, Seed: o.seed, TrackEvery: o.track, Exec: exec,
 		}
 		if o.simP > 0 {
-			var res *saco.DistLassoResult
+			var src saco.ClusterSource
 			if o.streaming {
-				res, err = saco.SimulateLassoFrom(ds, b, opt, cluster)
+				src = ds
 			} else {
-				res, err = saco.SimulateLasso(a, b, opt, cluster)
+				src = saco.MatrixSource(a)
 			}
+			res, err := saco.DistLasso(src, b, opt, cluster)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(stdout, "simulated P=%d%s (%s): modeled time %.4es, %d messages, %d words\n",
-				o.simP, hybridSuffix(o.rankW), cluster.Machine.Name, res.ModeledSeconds(),
+			fmt.Fprintf(stdout, "%s P=%d%s (%s): modeled time %.4es, %d messages, %d words\n",
+				runLabel(cluster), o.simP, hybridSuffix(o.rankW), cluster.Machine.Name, res.ModeledSeconds(),
 				res.Stats.TotalMsgs(), res.Stats.TotalWords())
 			fmt.Fprintf(stdout, "final objective %.6e  (lambda=%.4g)\n", res.Objective, lam)
 			x = res.X
@@ -288,17 +300,18 @@ func solve(stdout io.Writer, o *options) error {
 			TrackEvery: o.track, Tol: o.tol, Exec: exec,
 		}
 		if o.simP > 0 {
-			var res *saco.DistSVMResult
+			var src saco.ClusterSource
 			if o.streaming {
-				res, err = saco.SimulateSVMFrom(ds, b, opt, cluster)
+				src = ds
 			} else {
-				res, err = saco.SimulateSVM(a, b, opt, cluster)
+				src = saco.MatrixSource(a)
 			}
+			res, err := saco.DistSVM(src, b, opt, cluster)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(stdout, "simulated P=%d%s (%s): modeled time %.4es, %d messages, %d words\n",
-				o.simP, hybridSuffix(o.rankW), cluster.Machine.Name, res.ModeledSeconds(),
+			fmt.Fprintf(stdout, "%s P=%d%s (%s): modeled time %.4es, %d messages, %d words\n",
+				runLabel(cluster), o.simP, hybridSuffix(o.rankW), cluster.Machine.Name, res.ModeledSeconds(),
 				res.Stats.TotalMsgs(), res.Stats.TotalWords())
 			fmt.Fprintf(stdout, "final duality gap %.6e after %d iterations\n", res.Gap, res.Iters)
 			x = res.X
@@ -438,6 +451,16 @@ func resolveBackend(backend string, workers int) (saco.Exec, error) {
 	default:
 		return saco.Exec{}, usageError{fmt.Sprintf("unknown backend %q (sequential, multicore, async)", backend)}
 	}
+}
+
+// runLabel names the distributed execution backend in the stats line:
+// "simulated" keeps the historical output for the default in-process
+// world, "distributed tcp" marks runs whose ranks exchanged real bytes.
+func runLabel(cluster saco.Cluster) string {
+	if cluster.Transport == saco.TransportTCP {
+		return "distributed tcp"
+	}
+	return "simulated"
 }
 
 // hybridSuffix renders the rank×thread shape of a hybrid simulated run.

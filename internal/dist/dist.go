@@ -1,6 +1,10 @@
-// Package dist runs the paper's distributed solvers on the simulated
-// cluster of internal/mpi: goroutine ranks, binomial-tree collectives and
-// an α-β-γ cost model standing in for the Cray XC30 of the evaluation.
+// Package dist runs the paper's distributed solvers over the transports
+// of internal/mpi: the simulated cluster (goroutine ranks, binomial-tree
+// collectives and an α-β-γ cost model standing in for the Cray XC30 of
+// the evaluation) or a real TCP mesh (Options.Transport; cmd/sarank runs
+// one rank per process). The solvers are written once against mpi.Comm,
+// so both execution modes run identical message DAGs and deterministic
+// configurations produce bitwise-identical trajectories.
 //
 // The layouts follow §IV/§VI of the paper exactly: Lasso partitions rows
 // of A across ranks (Fig. 1) and keeps the iterate x replicated; SVM
@@ -18,6 +22,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 
 	"saco/internal/core"
@@ -25,10 +30,44 @@ import (
 	"saco/internal/mpi"
 )
 
-// Options configures a simulated-cluster run.
+// Transport selects how a solver run executes its ranks.
+type Transport int
+
+const (
+	// TransportSim runs ranks as goroutines over the in-process
+	// simulated world — the default, and the reference for every
+	// deterministic trajectory in the test suite.
+	TransportSim Transport = iota
+	// TransportTCP runs ranks as goroutines connected through a real
+	// loopback TCP mesh: the same process count, but every message
+	// crosses the kernel's network stack. Bitwise-identical results to
+	// TransportSim; used to validate the networked path (multi-process
+	// clusters use cmd/sarank instead).
+	TransportTCP
+)
+
+// String names the transport as it appears in flags and the ROADMAP
+// backend matrix.
+func (t Transport) String() string {
+	switch t {
+	case TransportTCP:
+		return "tcp"
+	default:
+		return "sim"
+	}
+}
+
+// Options configures a distributed solver run.
 type Options struct {
 	// P is the rank count.
 	P int
+	// Transport selects the execution mode: TransportSim (default) or
+	// TransportTCP (loopback sockets).
+	Transport Transport
+	// Ctx cancels an in-flight run: ranks blocked in communication
+	// return a *mpi.PeerError wrapping the context error. Nil means
+	// context.Background().
+	Ctx context.Context
 	// Machine is the α-β-γ cost model; the zero value defaults to the
 	// paper's Cray XC30.
 	Machine mpi.Machine
@@ -65,13 +104,22 @@ func (o Options) withDefaults() (Options, error) {
 	return o, nil
 }
 
-// allreduce sums data across ranks with the configured algorithm.
-func (o *Options) allreduce(c *mpi.Comm, data []float64) {
-	if o.RSAGAllreduce {
-		c.AllreduceRSAG(mpi.Sum, data)
-	} else {
-		c.Allreduce(mpi.Sum, data)
+// run executes body as the SPMD program on the configured transport.
+func (o Options) run(body func(c *mpi.Comm) error) (*mpi.Stats, error) {
+	switch o.Transport {
+	case TransportTCP:
+		return mpi.RunTCP(o.Ctx, o.P, o.RankWorkers, o.Machine, body)
+	default:
+		return mpi.RunHybrid(o.Ctx, o.P, o.RankWorkers, o.Machine, body)
 	}
+}
+
+// allreduce sums data across ranks with the configured algorithm.
+func (o *Options) allreduce(c *mpi.Comm, data []float64) error {
+	if o.RSAGAllreduce {
+		return c.AllreduceRSAG(mpi.Sum, data)
+	}
+	return c.Allreduce(mpi.Sum, data)
 }
 
 // TimedPoint is one convergence measurement stamped with the modeled
@@ -206,7 +254,7 @@ func eigFlops(mu int) float64 {
 // sampler: rank 0 draws the batch and broadcasts the concatenated,
 // length-prefixed blocks; everyone else decodes. The flattened message
 // is what the replicated-seed discipline saves.
-func bcastBlocks(c *mpi.Comm, smp *core.BlockSampler, sb, muMax int, scratch []float64) [][]int {
+func bcastBlocks(c *mpi.Comm, smp *core.BlockSampler, sb, muMax int, scratch []float64) ([][]int, error) {
 	buf := scratch[:1+sb*(muMax+1)]
 	if c.Rank() == 0 {
 		w := 0
@@ -225,7 +273,9 @@ func bcastBlocks(c *mpi.Comm, smp *core.BlockSampler, sb, muMax int, scratch []f
 			buf[w] = 0
 		}
 	}
-	c.Bcast(0, buf)
+	if err := c.Bcast(0, buf); err != nil {
+		return nil, err
+	}
 	blocks := make([][]int, 0, sb)
 	w := 1
 	for j := 0; j < int(buf[0]); j++ {
@@ -238,20 +288,23 @@ func bcastBlocks(c *mpi.Comm, smp *core.BlockSampler, sb, muMax int, scratch []f
 		}
 		blocks = append(blocks, blk)
 	}
-	return blocks
+	return blocks, nil
 }
 
 // bcastRows implements the broadcast-indices ablation for the SVM row
 // sampler: rank 0 draws sb row ids and broadcasts them.
-func bcastRows(c *mpi.Comm, r interface{ Intn(int) int }, m, sb int, rows []int, scratch []float64) {
+func bcastRows(c *mpi.Comm, r interface{ Intn(int) int }, m, sb int, rows []int, scratch []float64) error {
 	buf := scratch[:sb]
 	if c.Rank() == 0 {
 		for j := 0; j < sb; j++ {
 			buf[j] = float64(r.Intn(m))
 		}
 	}
-	c.Bcast(0, buf)
+	if err := c.Bcast(0, buf); err != nil {
+		return err
+	}
 	for j := 0; j < sb; j++ {
 		rows[j] = int(buf[j])
 	}
+	return nil
 }

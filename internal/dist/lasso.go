@@ -9,7 +9,7 @@ import (
 	"saco/internal/sparse"
 )
 
-// Lasso solves min ½‖Ax−b‖² + g(x) on the simulated cluster with the
+// Lasso solves min ½‖Ax−b‖² + g(x) on the configured cluster with the
 // paper's 1D-row layout (Fig. 1): each rank owns a contiguous row block
 // of A (stored as CSC for column sampling) and the matching slice of the
 // residual image, while the iterate x (or z, y when accelerated) is
@@ -30,32 +30,11 @@ func LassoFrom(src Source, b []float64, opt core.LassoOptions, cl Options) (*Las
 	if err != nil {
 		return nil, err
 	}
-	m, n := src.Dims()
-	if len(b) != m {
-		return nil, fmt.Errorf("dist: len(b)=%d does not match %d rows", len(b), m)
-	}
-	if opt.Iters <= 0 {
-		return nil, fmt.Errorf("dist: Iters=%d, want positive", opt.Iters)
-	}
 	results := make([]*LassoResult, cl.P)
-	stats, err := mpi.RunHybrid(cl.P, cl.RankWorkers, cl.Machine, func(c *mpi.Comm) error {
-		lo, hi := mpi.BlockRange(m, cl.P, c.Rank())
-		aLoc, err := src.RowsCSC(lo, hi)
+	stats, err := cl.run(func(c *mpi.Comm) error {
+		res, err := LassoRank(c, src, b, opt, cl)
 		if err != nil {
-			return fmt.Errorf("dist: rank %d row block [%d,%d): %v", c.Rank(), lo, hi, err)
-		}
-		if cl.RankWorkers > 1 {
-			// Hybrid rank×thread: the rank's kernels really run on the
-			// shared-memory pool. Kernel worker invariance keeps the
-			// iterates bitwise identical to the sequential-rank run.
-			aLoc = aLoc.WithKernelWorkers(cl.RankWorkers).(*sparse.CSC)
-		}
-		lr := newLassoRank(c, &cl, &opt, aLoc, b[lo:hi], n)
-		var res *LassoResult
-		if opt.Accelerated {
-			res = lr.accelerated()
-		} else {
-			res = lr.plain()
+			return err
 		}
 		results[c.Rank()] = res
 		return nil
@@ -66,6 +45,38 @@ func LassoFrom(src Source, b []float64, opt core.LassoOptions, cl Options) (*Las
 	res := results[0]
 	res.Stats = stats
 	return res, nil
+}
+
+// LassoRank runs one rank's share of the distributed Lasso solve over an
+// established Comm: the SPMD body that LassoFrom spawns per goroutine
+// and that a cmd/sarank process runs alone over its TCP endpoint. The
+// world size comes from the Comm (cl.P is ignored), so the same body
+// runs unchanged in-process and across machines. All ranks return the
+// full replicated result; Stats is left nil for the driver to fill.
+func LassoRank(c *mpi.Comm, src Source, b []float64, opt core.LassoOptions, cl Options) (*LassoResult, error) {
+	m, n := src.Dims()
+	if len(b) != m {
+		return nil, fmt.Errorf("dist: len(b)=%d does not match %d rows", len(b), m)
+	}
+	if opt.Iters <= 0 {
+		return nil, fmt.Errorf("dist: Iters=%d, want positive", opt.Iters)
+	}
+	lo, hi := mpi.BlockRange(m, c.Size(), c.Rank())
+	aLoc, err := src.RowsCSC(lo, hi)
+	if err != nil {
+		return nil, fmt.Errorf("dist: rank %d row block [%d,%d): %v", c.Rank(), lo, hi, err)
+	}
+	if cl.RankWorkers > 1 {
+		// Hybrid rank×thread: the rank's kernels really run on the
+		// shared-memory pool. Kernel worker invariance keeps the
+		// iterates bitwise identical to the sequential-rank run.
+		aLoc = aLoc.WithKernelWorkers(cl.RankWorkers).(*sparse.CSC)
+	}
+	lr := newLassoRank(c, &cl, &opt, aLoc, b[lo:hi], n)
+	if opt.Accelerated {
+		return lr.accelerated()
+	}
+	return lr.plain()
 }
 
 // lassoRank is the per-rank solver state shared by the plain and
@@ -106,18 +117,23 @@ func newLassoRank(c *mpi.Comm, cl *Options, opt *core.LassoOptions, aLoc *sparse
 
 // sampleBatch agrees on the next sb blocks: replicated-seed draws by
 // default, or rank 0 broadcasting under the BroadcastIndices ablation.
-func (lr *lassoRank) sampleBatch(sb int) {
+func (lr *lassoRank) sampleBatch(sb int) error {
 	if lr.cl.BroadcastIndices {
-		lr.bt.SetBlocks(bcastBlocks(lr.c, lr.smp, sb, lr.mu, lr.idxS))
-	} else {
-		lr.bt.Sample(lr.smp, sb)
+		blocks, err := bcastBlocks(lr.c, lr.smp, sb, lr.mu, lr.idxS)
+		if err != nil {
+			return err
+		}
+		lr.bt.SetBlocks(blocks)
+		return nil
 	}
+	lr.bt.Sample(lr.smp, sb)
+	return nil
 }
 
 // reduceBatch computes the local Gram and product contributions for the
 // current batch, charges their flops, and allreduces them. extras are
 // the hoisted product vectors (length k each) reduced with the Gram.
-func (lr *lassoRank) reduceBatch(k, sb int, extras [][]float64) {
+func (lr *lassoRank) reduceBatch(k, sb int, extras [][]float64) error {
 	nnzS := lr.localColNNZ(lr.bt.Cols)
 	// Gram assembly: each of the k(k+1)/2 merges streams two columns, so
 	// the total is ~(k+1)·nnz(S) flops. Batched (s > 1) assembly is the
@@ -135,8 +151,11 @@ func (lr *lassoRank) reduceBatch(k, sb int, extras [][]float64) {
 	lr.c.ComputeParallel(2 * float64(len(extras)) * float64(nnzS))
 
 	words := packGram(lr.bt.Gram, extras, lr.cl.FullGramPack, lr.buf)
-	lr.cl.allreduce(lr.c, lr.buf[:words])
+	if err := lr.cl.allreduce(lr.c, lr.buf[:words]); err != nil {
+		return err
+	}
 	unpackGram(lr.buf[:words], lr.bt.Gram, extras, lr.cl.FullGramPack)
+	return nil
 }
 
 // localColNNZ sums this rank's nonzeros over the block's columns.
@@ -150,26 +169,33 @@ func (lr *lassoRank) localColNNZ(idx []int) int {
 
 // track records an objective value at iteration h without charging the
 // instrumentation (the Mark/Restore pair rewinds clock and traffic).
-func (lr *lassoRank) track(h int, value func() float64) {
+func (lr *lassoRank) track(h int, value func() (float64, error)) error {
 	mark := lr.c.Mark()
 	sec := lr.c.Elapsed()
-	v := value()
+	v, err := value()
+	if err != nil {
+		return err
+	}
 	if lr.c.Rank() == 0 {
 		lr.res.Trace = append(lr.res.Trace, TimedPoint{Iter: h, Seconds: sec, Value: v})
 	}
 	lr.c.Restore(mark)
+	return nil
 }
 
 // globalObjective reduces ½‖r‖² over the partitioned residual and adds
 // the replicated penalty.
-func (lr *lassoRank) globalObjective(rLoc, x []float64) float64 {
-	rn := lr.c.AllreduceScalar(mpi.Sum, mat.Nrm2Sq(rLoc))
-	return 0.5*rn + lr.g.Value(x)
+func (lr *lassoRank) globalObjective(rLoc, x []float64) (float64, error) {
+	rn, err := lr.c.AllreduceScalar(mpi.Sum, mat.Nrm2Sq(rLoc))
+	if err != nil {
+		return 0, err
+	}
+	return 0.5*rn + lr.g.Value(x), nil
 }
 
 // plain is the distributed (SA-)CD/BCD solver; compare core.lassoPlainSA
 // for the sequential inner-loop derivation (eqs. (3)–(5) with θ ≡ 1).
-func (lr *lassoRank) plain() *LassoResult {
+func (lr *lassoRank) plain() (*LassoResult, error) {
 	opt, aLoc, c := lr.opt, lr.aLoc, lr.c
 	x := make([]float64, lr.n)
 	if opt.X0 != nil {
@@ -187,12 +213,16 @@ func (lr *lassoRank) plain() *LassoResult {
 
 	for h := 0; h < opt.Iters; {
 		sb := min(lr.s, opt.Iters-h)
-		lr.sampleBatch(sb)
+		if err := lr.sampleBatch(sb); err != nil {
+			return nil, err
+		}
 		k := len(lr.bt.Cols)
 		lr.bt.Gram = mat.NewDenseData(k, k, lr.bt.Gram.Data[:k*k])
 		aLoc.ColGram(lr.bt.Cols, lr.bt.Gram)
 		aLoc.ColTMulVec(lr.bt.Cols, rLoc, rP[:k])
-		lr.reduceBatch(k, sb, [][]float64{rP[:k]})
+		if err := lr.reduceBatch(k, sb, [][]float64{rP[:k]}); err != nil {
+			return nil, err
+		}
 
 		for j := 0; j < sb; j++ {
 			idx := lr.bt.Blocks[j]
@@ -232,21 +262,28 @@ func (lr *lassoRank) plain() *LassoResult {
 			c.ComputeParallel(2 * float64(lr.localColNNZ(idx)))
 			h++
 			if opt.TrackEvery > 0 && h%opt.TrackEvery == 0 {
-				lr.track(h, func() float64 { return lr.globalObjective(rLoc, x) })
+				err := lr.track(h, func() (float64, error) { return lr.globalObjective(rLoc, x) })
+				if err != nil {
+					return nil, err
+				}
 			}
 		}
 	}
 	lr.res.X = x
 	mark := c.Mark()
-	lr.res.Objective = lr.globalObjective(rLoc, x)
+	obj, err := lr.globalObjective(rLoc, x)
+	if err != nil {
+		return nil, err
+	}
+	lr.res.Objective = obj
 	c.Restore(mark)
-	return lr.res
+	return lr.res, nil
 }
 
 // accelerated is the distributed SA-accBCD solver (Alg. 2); compare
 // core.lassoAccSA. z and y are replicated, their images z̃ = A·z − b and
 // ỹ = A·y are row-partitioned like the residual.
-func (lr *lassoRank) accelerated() *LassoResult {
+func (lr *lassoRank) accelerated() (*LassoResult, error) {
 	opt, aLoc, c := lr.opt, lr.aLoc, lr.c
 	q := float64(lr.smp.NumBlocks())
 	z := make([]float64, lr.n)
@@ -273,7 +310,9 @@ func (lr *lassoRank) accelerated() *LassoResult {
 	theta := lr.smp.Theta0()
 	for h := 0; h < opt.Iters; {
 		sb := min(lr.s, opt.Iters-h)
-		lr.sampleBatch(sb)
+		if err := lr.sampleBatch(sb); err != nil {
+			return nil, err
+		}
 		k := len(lr.bt.Cols)
 		lr.bt.Gram = mat.NewDenseData(k, k, lr.bt.Gram.Data[:k*k])
 		thetas[0] = theta
@@ -283,7 +322,9 @@ func (lr *lassoRank) accelerated() *LassoResult {
 		aLoc.ColGram(lr.bt.Cols, lr.bt.Gram)
 		aLoc.ColTMulVec(lr.bt.Cols, ytLoc, ytP[:k])
 		aLoc.ColTMulVec(lr.bt.Cols, ztLoc, ztP[:k])
-		lr.reduceBatch(k, sb, [][]float64{ytP[:k], ztP[:k]})
+		if err := lr.reduceBatch(k, sb, [][]float64{ytP[:k], ztP[:k]}); err != nil {
+			return nil, err
+		}
 
 		for j := 0; j < sb; j++ {
 			idx := lr.bt.Blocks[j]
@@ -336,9 +377,12 @@ func (lr *lassoRank) accelerated() *LassoResult {
 			h++
 			if opt.TrackEvery > 0 && h%opt.TrackEvery == 0 {
 				thNext := thetas[j+1]
-				lr.track(h, func() float64 {
+				err := lr.track(h, func() (float64, error) {
 					return lr.accObjective(thNext, y, z, ytLoc, ztLoc)
 				})
+				if err != nil {
+					return nil, err
+				}
 			}
 		}
 		theta = thetas[sb]
@@ -347,20 +391,26 @@ func (lr *lassoRank) accelerated() *LassoResult {
 	mark := c.Mark()
 	rLoc := make([]float64, aLoc.M)
 	accResidual(theta, ytLoc, ztLoc, rLoc)
-	rn := c.AllreduceScalar(mpi.Sum, mat.Nrm2Sq(rLoc))
+	rn, err := c.AllreduceScalar(mpi.Sum, mat.Nrm2Sq(rLoc))
+	if err != nil {
+		return nil, err
+	}
 	lr.res.Objective = 0.5*rn + lr.g.Value(lr.res.X)
 	c.Restore(mark)
-	return lr.res
+	return lr.res, nil
 }
 
 // accObjective evaluates the implicit iterate's objective: the residual
 // θ²ỹ + z̃ is assembled per rank and its norm reduced, the solution
 // θ²y + z is replicated.
-func (lr *lassoRank) accObjective(theta float64, y, z, ytLoc, ztLoc []float64) float64 {
+func (lr *lassoRank) accObjective(theta float64, y, z, ytLoc, ztLoc []float64) (float64, error) {
 	rLoc := make([]float64, len(ytLoc))
 	accResidual(theta, ytLoc, ztLoc, rLoc)
-	rn := lr.c.AllreduceScalar(mpi.Sum, mat.Nrm2Sq(rLoc))
-	return 0.5*rn + lr.g.Value(accSolution(theta, y, z))
+	rn, err := lr.c.AllreduceScalar(mpi.Sum, mat.Nrm2Sq(rLoc))
+	if err != nil {
+		return 0, err
+	}
+	return 0.5*rn + lr.g.Value(accSolution(theta, y, z)), nil
 }
 
 // accSolution reconstructs x = θ²·y + z (Alg. 1 line 19).

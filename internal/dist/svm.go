@@ -15,7 +15,7 @@ import (
 // free).
 const tagGatherX = 1
 
-// SVM trains a linear SVM by dual coordinate descent on the simulated
+// SVM trains a linear SVM by dual coordinate descent on the configured
 // cluster with the paper's 1D-column layout (§VI): each rank owns a
 // column block of A and the matching slice of the primal vector x, while
 // the dual α and the labels are replicated. Per outer iteration the
@@ -35,19 +35,9 @@ func SVMFrom(src Source, b []float64, opt core.SVMOptions, cl Options) (*SVMResu
 	if err != nil {
 		return nil, err
 	}
-	m, _ := src.Dims()
-	if len(b) != m {
-		return nil, fmt.Errorf("dist: len(b)=%d does not match %d rows", len(b), m)
-	}
-	if opt.Iters <= 0 {
-		return nil, fmt.Errorf("dist: Iters=%d, want positive", opt.Iters)
-	}
-	if opt.Lambda <= 0 {
-		return nil, fmt.Errorf("dist: Lambda=%v, want positive", opt.Lambda)
-	}
 	results := make([]*SVMResult, cl.P)
-	stats, err := mpi.RunHybrid(cl.P, cl.RankWorkers, cl.Machine, func(c *mpi.Comm) error {
-		res, err := svmRank(c, src, b, &opt, &cl)
+	stats, err := cl.run(func(c *mpi.Comm) error {
+		res, err := SVMRank(c, src, b, opt, cl)
 		if err != nil {
 			return err
 		}
@@ -62,10 +52,23 @@ func SVMFrom(src Source, b []float64, opt core.SVMOptions, cl Options) (*SVMResu
 	return res, nil
 }
 
-// svmRank is one rank's SPMD program.
-func svmRank(c *mpi.Comm, src Source, b []float64, opt *core.SVMOptions, cl *Options) (*SVMResult, error) {
+// SVMRank runs one rank's share of the distributed SVM solve over an
+// established Comm: the SPMD body that SVMFrom spawns per goroutine and
+// that a cmd/sarank process runs alone over its TCP endpoint. The world
+// size comes from the Comm (cl.P is ignored). The primal vector X is
+// assembled on rank 0 only; Stats is left nil for the driver to fill.
+func SVMRank(c *mpi.Comm, src Source, b []float64, opt core.SVMOptions, cl Options) (*SVMResult, error) {
 	m, n := src.Dims()
-	lo, hi := mpi.BlockRange(n, cl.P, c.Rank())
+	if len(b) != m {
+		return nil, fmt.Errorf("dist: len(b)=%d does not match %d rows", len(b), m)
+	}
+	if opt.Iters <= 0 {
+		return nil, fmt.Errorf("dist: Iters=%d, want positive", opt.Iters)
+	}
+	if opt.Lambda <= 0 {
+		return nil, fmt.Errorf("dist: Lambda=%v, want positive", opt.Lambda)
+	}
+	lo, hi := mpi.BlockRange(n, c.Size(), c.Rank())
 	aLoc, err := src.ColsCSR(lo, hi)
 	if err != nil {
 		return nil, fmt.Errorf("dist: rank %d column block [%d,%d): %v", c.Rank(), lo, hi, err)
@@ -102,18 +105,26 @@ func svmRank(c *mpi.Comm, src Source, b []float64, opt *core.SVMOptions, cl *Opt
 	// objectives reduces the full margin vector A·x = Σ_ranks A_loc·x_loc
 	// and ‖x‖² = Σ‖x_loc‖², then evaluates primal, dual and gap — all
 	// replicated bitwise, so every rank reaches the same Tol decision.
-	objectives := func() (primal, dual, gap float64) {
+	objectives := func() (primal, dual, gap float64, err error) {
 		aLoc.MulVec(xLoc, marginLoc)
-		cl.allreduce(c, marginLoc)
-		xns := c.AllreduceScalar(mpi.Sum, mat.Nrm2Sq(xLoc))
-		return core.SVMObjectivesFromParts(xns, alpha, marginLoc, b, opt.Lambda, gamma, opt.Loss)
+		if err := cl.allreduce(c, marginLoc); err != nil {
+			return 0, 0, 0, err
+		}
+		xns, err := c.AllreduceScalar(mpi.Sum, mat.Nrm2Sq(xLoc))
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		primal, dual, gap = core.SVMObjectivesFromParts(xns, alpha, marginLoc, b, opt.Lambda, gamma, opt.Loss)
+		return primal, dual, gap, nil
 	}
 
 	done := false
 	for h := 0; h < opt.Iters && !done; {
 		sb := min(s, opt.Iters-h)
 		if cl.BroadcastIndices {
-			bcastRows(c, r, m, sb, rows[:sb], idxS)
+			if err := bcastRows(c, r, m, sb, rows[:sb], idxS); err != nil {
+				return nil, err
+			}
 		} else {
 			for j := 0; j < sb; j++ {
 				rows[j] = r.Intn(m) // replicated draws (Alg. 3 line 4)
@@ -138,7 +149,9 @@ func svmRank(c *mpi.Comm, src Source, b []float64, opt *core.SVMOptions, cl *Opt
 		}
 		c.ComputeParallel(2 * float64(nnzR))
 		words := packGram(gb, [][]float64{xP[:sb]}, cl.FullGramPack, buf)
-		cl.allreduce(c, buf[:words])
+		if err := cl.allreduce(c, buf[:words]); err != nil {
+			return nil, err
+		}
 		unpackGram(buf[:words], gb, [][]float64{xP[:sb]}, cl.FullGramPack)
 		for j := 0; j < sb; j++ {
 			gb.Set(j, j, gb.At(j, j)+gamma) // η_j = ‖A_j‖² + γ, now global
@@ -178,7 +191,10 @@ func svmRank(c *mpi.Comm, src Source, b []float64, opt *core.SVMOptions, cl *Opt
 			if opt.TrackEvery > 0 && h%opt.TrackEvery == 0 {
 				mark := c.Mark()
 				sec := c.Elapsed()
-				_, _, gap := objectives()
+				_, _, gap, err := objectives()
+				if err != nil {
+					return nil, err
+				}
 				if c.Rank() == 0 {
 					res.Trace = append(res.Trace, TimedPoint{Iter: h, Seconds: sec, Value: gap})
 				}
@@ -194,10 +210,16 @@ func svmRank(c *mpi.Comm, src Source, b []float64, opt *core.SVMOptions, cl *Opt
 
 	// Assemble the primal vector on rank 0 (charged: shipping the model
 	// home is a real cost, and the same one for classic and SA runs).
-	res.X = gatherX(c, xLoc, n, cl.P)
+	res.X, err = gatherX(c, xLoc, n)
+	if err != nil {
+		return nil, err
+	}
 	res.Alpha = alpha
 	mark := c.Mark()
-	res.Primal, res.Dual, res.Gap = objectives()
+	res.Primal, res.Dual, res.Gap, err = objectives()
+	if err != nil {
+		return nil, err
+	}
 	c.Restore(mark)
 	return res, nil
 }
@@ -205,21 +227,25 @@ func svmRank(c *mpi.Comm, src Source, b []float64, opt *core.SVMOptions, cl *Opt
 // gatherX concatenates the per-rank primal slices onto rank 0 in layout
 // order. Blocks are unequal (BlockRange), so this is a point-to-point
 // gather rather than the equal-block collective.
-func gatherX(c *mpi.Comm, xLoc []float64, n, p int) []float64 {
+func gatherX(c *mpi.Comm, xLoc []float64, n int) ([]float64, error) {
+	p := c.Size()
 	if p == 1 {
 		out := make([]float64, len(xLoc))
 		copy(out, xLoc)
-		return out
+		return out, nil
 	}
 	if c.Rank() != 0 {
-		c.Send(0, tagGatherX, xLoc)
-		return nil
+		return nil, c.Send(0, tagGatherX, xLoc)
 	}
 	x := make([]float64, n)
 	copy(x, xLoc)
 	for src := 1; src < p; src++ {
 		lo, _ := mpi.BlockRange(n, p, src)
-		copy(x[lo:], c.Recv(src, tagGatherX))
+		part, err := c.Recv(src, tagGatherX)
+		if err != nil {
+			return nil, err
+		}
+		copy(x[lo:], part)
 	}
-	return x
+	return x, nil
 }

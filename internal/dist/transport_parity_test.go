@@ -1,0 +1,98 @@
+// Sim-vs-TCP trajectory parity: the acceptance test of the transport
+// redesign. An external test package (dist_test) so it can register the
+// contract with internal/testmatrix, which itself imports dist.
+package dist_test
+
+import (
+	"testing"
+
+	"saco/internal/core"
+	"saco/internal/datagen"
+	"saco/internal/dist"
+	"saco/internal/mpi"
+	"saco/internal/testmatrix"
+)
+
+// TestLassoTransportParityBitwise runs the identical CA-Lasso
+// configuration over every transport of the backend matrix and asserts
+// the full trajectory — solution vector, final objective, every traced
+// point with its modeled timestamp, and the aggregate cost counters —
+// is bitwise identical to the simulated reference. The solvers are
+// deterministic given the message DAG, the collectives execute the same
+// DAG on both transports, and the piggybacked clocks carry the cost
+// model across the wire; this test is the contract that keeps it so.
+func TestLassoTransportParityBitwise(t *testing.T) {
+	d := datagen.Regression("tparity", 11, 200, 100, 0.15, 6, 0.05)
+	lambda := 0.1 * core.LambdaMaxL1(d.AsCSR().ToCSC(), d.B)
+	for _, acc := range []bool{false, true} {
+		opt := core.LassoOptions{
+			Lambda: lambda, BlockSize: 4, Iters: 120, S: 10,
+			Accelerated: acc, Seed: 7, TrackEvery: 30,
+		}
+		var ref *dist.LassoResult
+		for _, tr := range testmatrix.TransportKinds() {
+			cl := dist.Options{P: 4, Machine: mpi.CrayXC30(), Transport: tr}
+			res, err := dist.Lasso(d.AsCSR(), d.B, opt, cl)
+			if err != nil {
+				t.Fatalf("acc=%v %v: %v", acc, tr, err)
+			}
+			if tr == dist.TransportSim {
+				ref = res
+				continue
+			}
+			testmatrix.SameFloats(t, "X", res.X, ref.X)
+			if res.Objective != ref.Objective {
+				t.Fatalf("acc=%v %v: objective %.17g != sim %.17g", acc, tr, res.Objective, ref.Objective)
+			}
+			if len(res.Trace) != len(ref.Trace) {
+				t.Fatalf("acc=%v %v: %d trace points, sim has %d", acc, tr, len(res.Trace), len(ref.Trace))
+			}
+			for i, p := range res.Trace {
+				if p != ref.Trace[i] {
+					t.Fatalf("acc=%v %v: trace[%d] = %+v, sim %+v", acc, tr, i, p, ref.Trace[i])
+				}
+			}
+			// The modeled cost accounting crosses the wire unchanged.
+			if res.Stats.TotalMsgs() != ref.Stats.TotalMsgs() ||
+				res.Stats.TotalWords() != ref.Stats.TotalWords() ||
+				res.Stats.MaxClock() != ref.Stats.MaxClock() {
+				t.Fatalf("acc=%v %v: stats msgs=%d words=%d clock=%v, sim msgs=%d words=%d clock=%v",
+					acc, tr, res.Stats.TotalMsgs(), res.Stats.TotalWords(), res.Stats.MaxClock(),
+					ref.Stats.TotalMsgs(), ref.Stats.TotalWords(), ref.Stats.MaxClock())
+			}
+		}
+	}
+}
+
+// TestSVMTransportParityBitwise is the column-partitioned twin: CA-SVM
+// duals, primal assembly and duality-gap trace must also agree bitwise
+// across transports (the gatherX point-to-point path included).
+func TestSVMTransportParityBitwise(t *testing.T) {
+	d := datagen.Classification("tparity-svm", 13, 180, 90, 0.2, 0.1)
+	opt := core.SVMOptions{
+		Lambda: 1e-3, Iters: 150, S: 8, Seed: 3, TrackEvery: 50,
+	}
+	var ref *dist.SVMResult
+	for _, tr := range testmatrix.TransportKinds() {
+		cl := dist.Options{P: 4, Machine: mpi.CrayXC30(), Transport: tr}
+		res, err := dist.SVM(d.AsCSR(), d.B, opt, cl)
+		if err != nil {
+			t.Fatalf("%v: %v", tr, err)
+		}
+		if tr == dist.TransportSim {
+			ref = res
+			continue
+		}
+		testmatrix.SameFloats(t, "X", res.X, ref.X)
+		testmatrix.SameFloats(t, "Alpha", res.Alpha, ref.Alpha)
+		if res.Gap != ref.Gap || res.Primal != ref.Primal || res.Dual != ref.Dual {
+			t.Fatalf("%v: objectives (%v,%v,%v) != sim (%v,%v,%v)",
+				tr, res.Primal, res.Dual, res.Gap, ref.Primal, ref.Dual, ref.Gap)
+		}
+		for i, p := range res.Trace {
+			if p != ref.Trace[i] {
+				t.Fatalf("%v: trace[%d] = %+v, sim %+v", tr, i, p, ref.Trace[i])
+			}
+		}
+	}
+}

@@ -30,10 +30,11 @@ func (o Op) combine(dst, src []float64) {
 
 // Collective tags combine a per-rank sequence number with the collective
 // kind (tag = -(8·seq + kind)) so that a mismatched program — one rank in
-// a Bcast while another is in a Reduce — panics instead of exchanging
-// wrong data. SPMD programs execute the same collective sequence on every
-// rank, keeping the counters aligned. Negative tags keep the collective
-// namespace disjoint from user point-to-point tags (>= 0).
+// a Bcast while another is in a Reduce — fails with a tagged error
+// instead of exchanging wrong data. SPMD programs execute the same
+// collective sequence on every rank, keeping the counters aligned.
+// Negative tags keep the collective namespace disjoint from user
+// point-to-point tags (>= 0).
 const (
 	kindReduce = iota
 	kindBcast
@@ -50,11 +51,12 @@ func (c *Comm) collTag(kind int) int {
 // on root. Non-root ranks' buffers hold partial combines afterwards and
 // must be treated as scratch. Binomial tree: ⌈log₂P⌉ rounds, each moving
 // len(data) words, so the latency per call is O(log P) — the L term of
-// Table I.
-func (c *Comm) Reduce(root int, op Op, data []float64) {
-	p, r := c.world.p, c.rank
+// Table I. A failed peer aborts with a *PeerError; the partially combined
+// buffer must then be discarded.
+func (c *Comm) Reduce(root int, op Op, data []float64) error {
+	p, r := c.Size(), c.Rank()
 	if p == 1 {
-		return
+		return nil
 	}
 	tag := c.collTag(kindReduce)
 	// Rotate so the algorithm always reduces to virtual rank 0.
@@ -62,24 +64,27 @@ func (c *Comm) Reduce(root int, op Op, data []float64) {
 	for dist := 1; dist < p; dist <<= 1 {
 		if vr&dist != 0 {
 			dst := ((vr - dist) + root) % p
-			c.Send(dst, tag, data)
-			return
+			return c.Send(dst, tag, data)
 		}
 		if vr+dist < p {
 			src := ((vr + dist) + root) % p
-			in := c.Recv(src, tag)
+			in, err := c.Recv(src, tag)
+			if err != nil {
+				return err
+			}
 			c.Compute(float64(len(data))) // combine cost: one op per word
 			op.combine(data, in)
 		}
 	}
+	return nil
 }
 
 // Bcast sends root's data to all ranks, in place. Binomial tree, ⌈log₂P⌉
 // rounds.
-func (c *Comm) Bcast(root int, data []float64) {
-	p, r := c.world.p, c.rank
+func (c *Comm) Bcast(root int, data []float64) error {
+	p, r := c.Size(), c.Rank()
 	if p == 1 {
-		return
+		return nil
 	}
 	tag := c.collTag(kindBcast)
 	vr := (r - root + p) % p
@@ -94,7 +99,10 @@ func (c *Comm) Bcast(root int, data []float64) {
 		if !recvd && vr&dist != 0 {
 			if vr&(dist-1) == 0 { // it is our turn this round
 				src := ((vr - dist) + root) % p
-				in := c.Recv(src, tag)
+				in, err := c.Recv(src, tag)
+				if err != nil {
+					return err
+				}
 				copy(data, in)
 				recvd = true
 			}
@@ -102,9 +110,12 @@ func (c *Comm) Bcast(root int, data []float64) {
 		}
 		if recvd && vr&(dist-1) == 0 && vr+dist < p {
 			dst := ((vr + dist) + root) % p
-			c.Send(dst, tag, data)
+			if err := c.Send(dst, tag, data); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
 // Allreduce combines data across ranks with op and leaves the identical
@@ -113,53 +124,62 @@ func (c *Comm) Bcast(root int, data []float64) {
 // property the solvers rely on to keep replicated vectors consistent
 // (Fig. 1 step 4: "Sum reduce dot-products and replicate on all
 // processors").
-func (c *Comm) Allreduce(op Op, data []float64) {
-	if c.world.p == 1 {
-		return
+func (c *Comm) Allreduce(op Op, data []float64) error {
+	if c.Size() == 1 {
+		return nil
 	}
 	// Reduce leaves partial combines in non-root buffers, but the Bcast
 	// overwrites them with the root's result, so data can be reduced in
 	// place.
-	c.Reduce(0, op, data)
-	c.Bcast(0, data)
+	if err := c.Reduce(0, op, data); err != nil {
+		return err
+	}
+	return c.Bcast(0, data)
 }
 
 // AllreduceScalar is Allreduce for a single value, returning the result.
-func (c *Comm) AllreduceScalar(op Op, v float64) float64 {
+func (c *Comm) AllreduceScalar(op Op, v float64) (float64, error) {
 	buf := c.scratch1()
 	buf[0] = v
-	c.Allreduce(op, buf)
-	return buf[0]
+	if err := c.Allreduce(op, buf); err != nil {
+		return 0, err
+	}
+	return buf[0], nil
 }
 
 // Barrier blocks until every rank has entered it. Dissemination algorithm:
 // ⌈log₂P⌉ rounds of zero-word messages, so a barrier costs about α·log₂P —
 // this is exactly the per-iteration synchronization cost the SA methods
 // amortize.
-func (c *Comm) Barrier() {
-	p, r := c.world.p, c.rank
+func (c *Comm) Barrier() error {
+	p, r := c.Size(), c.Rank()
 	if p == 1 {
-		return
+		return nil
 	}
 	tag := c.collTag(kindBarrier)
 	for dist := 1; dist < p; dist <<= 1 {
 		dst := (r + dist) % p
 		src := (r - dist + p) % p
-		c.Send(dst, tag, nil)
-		c.Recv(src, tag)
+		if err := c.Send(dst, tag, nil); err != nil {
+			return err
+		}
+		if _, err := c.Recv(src, tag); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // Gather concatenates equal-length blocks on root: the result holds rank
 // i's block at offset i*len(local). Non-root ranks return nil. Binomial
 // tree with doubling block ranges.
-func (c *Comm) Gather(root int, local []float64) []float64 {
-	p, r := c.world.p, c.rank
+func (c *Comm) Gather(root int, local []float64) ([]float64, error) {
+	p, r := c.Size(), c.Rank()
 	blk := len(local)
 	if p == 1 {
 		out := make([]float64, blk)
 		copy(out, local)
-		return out
+		return out, nil
 	}
 	tag := c.collTag(kindGather)
 	vr := (r - root + p) % p
@@ -169,17 +189,22 @@ func (c *Comm) Gather(root int, local []float64) []float64 {
 	for dist := 1; dist < p; dist <<= 1 {
 		if vr&dist != 0 {
 			dst := ((vr - dist) + root) % p
-			c.Send(dst, tag, acc)
+			if err := c.Send(dst, tag, acc); err != nil {
+				return nil, err
+			}
 			break
 		}
 		if vr+dist < p {
 			src := ((vr + dist) + root) % p
-			in := c.Recv(src, tag)
+			in, err := c.Recv(src, tag)
+			if err != nil {
+				return nil, err
+			}
 			acc = append(acc, in...)
 		}
 	}
 	if vr != 0 {
-		return nil
+		return nil, nil
 	}
 	// acc is ordered by virtual rank; rotate back to actual rank order.
 	out := make([]float64, blk*p)
@@ -187,20 +212,25 @@ func (c *Comm) Gather(root int, local []float64) []float64 {
 		actual := (v + root) % p
 		copy(out[actual*blk:(actual+1)*blk], acc[v*blk:(v+1)*blk])
 	}
-	return out
+	return out, nil
 }
 
 // Allgather concatenates equal-length blocks and replicates the result on
 // every rank (Gather to rank 0 followed by Bcast).
-func (c *Comm) Allgather(local []float64) []float64 {
-	p := c.world.p
+func (c *Comm) Allgather(local []float64) ([]float64, error) {
+	p := c.Size()
 	blk := len(local)
-	full := c.Gather(0, local)
-	if c.rank != 0 {
+	full, err := c.Gather(0, local)
+	if err != nil {
+		return nil, err
+	}
+	if c.Rank() != 0 {
 		full = make([]float64, blk*p)
 	}
-	c.Bcast(0, full)
-	return full
+	if err := c.Bcast(0, full); err != nil {
+		return nil, err
+	}
+	return full, nil
 }
 
 // scratch1 returns the reusable single-element buffer for scalar

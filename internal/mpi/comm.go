@@ -1,7 +1,13 @@
 // Package mpi is a small message-passing runtime that stands in for MPI in
-// the paper's experiments. Ranks are goroutines, messages are Go channels,
-// and collectives are binomial trees, so a "cluster" runs inside one
-// process with real parallelism and real synchronization costs.
+// the paper's experiments. The point-to-point layer is the Transport
+// interface with two implementations: the simulated world (ranks are
+// goroutines, messages are Go channels, so a "cluster" runs inside one
+// process with real parallelism and real synchronization costs) and a
+// length-prefixed TCP mesh that runs the same SPMD programs across real
+// processes and machines (see transportTCP, DialTCP, cmd/sarank). The
+// collectives are binomial trees written once against Comm, so both
+// transports execute identical message DAGs and deterministic programs
+// produce bitwise-identical trajectories on either.
 //
 // Alongside real execution the runtime maintains a virtual clock per rank
 // in an α-β-γ machine model (see Machine). Every message advances the
@@ -10,32 +16,21 @@
 // the modeled parallel running time — the quantity Figures 3 and 4 of the
 // paper plot. This is how a 12,288-core Cray XC30 experiment is reproduced
 // faithfully in shape on a laptop: the counts of messages, words and flops
-// are exact, and the machine constants are presets.
+// are exact, and the machine constants are presets. Networked runs charge
+// the same model (piggybacking clocks on the wire); their measured time is
+// Stats.Wall.
 package mpi
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 )
 
-// message is one point-to-point transfer, carrying the sender's virtual
-// clock at completion of the send so the receiver can align.
-type message struct {
-	data  []float64
-	tag   int
-	clock float64
-}
-
-// World owns the channel mesh and per-rank statistics for one simulated
-// cluster run.
-type World struct {
-	p       int
-	cores   int // per-rank core budget (hybrid rank×thread runs)
-	machine Machine
-	chans   [][]chan message // chans[src][dst]
-	stats   []RankStats
-}
+// World is kept as a historical name for the simulated cluster; the
+// runtime now speaks to any Transport. See Run, RunTCP and DialTCP.
 
 // RankStats is the per-rank accounting of one run.
 type RankStats struct {
@@ -47,10 +42,17 @@ type RankStats struct {
 	Words    int64   // 8-byte words sent
 }
 
-// Stats summarizes a completed run.
+// Stats summarizes a completed run. Single-process drivers (Run,
+// RunHybrid, RunTCP) fill PerRank for the whole world; a rank running
+// alone in its own process (cmd/sarank over DialTCP) only knows itself,
+// so PerRank holds just the local rank and Local is true.
 type Stats struct {
 	PerRank []RankStats
-	Wall    time.Duration // real elapsed time of the goroutine run
+	Wall    time.Duration // real elapsed time of the run
+	// Local marks stats that cover only the local rank (multi-process
+	// runs): the Max* aggregates are then per-rank numbers, and wall
+	// clock is the meaningful cross-rank measure.
+	Local bool
 }
 
 // MaxClock returns the modeled parallel running time: the maximum virtual
@@ -106,35 +108,62 @@ func (s *Stats) TotalWords() int64 {
 	return n
 }
 
-// Comm is one rank's handle into the world. All methods are called from
+// Comm is one rank's handle into the world: cost accounting and the
+// collectives over an underlying Transport. All methods are called from
 // that rank's goroutine only.
 type Comm struct {
-	world *World
-	rank  int
-	st    RankStats
-	seq   int       // collective sequence number (SPMD-aligned)
-	one   []float64 // scratch for scalar reductions
+	t       Transport
+	machine Machine
+	cores   int
+	st      RankStats
+	seq     int       // collective sequence number (SPMD-aligned)
+	one     []float64 // scratch for scalar reductions
 }
 
+// NewComm wraps an established transport endpoint in a Comm charging
+// the given machine model with a per-rank core budget of cores (clamped
+// to at least 1). It is the entry point for external transports — a
+// cmd/sarank process wraps its DialTCP endpoint here; the in-process
+// drivers (Run, RunHybrid, RunTCP) call it for every rank goroutine.
+func NewComm(t Transport, m Machine, cores int) *Comm {
+	if cores < 1 {
+		cores = 1
+	}
+	return &Comm{t: t, machine: m, cores: cores}
+}
+
+// CloseTransport tears down this rank's endpoint immediately, before
+// the driver's own deferred close: an abrupt departure from the world.
+// Peers blocked on this rank fail fast with a *PeerError. Drivers use it
+// for early shutdown; the fault-injection tests use it to simulate a
+// dying rank.
+func (c *Comm) CloseTransport() error { return c.t.Close() }
+
 // Rank returns this rank's id in [0, Size).
-func (c *Comm) Rank() int { return c.rank }
+func (c *Comm) Rank() int { return c.t.Rank() }
 
 // Size returns the number of ranks.
-func (c *Comm) Size() int { return c.world.p }
+func (c *Comm) Size() int { return c.t.Size() }
 
 // Machine returns the cost model in effect.
-func (c *Comm) Machine() Machine { return c.world.machine }
+func (c *Comm) Machine() Machine { return c.machine }
 
 // Elapsed returns this rank's virtual clock in seconds.
 func (c *Comm) Elapsed() float64 { return c.st.Clock }
 
-// Run executes body on p ranks and returns the per-rank statistics. It is
-// the moral equivalent of mpirun: body is the SPMD program. The first
-// error returned by any rank aborts the run's result (after all goroutines
-// finish, so no rank is left blocked on a channel forever — programs are
-// expected to be deterministic SPMD and fail collectively).
-func Run(p int, m Machine, body func(c *Comm) error) (*Stats, error) {
-	return RunHybrid(p, 1, m, body)
+// RankStats returns a snapshot of this rank's cost accounting — the
+// per-rank entry a single-process driver aggregates, and all a
+// multi-process rank can know about the run.
+func (c *Comm) RankStats() RankStats { return c.st }
+
+// Run executes body on p simulated ranks and returns the per-rank
+// statistics. It is the moral equivalent of mpirun: body is the SPMD
+// program. The first error returned by any rank aborts the run's result;
+// ranks blocked on a failed peer fail fast with a *PeerError (no rank is
+// left blocked on a vanished peer forever), and the root-cause error is
+// preferred over the induced peer errors.
+func Run(ctx context.Context, p int, m Machine, body func(c *Comm) error) (*Stats, error) {
+	return RunHybrid(ctx, p, 1, m, body)
 }
 
 // RunHybrid is Run with a per-rank core budget: every rank owns cores
@@ -147,97 +176,125 @@ func Run(p int, m Machine, body func(c *Comm) error) (*Stats, error) {
 // model's assumption of perfectly scaling intra-rank kernels.
 // Communication costs are unchanged: one message per rank pair, exactly
 // like a one-rank-per-node MPI+OpenMP layout.
-func RunHybrid(p, cores int, m Machine, body func(c *Comm) error) (*Stats, error) {
+func RunHybrid(ctx context.Context, p, cores int, m Machine, body func(c *Comm) error) (*Stats, error) {
 	if p <= 0 {
 		return nil, fmt.Errorf("mpi: Run with p=%d", p)
 	}
-	if cores < 1 {
-		cores = 1
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	w := &World{p: p, cores: cores, machine: m, stats: make([]RankStats, p)}
-	w.chans = make([][]chan message, p)
-	for i := range w.chans {
-		w.chans[i] = make([]chan message, p)
-		for j := range w.chans[i] {
-			// Capacity bounds the number of in-flight messages per
-			// ordered pair. Binomial-tree collectives need 1; a margin
-			// is kept for pipelined point-to-point use.
-			w.chans[i][j] = make(chan message, 64)
-		}
-	}
+	w := newSimWorld(ctx, p)
+	return runWorld(p, cores, m, body, func(rank int) (Transport, error) {
+		return w.transport(rank), nil
+	})
+}
+
+// runWorld drives one single-process world: it spawns p rank
+// goroutines, each over its own transport endpoint, runs body as the
+// SPMD program, and aggregates per-rank statistics. dial is called on
+// the rank's goroutine (TCP endpoints bootstrap concurrently).
+func runWorld(p, cores int, m Machine, body func(c *Comm) error, dial func(rank int) (Transport, error)) (*Stats, error) {
 	errs := make([]error, p)
+	stats := make([]RankStats, p)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for r := 0; r < p; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			comm := &Comm{world: w, rank: rank}
+			t, err := dial(rank)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			defer t.Close()
+			comm := NewComm(t, m, cores)
 			errs[rank] = body(comm)
-			w.stats[rank] = comm.st
+			stats[rank] = comm.st
 		}(r)
 	}
 	wg.Wait()
-	stats := &Stats{PerRank: w.stats, Wall: time.Since(start)}
-	for _, err := range errs {
-		if err != nil {
-			return stats, err
-		}
-	}
-	return stats, nil
+	all := &Stats{PerRank: stats, Wall: time.Since(start)}
+	return all, firstError(errs)
 }
 
-// Send transfers a copy of data to rank dst with the given tag. Copying
-// makes messages immutable in flight, so callers may reuse buffers freely
-// (the copy is also what a real NIC DMA would do). The sender's clock
-// advances by α + β·len(data): sends are not overlapped, matching the
-// non-offloaded MPI the paper benchmarks.
-func (c *Comm) Send(dst, tag int, data []float64) {
-	if dst == c.rank {
-		panic("mpi: Send to self")
+// firstError picks the error a failed run reports: the lowest-rank
+// error that is not an induced peer failure, falling back to the
+// lowest-rank error of any kind. When one rank fails mid-collective its
+// peers abort with *PeerError; the root cause is the interesting one.
+func firstError(errs []error) error {
+	var peer error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		var pe *PeerError
+		if errors.As(err, &pe) {
+			if peer == nil {
+				peer = err
+			}
+			continue
+		}
+		return err
 	}
-	m := c.world.machine
+	return peer
+}
+
+// Send transfers a copy of data to rank dst with the given tag (the
+// transport owns the copy, so callers may reuse buffers freely). The
+// sender's clock advances by α + β·len(data): sends are not overlapped,
+// matching the non-offloaded MPI the paper benchmarks. A vanished peer
+// returns a *PeerError instead of blocking.
+func (c *Comm) Send(dst, tag int, data []float64) error {
+	m := c.machine
 	cost := m.Alpha + m.Beta*float64(len(data))
 	c.st.Clock += cost
 	c.st.CommTime += cost
 	c.st.Msgs++
 	c.st.Words += int64(len(data))
-	payload := make([]float64, len(data))
-	copy(payload, data)
-	c.world.chans[c.rank][dst] <- message{data: payload, tag: tag, clock: c.st.Clock}
+	return c.t.Send(dst, Message{Tag: tag, Clock: c.st.Clock, Data: data})
 }
 
 // Recv blocks until the next message from src arrives and returns its
 // payload. The receiver's clock advances to at least the message's arrival
-// time (sender completion), so waiting is charged as communication. Recv
-// panics if the arriving tag does not match, which catches mismatched SPMD
-// programs immediately instead of silently misdelivering.
-func (c *Comm) Recv(src, tag int) []float64 {
-	msg := <-c.world.chans[src][c.rank]
-	if msg.tag != tag {
-		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, src, msg.tag))
+// time (sender completion), so waiting is charged as communication. A
+// mismatched tag fails fast with a *PeerError naming both ranks (a
+// mismatched SPMD program, caught instead of silently misdelivered), as
+// does a peer that vanished without sending.
+func (c *Comm) Recv(src, tag int) ([]float64, error) {
+	msg, err := c.t.Recv(src)
+	if err != nil {
+		var pe *PeerError
+		if errors.As(err, &pe) && pe.Op == "recv" {
+			pe.Tag = tag // stamp the expected tag for the error message
+		}
+		return nil, err
+	}
+	if msg.Tag != tag {
+		return nil, &PeerError{Rank: c.Rank(), Peer: src, Op: "recv", Tag: tag,
+			Err: fmt.Errorf("%w: expected tag %d, got %d", ErrTagMismatch, tag, msg.Tag)}
 	}
 	before := c.st.Clock
-	if msg.clock > c.st.Clock {
-		c.st.Clock = msg.clock
+	if msg.Clock > c.st.Clock {
+		c.st.Clock = msg.Clock
 	}
 	c.st.CommTime += c.st.Clock - before
-	return msg.data
+	return msg.Data, nil
 }
 
 // Compute charges flops of local work at the streaming (BLAS-1 / sparse)
 // rate. The caller performs the actual arithmetic itself; Compute only
 // advances the virtual clock.
 func (c *Comm) Compute(flops float64) {
-	t := flops * c.world.machine.GammaStream
+	t := flops * c.machine.GammaStream
 	c.st.Clock += t
 	c.st.CompTime += t
 	c.st.Flops += flops
 }
 
 // Cores returns this rank's core budget (1 unless the run was started
-// with RunHybrid).
-func (c *Comm) Cores() int { return c.world.cores }
+// with RunHybrid or an explicit NewComm budget).
+func (c *Comm) Cores() int { return c.cores }
 
 // ComputeParallel charges flops of kernel work that fans out across the
 // rank's core budget: the full flops are counted as work performed, but
@@ -246,7 +303,7 @@ func (c *Comm) Cores() int { return c.world.cores }
 // batched products, residual updates); redundant per-rank scalar work
 // (the µ×µ eigensolve, the prox step) stays on Compute.
 func (c *Comm) ComputeParallel(flops float64) {
-	t := flops / float64(c.world.cores) * c.world.machine.GammaStream
+	t := flops / float64(c.cores) * c.machine.GammaStream
 	c.st.Clock += t
 	c.st.CompTime += t
 	c.st.Flops += flops
@@ -257,7 +314,7 @@ func (c *Comm) ComputeParallel(flops float64) {
 // streaming rate applies — the cache knee behind the paper's observation
 // that computation speedups of SA vanish for very large s.
 func (c *Comm) ComputeBlocked(flops float64, workingSetWords int) {
-	t := flops * c.world.machine.gammaFor(true, workingSetWords)
+	t := flops * c.machine.gammaFor(true, workingSetWords)
 	c.st.Clock += t
 	c.st.CompTime += t
 	c.st.Flops += flops
@@ -268,7 +325,7 @@ func (c *Comm) ComputeBlocked(flops float64, workingSetWords int) {
 // streaming) rate. The working set is not divided — the cores cooperate
 // on one shared block, as the pool's partitioned Gram kernels do.
 func (c *Comm) ComputeBlockedParallel(flops float64, workingSetWords int) {
-	t := flops / float64(c.world.cores) * c.world.machine.gammaFor(true, workingSetWords)
+	t := flops / float64(c.cores) * c.machine.gammaFor(true, workingSetWords)
 	c.st.Clock += t
 	c.st.CompTime += t
 	c.st.Flops += flops

@@ -40,16 +40,24 @@ func TestBlockRange(t *testing.T) {
 }
 
 func TestSendRecvPingPong(t *testing.T) {
-	stats, err := Run(2, Zero(), func(c *Comm) error {
+	stats, err := Run(bg, 2, Zero(), func(c *Comm) error {
 		if c.Rank() == 0 {
-			c.Send(1, 7, []float64{1, 2, 3})
-			back := c.Recv(1, 8)
+			if err := c.Send(1, 7, []float64{1, 2, 3}); err != nil {
+				return err
+			}
+			back, err := c.Recv(1, 8)
+			if err != nil {
+				return err
+			}
 			if len(back) != 1 || back[0] != 6 {
 				return fmt.Errorf("got %v", back)
 			}
 		} else {
-			in := c.Recv(0, 7)
-			c.Send(0, 8, []float64{in[0] + in[1] + in[2]})
+			in, err := c.Recv(0, 7)
+			if err != nil {
+				return err
+			}
+			return c.Send(0, 8, []float64{in[0] + in[1] + in[2]})
 		}
 		return nil
 	})
@@ -62,14 +70,17 @@ func TestSendRecvPingPong(t *testing.T) {
 }
 
 func TestSendCopiesPayload(t *testing.T) {
-	_, err := Run(2, Zero(), func(c *Comm) error {
+	_, err := Run(bg, 2, Zero(), func(c *Comm) error {
 		if c.Rank() == 0 {
 			buf := []float64{42}
 			c.Send(1, 0, buf)
 			buf[0] = -1 // mutate after send; receiver must still see 42
 			c.Barrier()
 		} else {
-			in := c.Recv(0, 0)
+			in, err := c.Recv(0, 0)
+			if err != nil {
+				return err
+			}
 			c.Barrier()
 			if in[0] != 42 {
 				return fmt.Errorf("payload mutated in flight: %v", in[0])
@@ -87,7 +98,7 @@ func TestAllreduceSumAllSizes(t *testing.T) {
 		p := p
 		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
 			results := make([][]float64, p)
-			_, err := Run(p, Zero(), func(c *Comm) error {
+			_, err := Run(bg, p, Zero(), func(c *Comm) error {
 				data := []float64{float64(c.Rank() + 1), float64(c.Rank() * 2), -1}
 				c.Allreduce(Sum, data)
 				results[c.Rank()] = data
@@ -116,7 +127,7 @@ func TestAllreduceSumAllSizes(t *testing.T) {
 }
 
 func TestAllreduceMax(t *testing.T) {
-	_, err := Run(5, Zero(), func(c *Comm) error {
+	_, err := Run(bg, 5, Zero(), func(c *Comm) error {
 		data := []float64{float64(c.Rank()), -float64(c.Rank())}
 		c.Allreduce(Max, data)
 		if data[0] != 4 || data[1] != 0 {
@@ -130,12 +141,18 @@ func TestAllreduceMax(t *testing.T) {
 }
 
 func TestAllreduceScalar(t *testing.T) {
-	_, err := Run(4, Zero(), func(c *Comm) error {
-		got := c.AllreduceScalar(Sum, 1.5)
+	_, err := Run(bg, 4, Zero(), func(c *Comm) error {
+		got, err := c.AllreduceScalar(Sum, 1.5)
+		if err != nil {
+			return err
+		}
 		if got != 6 {
 			return fmt.Errorf("sum = %v", got)
 		}
-		got = c.AllreduceScalar(Max, float64(c.Rank()))
+		got, err = c.AllreduceScalar(Max, float64(c.Rank()))
+		if err != nil {
+			return err
+		}
 		if got != 3 {
 			return fmt.Errorf("max = %v", got)
 		}
@@ -149,7 +166,7 @@ func TestAllreduceScalar(t *testing.T) {
 func TestBcastFromEveryRoot(t *testing.T) {
 	for _, p := range []int{1, 2, 3, 6, 8} {
 		for root := 0; root < p; root++ {
-			_, err := Run(p, Zero(), func(c *Comm) error {
+			_, err := Run(bg, p, Zero(), func(c *Comm) error {
 				data := make([]float64, 4)
 				if c.Rank() == root {
 					for i := range data {
@@ -174,7 +191,7 @@ func TestBcastFromEveryRoot(t *testing.T) {
 func TestReduceToEveryRoot(t *testing.T) {
 	for _, p := range []int{2, 3, 5, 8} {
 		for root := 0; root < p; root++ {
-			_, err := Run(p, Zero(), func(c *Comm) error {
+			_, err := Run(bg, p, Zero(), func(c *Comm) error {
 				data := []float64{1}
 				c.Reduce(root, Sum, data)
 				if c.Rank() == root && data[0] != float64(p) {
@@ -192,9 +209,12 @@ func TestReduceToEveryRoot(t *testing.T) {
 func TestGatherAllRootsAllSizes(t *testing.T) {
 	for _, p := range []int{1, 2, 3, 4, 7, 8} {
 		for root := 0; root < p; root++ {
-			_, err := Run(p, Zero(), func(c *Comm) error {
+			_, err := Run(bg, p, Zero(), func(c *Comm) error {
 				local := []float64{float64(c.Rank()), float64(c.Rank() * 10)}
-				out := c.Gather(root, local)
+				out, err := c.Gather(root, local)
+				if err != nil {
+					return err
+				}
 				if c.Rank() != root {
 					if out != nil {
 						return errors.New("non-root got data")
@@ -217,8 +237,11 @@ func TestGatherAllRootsAllSizes(t *testing.T) {
 
 func TestAllgather(t *testing.T) {
 	for _, p := range testPs {
-		_, err := Run(p, Zero(), func(c *Comm) error {
-			out := c.Allgather([]float64{float64(c.Rank() + 1)})
+		_, err := Run(bg, p, Zero(), func(c *Comm) error {
+			out, err := c.Allgather([]float64{float64(c.Rank() + 1)})
+			if err != nil {
+				return err
+			}
 			if len(out) != p {
 				return fmt.Errorf("len=%d", len(out))
 			}
@@ -237,7 +260,7 @@ func TestAllgather(t *testing.T) {
 
 func TestBarrierNoDeadlockAndOrdering(t *testing.T) {
 	// Ranks do asymmetric pre-barrier work; the barrier must still match.
-	_, err := Run(8, CrayXC30(), func(c *Comm) error {
+	_, err := Run(bg, 8, CrayXC30(), func(c *Comm) error {
 		for i := 0; i < c.Rank(); i++ {
 			c.Compute(1e6)
 		}
@@ -250,27 +273,35 @@ func TestBarrierNoDeadlockAndOrdering(t *testing.T) {
 	}
 }
 
-func TestTagMismatchPanics(t *testing.T) {
-	_, err := Run(2, Zero(), func(c *Comm) error {
-		defer func() {
-			recover() // rank 1 panics on the mismatched tag; swallow it
-		}()
+// TestTagMismatchError: a mismatched SPMD program (sender on tag 1, the
+// receiver expecting tag 2) must fail with a tagged *PeerError naming
+// both ranks — historically this panicked the whole world.
+func TestTagMismatchError(t *testing.T) {
+	_, err := Run(bg, 2, Zero(), func(c *Comm) error {
 		if c.Rank() == 0 {
-			c.Send(1, 1, []float64{1})
-		} else {
-			c.Recv(0, 2)
-			return errors.New("expected panic")
+			return c.Send(1, 1, []float64{1})
 		}
-		return nil
+		_, err := c.Recv(0, 2)
+		if err == nil {
+			return errors.New("expected tag mismatch error")
+		}
+		return err
 	})
-	if err != nil {
-		t.Fatal(err)
+	if !errors.Is(err, ErrTagMismatch) {
+		t.Fatalf("err = %v, want ErrTagMismatch", err)
+	}
+	var pe *PeerError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T, want *PeerError", err)
+	}
+	if pe.Rank != 1 || pe.Peer != 0 || pe.Op != "recv" || pe.Tag != 2 {
+		t.Fatalf("PeerError = %+v, want rank 1 recv from 0 tag 2", pe)
 	}
 }
 
 func TestRunErrorPropagation(t *testing.T) {
 	want := errors.New("boom")
-	_, err := Run(3, Zero(), func(c *Comm) error {
+	_, err := Run(bg, 3, Zero(), func(c *Comm) error {
 		if c.Rank() == 1 {
 			return want
 		}
@@ -279,14 +310,14 @@ func TestRunErrorPropagation(t *testing.T) {
 	if !errors.Is(err, want) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := Run(0, Zero(), func(*Comm) error { return nil }); err == nil {
+	if _, err := Run(bg, 0, Zero(), func(*Comm) error { return nil }); err == nil {
 		t.Fatal("expected error for p=0")
 	}
 }
 
 func TestVirtualClockSingleMessage(t *testing.T) {
 	m := Machine{Alpha: 1e-6, Beta: 1e-9}
-	stats, err := Run(2, m, func(c *Comm) error {
+	stats, err := Run(bg, 2, m, func(c *Comm) error {
 		if c.Rank() == 0 {
 			c.Send(1, 0, make([]float64, 1000))
 		} else {
@@ -308,7 +339,7 @@ func TestVirtualClockSingleMessage(t *testing.T) {
 
 func TestVirtualClockComputeKinds(t *testing.T) {
 	m := CrayXC30()
-	stats, err := Run(1, m, func(c *Comm) error {
+	stats, err := Run(bg, 1, m, func(c *Comm) error {
 		c.Compute(1e6)                     // stream rate
 		c.ComputeBlocked(1e6, 1000)        // fits in cache: blocked rate
 		c.ComputeBlocked(1e6, 100_000_000) // blows cache: stream rate
@@ -329,7 +360,7 @@ func TestVirtualClockComputeKinds(t *testing.T) {
 func TestAllreduceLatencyScalesLogP(t *testing.T) {
 	m := Machine{Alpha: 1e-3} // latency only
 	clock := func(p int) float64 {
-		stats, err := Run(p, m, func(c *Comm) error {
+		stats, err := Run(bg, p, m, func(c *Comm) error {
 			c.Allreduce(Sum, []float64{1})
 			return nil
 		})
@@ -347,7 +378,7 @@ func TestAllreduceLatencyScalesLogP(t *testing.T) {
 }
 
 func TestAllreduceMessageCount(t *testing.T) {
-	stats, err := Run(8, Zero(), func(c *Comm) error {
+	stats, err := Run(bg, 8, Zero(), func(c *Comm) error {
 		c.Allreduce(Sum, []float64{1})
 		return nil
 	})
@@ -362,7 +393,7 @@ func TestAllreduceMessageCount(t *testing.T) {
 
 func TestDeterministicClocks(t *testing.T) {
 	run := func() (float64, float64) {
-		stats, err := Run(6, CrayXC30(), func(c *Comm) error {
+		stats, err := Run(bg, 6, CrayXC30(), func(c *Comm) error {
 			data := make([]float64, 64)
 			for i := range data {
 				data[i] = float64(c.Rank()*64 + i)
@@ -406,7 +437,7 @@ func TestAllreduceSumProperty(t *testing.T) {
 			}
 		}
 		ok := true
-		_, err := Run(p, Zero(), func(c *Comm) error {
+		_, err := Run(bg, p, Zero(), func(c *Comm) error {
 			data := append([]float64(nil), inputs[c.Rank()]...)
 			c.Allreduce(Sum, data)
 			for i := range data {
@@ -439,7 +470,7 @@ func TestMachinePresets(t *testing.T) {
 
 func TestElapsedAndMachineAccessors(t *testing.T) {
 	m := CrayXC30()
-	_, err := Run(2, m, func(c *Comm) error {
+	_, err := Run(bg, 2, m, func(c *Comm) error {
 		if c.Machine().Name != m.Name {
 			return errors.New("machine accessor mismatch")
 		}
@@ -464,7 +495,7 @@ func TestElapsedAndMachineAccessors(t *testing.T) {
 // exactly RunHybrid with one core.
 func TestRunHybridComputeParallel(t *testing.T) {
 	m := Machine{GammaStream: 1e-9, GammaBlocked: 2.5e-10, CacheWords: 1000}
-	stats, err := RunHybrid(1, 4, m, func(c *Comm) error {
+	stats, err := RunHybrid(bg, 1, 4, m, func(c *Comm) error {
 		if c.Cores() != 4 {
 			return fmt.Errorf("Cores() = %d", c.Cores())
 		}
@@ -485,7 +516,7 @@ func TestRunHybridComputeParallel(t *testing.T) {
 		t.Fatalf("flops = %v, want full work counted", stats.PerRank[0].Flops)
 	}
 
-	flat, err := Run(1, m, func(c *Comm) error {
+	flat, err := Run(bg, 1, m, func(c *Comm) error {
 		if c.Cores() != 1 {
 			return fmt.Errorf("flat Cores() = %d", c.Cores())
 		}
@@ -499,7 +530,7 @@ func TestRunHybridComputeParallel(t *testing.T) {
 	if got, want := flat.MaxClock(), 2e6*m.GammaStream; math.Abs(got-want)/want > 1e-12 {
 		t.Fatalf("flat clock = %v, want %v", got, want)
 	}
-	if _, err := RunHybrid(1, 0, m, func(c *Comm) error {
+	if _, err := RunHybrid(bg, 1, 0, m, func(c *Comm) error {
 		if c.Cores() != 1 {
 			return fmt.Errorf("cores clamp: %d", c.Cores())
 		}

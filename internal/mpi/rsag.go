@@ -17,11 +17,10 @@ package mpi
 // Like Allreduce, the result is identical on every rank (each vector
 // element is combined along one fixed binary tree). For tiny messages or
 // P < 4 it falls back to the binomial Allreduce, which is cheaper there.
-func (c *Comm) AllreduceRSAG(op Op, data []float64) {
-	p := c.world.p
+func (c *Comm) AllreduceRSAG(op Op, data []float64) error {
+	p := c.Size()
 	if p < 4 || len(data) < p {
-		c.Allreduce(op, data)
-		return
+		return c.Allreduce(op, data)
 	}
 	// Largest power of two ≤ p; the r extra ranks fold into partners
 	// during a pre-phase and receive the result in a post-phase.
@@ -30,7 +29,7 @@ func (c *Comm) AllreduceRSAG(op Op, data []float64) {
 		p2 *= 2
 	}
 	r := p - p2
-	rank := c.rank
+	rank := c.Rank()
 	tag := c.collTag(kindReduce)
 
 	// Pre-phase: ranks [0, 2r) pair up (even, odd); odd ranks hand their
@@ -38,9 +37,14 @@ func (c *Comm) AllreduceRSAG(op Op, data []float64) {
 	er := -1 // effective rank within the power-of-two group
 	switch {
 	case rank < 2*r && rank%2 == 1:
-		c.Send(rank-1, tag, data)
+		if err := c.Send(rank-1, tag, data); err != nil {
+			return err
+		}
 	case rank < 2*r:
-		in := c.Recv(rank+1, tag)
+		in, err := c.Recv(rank+1, tag)
+		if err != nil {
+			return err
+		}
 		c.Compute(float64(len(data)))
 		op.combine(data, in)
 		er = rank / 2
@@ -49,9 +53,12 @@ func (c *Comm) AllreduceRSAG(op Op, data []float64) {
 	}
 	if er < 0 {
 		// Idle until the post-phase delivers the final vector.
-		out := c.Recv(rank-1, tag)
+		out, err := c.Recv(rank-1, tag)
+		if err != nil {
+			return err
+		}
 		copy(data, out)
-		return
+		return nil
 	}
 	toActual := func(e int) int {
 		if e < r {
@@ -74,8 +81,13 @@ func (c *Comm) AllreduceRSAG(op Op, data []float64) {
 		} else {
 			keepLo, keepHi, sendLo, sendHi = mid, hi, lo, mid
 		}
-		c.Send(partner, tag, data[sendLo:sendHi])
-		in := c.Recv(partner, tag)
+		if err := c.Send(partner, tag, data[sendLo:sendHi]); err != nil {
+			return err
+		}
+		in, err := c.Recv(partner, tag)
+		if err != nil {
+			return err
+		}
 		c.Compute(float64(keepHi - keepLo))
 		op.combine(data[keepLo:keepHi], in)
 		history = append(history, seg{lo, hi, dist})
@@ -88,8 +100,13 @@ func (c *Comm) AllreduceRSAG(op Op, data []float64) {
 	for i := len(history) - 1; i >= 0; i-- {
 		parent := history[i]
 		partner := toActual(er ^ parent.dist)
-		c.Send(partner, tag, data[lo:hi])
-		in := c.Recv(partner, tag)
+		if err := c.Send(partner, tag, data[lo:hi]); err != nil {
+			return err
+		}
+		in, err := c.Recv(partner, tag)
+		if err != nil {
+			return err
+		}
 		// The partner owns parent minus my segment.
 		if lo == parent.lo {
 			copy(data[hi:parent.hi], in)
@@ -101,6 +118,7 @@ func (c *Comm) AllreduceRSAG(op Op, data []float64) {
 
 	// Post-phase: deliver to the folded odd ranks.
 	if rank < 2*r {
-		c.Send(rank+1, tag, data)
+		return c.Send(rank+1, tag, data)
 	}
+	return nil
 }

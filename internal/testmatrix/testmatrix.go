@@ -124,6 +124,15 @@ func Forms(tb testing.TB, a *sparse.CSR, b []float64, blockRows int) []Form {
 	return forms
 }
 
+// TransportKinds enumerates the mpi transports of the ROADMAP backend
+// matrix: every deterministic solver configuration must produce bitwise
+// identical trajectories over each (the simulated world is the
+// reference; the TCP mesh carries the same message DAG over real
+// sockets).
+func TransportKinds() []dist.Transport {
+	return []dist.Transport{dist.TransportSim, dist.TransportTCP}
+}
+
 // SameFloats asserts two vectors are bitwise identical (the matrix's
 // deterministic cells).
 func SameFloats(tb testing.TB, what string, got, want []float64) {

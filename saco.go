@@ -15,8 +15,11 @@
 // Three ways to run a solver:
 //
 //   - sequentially on this machine: Lasso, SVM;
-//   - on the built-in simulated cluster (goroutine ranks, binomial-tree
-//     collectives, Cray XC30 cost model): SimulateLasso, SimulateSVM;
+//   - distributed: DistLasso, DistSVM over a Cluster naming a transport —
+//     the in-process simulated world (goroutine ranks, binomial-tree
+//     collectives, Cray XC30 cost model; TransportSim, the default) or a
+//     real TCP mesh (TransportTCP in-process, cmd/sarank across
+//     processes and machines), both bitwise-identical in trajectory;
 //   - through the experiment harness regenerating the paper's tables and
 //     figures: cmd/saexp.
 //
@@ -138,18 +141,32 @@ type (
 	Dataset = datagen.Dataset
 )
 
-// Simulated-cluster types.
+// Distributed-execution types.
 type (
-	// Machine is the α-β-γ cost model of the simulated platform.
+	// Machine is the α-β-γ cost model of the modeled platform.
 	Machine = mpi.Machine
-	// Cluster configures a simulated distributed run.
+	// Cluster configures a distributed run: rank count, cost model,
+	// transport (Cluster.Transport: TransportSim or TransportTCP),
+	// ablation switches and the hybrid rank×thread core budget.
 	Cluster = dist.Options
-	// DistLassoResult is the outcome of SimulateLasso.
+	// ClusterTransport selects how a Cluster executes its ranks.
+	ClusterTransport = dist.Transport
+	// DistLassoResult is the outcome of DistLasso.
 	DistLassoResult = dist.LassoResult
-	// DistSVMResult is the outcome of SimulateSVM.
+	// DistSVMResult is the outcome of DistSVM.
 	DistSVMResult = dist.SVMResult
 	// TimedPoint is a convergence point stamped with modeled seconds.
 	TimedPoint = dist.TimedPoint
+)
+
+// Cluster transport selectors.
+const (
+	// TransportSim runs ranks as goroutines over the in-process
+	// simulated world (the default).
+	TransportSim = dist.TransportSim
+	// TransportTCP runs ranks over a real loopback TCP mesh within this
+	// process; for one-rank-per-process clusters use cmd/sarank.
+	TransportTCP = dist.TransportTCP
 )
 
 // Lasso solves min ½‖Ax−b‖² + g(x) sequentially. Set opt.S > 1 for the
@@ -163,16 +180,45 @@ func SVM(a RowMatrix, b []float64, opt SVMOptions) (*SVMResult, error) {
 	return core.SVM(a, b, opt)
 }
 
-// SimulateLasso runs the distributed Lasso solver on a simulated cluster
-// (1D-row partitioning, Fig. 1 of the paper).
-func SimulateLasso(a *CSR, b []float64, opt LassoOptions, cluster Cluster) (*DistLassoResult, error) {
-	return dist.Lasso(a, b, opt, cluster)
+// DistLasso runs the distributed Lasso solver (1D-row partitioning,
+// Fig. 1 of the paper) on the cluster, whose Transport field names the
+// execution backend: TransportSim (goroutine ranks over the in-process
+// simulated world, the default) or TransportTCP (one goroutine per rank
+// over a real loopback TCP mesh). Both transports carry the same
+// message DAG, so the trajectory — solution, objective, trace and
+// modeled cost statistics — is bitwise identical across them. For
+// one-rank-per-OS-process clusters, run cmd/sarank on each node.
+func DistLasso(src ClusterSource, b []float64, opt LassoOptions, cluster Cluster) (*DistLassoResult, error) {
+	return dist.LassoFrom(src, b, opt, cluster)
 }
 
-// SimulateSVM runs the distributed SVM solver on a simulated cluster
-// (1D-column partitioning).
+// DistSVM is the 1D-column twin of DistLasso: distributed dual
+// coordinate descent for the linear SVM over the transport named by
+// cluster.Transport, bitwise identical across transports.
+func DistSVM(src ClusterSource, b []float64, opt SVMOptions, cluster Cluster) (*DistSVMResult, error) {
+	return dist.SVMFrom(src, b, opt, cluster)
+}
+
+// MatrixSource adapts an in-memory CSR matrix into a ClusterSource for
+// DistLasso / DistSVM; each rank slices exactly its block from it.
+func MatrixSource(a *CSR) ClusterSource { return dist.CSRSource{A: a} }
+
+// SimulateLasso runs the distributed Lasso solver on the in-process
+// simulated cluster.
+//
+// Deprecated: use DistLasso with MatrixSource(a); it accepts the same
+// Cluster and additionally honors Cluster.Transport.
+func SimulateLasso(a *CSR, b []float64, opt LassoOptions, cluster Cluster) (*DistLassoResult, error) {
+	return DistLasso(MatrixSource(a), b, opt, cluster)
+}
+
+// SimulateSVM runs the distributed SVM solver on the in-process
+// simulated cluster.
+//
+// Deprecated: use DistSVM with MatrixSource(a); it accepts the same
+// Cluster and additionally honors Cluster.Transport.
 func SimulateSVM(a *CSR, b []float64, opt SVMOptions, cluster Cluster) (*DistSVMResult, error) {
-	return dist.SVM(a, b, opt, cluster)
+	return DistSVM(MatrixSource(a), b, opt, cluster)
 }
 
 // LambdaMax returns ‖Aᵀb‖_∞, the smallest λ with an all-zero Lasso
@@ -253,8 +299,9 @@ type (
 	// StreamCacheStats is a snapshot of the shard cache's decision
 	// counters (hits, misses, loads, prefetches, conversions).
 	StreamCacheStats = stream.CacheStats
-	// ClusterSource supplies partitioned blocks to the simulated
-	// cluster; StreamDataset implements it out of core.
+	// ClusterSource supplies partitioned blocks to a distributed run;
+	// StreamDataset implements it out of core, MatrixSource adapts an
+	// in-memory CSR.
 	ClusterSource = dist.Source
 )
 
@@ -297,16 +344,22 @@ func OpenStream(cacheDir string) (*StreamDataset, error) {
 }
 
 // SimulateLassoFrom is SimulateLasso over any block source (an
-// out-of-core StreamDataset, or an in-memory CSR via dist.CSRSource):
-// each simulated rank loads exactly its row block.
+// out-of-core StreamDataset, or an in-memory CSR via MatrixSource):
+// each rank loads exactly its row block.
+//
+// Deprecated: use DistLasso, which is this function under its
+// transport-neutral name.
 func SimulateLassoFrom(src ClusterSource, b []float64, opt LassoOptions, cluster Cluster) (*DistLassoResult, error) {
-	return dist.LassoFrom(src, b, opt, cluster)
+	return DistLasso(src, b, opt, cluster)
 }
 
-// SimulateSVMFrom is SimulateSVM over any block source; each simulated
-// rank assembles its column block with one pass over the source.
+// SimulateSVMFrom is SimulateSVM over any block source; each rank
+// assembles its column block with one pass over the source.
+//
+// Deprecated: use DistSVM, which is this function under its
+// transport-neutral name.
 func SimulateSVMFrom(src ClusterSource, b []float64, opt SVMOptions, cluster Cluster) (*DistSVMResult, error) {
-	return dist.SVMFrom(src, b, opt, cluster)
+	return DistSVM(src, b, opt, cluster)
 }
 
 // PathPoint is one solution along a Lasso regularization path.
