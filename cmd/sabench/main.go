@@ -1,0 +1,449 @@
+// Command sabench times the internal/simd kernels and a solver run,
+// scalar set against the dispatched default, and records the result as
+// one entry of the repository's benchmark trajectory.
+//
+// The trajectory file (BENCH_kernels.json at the repo root) is a JSON
+// array of entries, newest last. Each entry is:
+//
+//	{
+//	  "schema": 1,               // bump on incompatible field changes
+//	  "date": "2026-08-08",      // UTC run date
+//	  "go": "go1.24.0",
+//	  "goos": "linux", "goarch": "amd64",
+//	  "maxprocs": 1,
+//	  "cpu_avx2": true,          // CPU capability, not the choice made
+//	  "kernel_sets": [...],      // every set available on this machine
+//	  "dispatched": "avx2",      // the set the comparison ran against
+//	  "short": false,            // true = reduced sizes/budgets (CI)
+//	  "kernels": [               // one point per kernel microbenchmark
+//	    {"bench": "axpy-65536", "n": 65536,
+//	     "scalar_ns_op": 31415.9,     // best-of-trials, calibrated reps
+//	     "dispatched_ns_op": 8234.1,
+//	     "reassoc_ns_op": 7999.0,     // opt-in set, reductions only
+//	     "speedup": 3.81},            // scalar / dispatched
+//	    ...
+//	  ],
+//	  "solver": {"bench": "lasso-2048x1024", "scalar_ms": ...,
+//	             "dispatched_ms": ..., "speedup": ...}
+//	}
+//
+// Future PRs append comparable points with -append; points are only
+// comparable within a machine class, so the entry carries enough
+// provenance (arch, AVX2, GOMAXPROCS, short) to group them.
+//
+// Usage:
+//
+//	sabench                       # print the comparison table
+//	sabench -out BENCH_kernels.json -append   # record a trajectory entry
+//	sabench -check -short         # CI gate: dispatched must not be
+//	                              # >5% slower than scalar on any kernel
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"saco"
+	"saco/internal/datagen"
+	"saco/internal/simd"
+)
+
+type kernelPoint struct {
+	Bench        string  `json:"bench"`
+	N            int     `json:"n"`
+	ScalarNsOp   float64 `json:"scalar_ns_op"`
+	DispatchNsOp float64 `json:"dispatched_ns_op"`
+	ReassocNsOp  float64 `json:"reassoc_ns_op,omitempty"`
+	Speedup      float64 `json:"speedup"`
+}
+
+type solverPoint struct {
+	Bench      string  `json:"bench"`
+	ScalarMs   float64 `json:"scalar_ms"`
+	DispatchMs float64 `json:"dispatched_ms"`
+	Speedup    float64 `json:"speedup"`
+}
+
+type benchEntry struct {
+	Schema     int           `json:"schema"`
+	Date       string        `json:"date"`
+	Go         string        `json:"go"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	MaxProcs   int           `json:"maxprocs"`
+	CPUAVX2    bool          `json:"cpu_avx2"`
+	KernelSets []string      `json:"kernel_sets"`
+	Dispatched string        `json:"dispatched"`
+	Short      bool          `json:"short,omitempty"`
+	Kernels    []kernelPoint `json:"kernels"`
+	Solver     *solverPoint  `json:"solver,omitempty"`
+}
+
+type options struct {
+	short       bool
+	check       bool
+	outPath     string
+	appendOut   bool
+	trials      int
+	budget      time.Duration
+	maxSlowdown float64
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sabench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o options
+	fs.BoolVar(&o.short, "short", false, "reduced sizes and budgets (CI smoke)")
+	fs.BoolVar(&o.check, "check", false, "exit 1 if the dispatched set is slower than scalar beyond -max-slowdown on any kernel bench")
+	fs.StringVar(&o.outPath, "out", "", "write a trajectory entry to this JSON file")
+	fs.BoolVar(&o.appendOut, "append", false, "append to an existing -out trajectory instead of overwriting")
+	fs.IntVar(&o.trials, "trials", 5, "timing trials per point (best is kept)")
+	fs.DurationVar(&o.budget, "budget", 20*time.Millisecond, "per-trial timing budget (reps are calibrated to fill it)")
+	fs.Float64Var(&o.maxSlowdown, "max-slowdown", 1.05, "-check threshold: dispatched_ns_op/scalar_ns_op must stay below this")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if o.short {
+		// Shrink problem sizes (kernelBenches/solverBench) but keep the
+		// per-trial budget large enough that a 5% -check gate measures
+		// the kernel, not scheduler noise.
+		o.budget = 5 * time.Millisecond
+	}
+	if err := bench(o, stdout, stderr); err != nil {
+		fmt.Fprintf(stderr, "sabench: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func bench(o options, stdout, stderr io.Writer) error {
+	if w := saco.KernelWarning(); w != "" {
+		fmt.Fprintf(stderr, "warning: %s\n", w)
+	}
+	scalar, ok := simd.Lookup("scalar")
+	if !ok {
+		return fmt.Errorf("no scalar reference set registered")
+	}
+	dispatched := simd.Active()
+	reassoc, _ := simd.Lookup("reassoc")
+
+	entry := benchEntry{
+		Schema:     1,
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		MaxProcs:   runtime.GOMAXPROCS(0),
+		CPUAVX2:    simd.HasAVX2(),
+		KernelSets: simd.Names(),
+		Dispatched: dispatched.Name(),
+		Short:      o.short,
+	}
+
+	fmt.Fprintf(stdout, "kernels: scalar vs %s (best of %d trials, %v budget)\n",
+		dispatched.Name(), o.trials, o.budget)
+	for _, kb := range kernelBenches(o.short) {
+		p := kernelPoint{Bench: kb.name, N: kb.n}
+		bodies := []func(int){kb.body(scalar), kb.body(dispatched)}
+		if kb.reduction && reassoc != nil {
+			bodies = append(bodies, kb.body(reassoc))
+		}
+		ns := measure(bodies, o.budget, o.trials)
+		p.ScalarNsOp, p.DispatchNsOp = ns[0], ns[1]
+		if len(ns) > 2 {
+			p.ReassocNsOp = ns[2]
+		}
+		p.Speedup = p.ScalarNsOp / p.DispatchNsOp
+		entry.Kernels = append(entry.Kernels, p)
+		extra := ""
+		if p.ReassocNsOp > 0 {
+			extra = fmt.Sprintf("   reassoc %10.1f (%.2fx)", p.ReassocNsOp, p.ScalarNsOp/p.ReassocNsOp)
+		}
+		fmt.Fprintf(stdout, "%-18s scalar %10.1f ns/op   %-8s %10.1f ns/op   %+6.1f%%%s\n",
+			kb.name, p.ScalarNsOp, dispatched.Name(), p.DispatchNsOp,
+			100*(p.DispatchNsOp-p.ScalarNsOp)/p.ScalarNsOp, extra)
+	}
+
+	if !o.check {
+		sp, err := solverBench(o, dispatched.Name())
+		if err != nil {
+			return err
+		}
+		entry.Solver = sp
+		fmt.Fprintf(stdout, "%-18s scalar %10.1f ms      %-8s %10.1f ms      %+6.1f%%\n",
+			sp.Bench, sp.ScalarMs, dispatched.Name(), sp.DispatchMs,
+			100*(sp.DispatchMs-sp.ScalarMs)/sp.ScalarMs)
+	}
+
+	if o.outPath != "" {
+		if err := writeTrajectory(o.outPath, o.appendOut, entry); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "trajectory entry written to %s\n", o.outPath)
+	}
+
+	if o.check {
+		bad := 0
+		for _, p := range entry.Kernels {
+			if p.DispatchNsOp > p.ScalarNsOp*o.maxSlowdown {
+				fmt.Fprintf(stderr, "REGRESSION %s: dispatched %.1f ns/op vs scalar %.1f ns/op (>%.0f%% slower)\n",
+					p.Bench, p.DispatchNsOp, p.ScalarNsOp, 100*(o.maxSlowdown-1))
+				bad++
+			}
+		}
+		if bad > 0 {
+			return fmt.Errorf("%d kernel bench(es) regressed past the %.0f%% gate", bad, 100*(o.maxSlowdown-1))
+		}
+		fmt.Fprintf(stdout, "check passed: dispatched within %.0f%% of scalar on every kernel bench\n",
+			100*(o.maxSlowdown-1))
+	}
+	return nil
+}
+
+// kernelBench is one microbenchmark: body(k) returns a closure running
+// the kernel once per rep against pre-built inputs.
+type kernelBench struct {
+	name      string
+	n         int // elements (dense) or nonzeros (sparse) per op
+	reduction bool
+	body      func(k *simd.Kernels) func(reps int)
+}
+
+// sink defeats dead-code elimination of pure reductions.
+var sink float64
+
+// kernelBenches builds the suite: dense L1-resident vectors for the
+// BLAS-1 trio, and a url-like skewed sparse problem (power-law column
+// popularity, variable row lengths) for the gather/scatter/SpMV
+// primitives that dominate the CA solvers' inner iterations.
+func kernelBenches(short bool) []kernelBench {
+	n := 65536
+	rows := 8192
+	if short {
+		n = 8192
+		rows = 1024
+	}
+	x := fill(n, 1)
+	y := fill(n, 2)
+	feat := 4 * n
+	xf := fill(feat, 3)
+	rowPtr, colIdx, val := skewedCSR(rows, feat, 24)
+	nnz := len(val)
+	yr := make([]float64, rows)
+	// One hot skewed column for the per-row/column primitives, sized so
+	// the measurement is not dominated by call overhead and noise.
+	gnnz := 8192
+	if short {
+		gnnz = 1024
+	}
+	gi, gv := skewedRow(gnnz, feat)
+
+	return []kernelBench{
+		{name: sized("dot", n), n: n, reduction: true, body: func(k *simd.Kernels) func(int) {
+			return func(reps int) {
+				for r := 0; r < reps; r++ {
+					sink = k.Dot(x, y)
+				}
+			}
+		}},
+		{name: sized("axpy", n), n: n, body: func(k *simd.Kernels) func(int) {
+			return func(reps int) {
+				for r := 0; r < reps; r++ {
+					k.Axpy(1e-9, x, y)
+				}
+			}
+		}},
+		{name: sized("scal", n), n: n, body: func(k *simd.Kernels) func(int) {
+			return func(reps int) {
+				half := reps / 2
+				for r := 0; r < reps; r++ {
+					// Alternate so x returns to its original scale.
+					if r < half*2 && r%2 == 0 {
+						k.Scal(1.25, x)
+					} else {
+						k.Scal(0.8, x)
+					}
+				}
+			}
+		}},
+		{name: sized("gather-dot", len(gi)), n: len(gi), reduction: true, body: func(k *simd.Kernels) func(int) {
+			return func(reps int) {
+				for r := 0; r < reps; r++ {
+					sink = k.GatherDot(0, gv, gi, xf)
+				}
+			}
+		}},
+		{name: sized("scatter-axpy", len(gi)), n: len(gi), body: func(k *simd.Kernels) func(int) {
+			return func(reps int) {
+				for r := 0; r < reps; r++ {
+					k.ScatterAxpy(1e-9, xf, gv, gi)
+				}
+			}
+		}},
+		{name: sized("spmv", nnz), n: nnz, reduction: true, body: func(k *simd.Kernels) func(int) {
+			return func(reps int) {
+				for r := 0; r < reps; r++ {
+					k.SpMVRows(rowPtr, colIdx, val, xf, yr, 0, rows)
+				}
+			}
+		}},
+	}
+}
+
+func sized(name string, n int) string { return fmt.Sprintf("%s-%d", name, n) }
+
+func fill(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// skewedCSR generates a url-like sparse matrix: column popularity is
+// Zipf-distributed (a few very hot features, a long cold tail) and row
+// lengths vary geometrically around avgNNZ.
+func skewedCSR(rows, cols, avgNNZ int) (rowPtr, colIdx []int, val []float64) {
+	rng := rand.New(rand.NewSource(42))
+	zipf := rand.NewZipf(rng, 1.3, 1, uint64(cols-1))
+	rowPtr = make([]int, rows+1)
+	for i := 0; i < rows; i++ {
+		nnz := 1 + rng.Intn(2*avgNNZ)
+		for k := 0; k < nnz; k++ {
+			colIdx = append(colIdx, int(zipf.Uint64()))
+			val = append(val, rng.NormFloat64())
+		}
+		rowPtr[i+1] = len(colIdx)
+	}
+	return rowPtr, colIdx, val
+}
+
+// skewedRow is one Zipf-popular index list with values, for the
+// gather/scatter primitives.
+func skewedRow(nnz, cols int) ([]int, []float64) {
+	rng := rand.New(rand.NewSource(7))
+	zipf := rand.NewZipf(rng, 1.3, 1, uint64(cols-1))
+	idx := make([]int, nnz)
+	val := make([]float64, nnz)
+	for k := range idx {
+		idx[k] = int(zipf.Uint64())
+		val[k] = rng.NormFloat64()
+	}
+	return idx, val
+}
+
+// measure returns best-of-trials nanoseconds per rep for each body,
+// with reps calibrated so each trial fills roughly the budget. Trials
+// interleave the bodies so machine drift (frequency, a noisy
+// neighbour) biases none of them in particular.
+func measure(bodies []func(reps int), budget time.Duration, trials int) []float64 {
+	reps := make([]int, len(bodies))
+	for i, body := range bodies {
+		body(1) // warm caches and page in
+		start := time.Now()
+		body(1)
+		per := time.Since(start)
+		reps[i] = 1
+		if per > 0 {
+			reps[i] = int(budget / per)
+		}
+		if reps[i] < 1 {
+			reps[i] = 1
+		}
+	}
+	best := make([]float64, len(bodies))
+	for t := 0; t < trials; t++ {
+		for i, body := range bodies {
+			start := time.Now()
+			body(reps[i])
+			ns := float64(time.Since(start).Nanoseconds()) / float64(reps[i])
+			if t == 0 || ns < best[i] {
+				best[i] = ns
+			}
+		}
+	}
+	return best
+}
+
+// solverBench times a full CA-Lasso solve under the scalar set and the
+// dispatched default — the end-to-end view of the same comparison. It
+// switches the process-wide dispatch, restoring it before returning.
+func solverBench(o options, dispatched string) (*solverPoint, error) {
+	m, n, iters := 2048, 1024, 400
+	if o.short {
+		m, n, iters = 256, 128, 50
+	}
+	d := datagen.Regression("sabench-lasso", 11, m, n, 0.05, n/16, 0.1)
+	cols := d.AsCSR().ToCSC()
+	lam := 0.1 * saco.LambdaMax(cols, d.B)
+	opt := saco.LassoOptions{Lambda: lam, BlockSize: 4, Iters: iters, S: 8, Seed: 3}
+
+	prev := simd.Active().Name()
+	defer simd.Use(prev) //nolint:errcheck // restoring a name Active() just returned
+	timeOne := func(name string) (float64, error) {
+		if err := simd.Use(name); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		if _, err := saco.Lasso(cols, d.B, opt); err != nil {
+			return 0, err
+		}
+		return float64(time.Since(start).Microseconds()) / 1000, nil
+	}
+	// Interleave the sets so drift (GC pressure, a noisy neighbour on
+	// the machine) hits both alike instead of whichever ran second.
+	trials := o.trials
+	if trials > 3 {
+		trials = 3
+	}
+	sp := &solverPoint{Bench: fmt.Sprintf("lasso-%dx%d", m, n)}
+	for t := 0; t < trials; t++ {
+		s, err := timeOne("scalar")
+		if err != nil {
+			return nil, err
+		}
+		dms, err := timeOne(dispatched)
+		if err != nil {
+			return nil, err
+		}
+		if t == 0 || s < sp.ScalarMs {
+			sp.ScalarMs = s
+		}
+		if t == 0 || dms < sp.DispatchMs {
+			sp.DispatchMs = dms
+		}
+	}
+	sp.Speedup = sp.ScalarMs / sp.DispatchMs
+	return sp, nil
+}
+
+// writeTrajectory appends (or creates) the JSON-array trajectory file.
+func writeTrajectory(path string, appendTo bool, entry benchEntry) error {
+	var entries []benchEntry
+	if appendTo {
+		if data, err := os.ReadFile(path); err == nil {
+			if err := json.Unmarshal(data, &entries); err != nil {
+				return fmt.Errorf("existing trajectory %s is not a JSON array of entries: %v", path, err)
+			}
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+	}
+	entries = append(entries, entry)
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTrajectoryRoundTrip: -out writes a one-entry JSON array with the
+// documented fields, and -append grows it by one comparable point.
+func TestTrajectoryRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing run")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_kernels.json")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-short", "-out", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	entries := readTrajectory(t, path)
+	if len(entries) != 1 {
+		t.Fatalf("%d entries after first run", len(entries))
+	}
+	e := entries[0]
+	if e.Schema != 1 || e.Date == "" || e.GOARCH == "" || e.Dispatched == "" {
+		t.Fatalf("entry provenance incomplete: %+v", e)
+	}
+	if len(e.Kernels) == 0 {
+		t.Fatal("no kernel points recorded")
+	}
+	for _, p := range e.Kernels {
+		if p.ScalarNsOp <= 0 || p.DispatchNsOp <= 0 || p.Speedup <= 0 {
+			t.Fatalf("kernel point %q not measured: %+v", p.Bench, p)
+		}
+	}
+	if e.Solver == nil || e.Solver.ScalarMs <= 0 || e.Solver.DispatchMs <= 0 {
+		t.Fatalf("solver point missing or unmeasured: %+v", e.Solver)
+	}
+	if !strings.Contains(out.String(), "trajectory entry written") {
+		t.Fatalf("no write confirmation in output: %q", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-short", "-out", path, "-append"}, &out, &errb); code != 0 {
+		t.Fatalf("append exit %d: %s", code, errb.String())
+	}
+	if entries := readTrajectory(t, path); len(entries) != 2 {
+		t.Fatalf("%d entries after append", len(entries))
+	}
+}
+
+// TestCheckGate exercises the -check path with a threshold no machine
+// can fail, so the gating code runs without depending on timing luck.
+func TestCheckGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing run")
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-short", "-check", "-max-slowdown", "1000"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s / %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "check passed") {
+		t.Fatalf("no check verdict: %q", out.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d for unknown flag", code)
+	}
+}
+
+// TestAppendRejectsGarbage: -append over a non-trajectory file must
+// fail loudly rather than overwrite it.
+func TestAppendRejectsGarbage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing run")
+	}
+	path := filepath.Join(t.TempDir(), "notes.json")
+	if err := os.WriteFile(path, []byte(`{"hello": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-short", "-out", path, "-append"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d over garbage trajectory", code)
+	}
+	if !strings.Contains(errb.String(), "not a JSON array") {
+		t.Fatalf("unhelpful error: %q", errb.String())
+	}
+	if data, _ := os.ReadFile(path); !strings.Contains(string(data), "hello") {
+		t.Fatal("garbage file was clobbered")
+	}
+}
+
+func readTrajectory(t *testing.T, path string) []benchEntry {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []benchEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		t.Fatalf("trajectory does not parse: %v", err)
+	}
+	return entries
+}

@@ -137,6 +137,10 @@ func serveMain(ctx context.Context, stdout io.Writer, c *config) error {
 	} else {
 		fmt.Fprintf(stdout, "no model in %s yet; serving 503 until one appears\n", c.modelDir)
 	}
+	if w := saco.KernelWarning(); w != "" {
+		fmt.Fprintf(stdout, "warning: %s\n", w)
+	}
+	fmt.Fprintf(stdout, "kernels: %s\n", saco.KernelSet())
 	reg.Watch(c.watch)
 	defer reg.StopWatch()
 

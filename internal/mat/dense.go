@@ -1,6 +1,10 @@
 package mat
 
-import "fmt"
+import (
+	"fmt"
+
+	"saco/internal/simd"
+)
 
 // Dense is a row-major dense matrix. The zero value is an empty matrix;
 // use NewDense to allocate a sized one.
@@ -186,6 +190,7 @@ func Syrk(alpha float64, a *Dense, beta float64, c *Dense) {
 			Scal(beta, c.Data)
 		}
 	}
+	kr := simd.Active()
 	for k := 0; k < a.R; k++ {
 		row := a.Row(k)
 		for i := 0; i < n; i++ {
@@ -193,18 +198,10 @@ func Syrk(alpha float64, a *Dense, beta float64, c *Dense) {
 			if av == 0 {
 				continue
 			}
-			ci := c.Row(i)
-			for j := i; j < n; j++ {
-				ci[j] += alpha * av * row[j]
-			}
+			kr.Axpy(alpha*av, row[i:], c.Row(i)[i:])
 		}
 	}
-	// Mirror the upper triangle into the lower one.
-	for i := 1; i < n; i++ {
-		for j := 0; j < i; j++ {
-			c.Data[i*n+j] = c.Data[j*n+i]
-		}
-	}
+	c.MirrorUpper()
 }
 
 // SubmatrixCopy copies the block a[r0:r0+h, c0:c0+w] into dst (h-by-w).

@@ -2,6 +2,7 @@ package mat
 
 import (
 	rt "saco/internal/runtime"
+	"saco/internal/simd"
 )
 
 // This file is the dense-BLAS face of the repository's shared-memory
@@ -102,12 +103,9 @@ func GemvParallel(alpha float64, a *Dense, x []float64, beta float64, y []float6
 		panic("mat: GemvParallel shape mismatch")
 	}
 	ParallelFor(a.R, 256, func(lo, hi int) {
+		k := simd.Active()
 		for i := lo; i < hi; i++ {
-			row := a.Row(i)
-			var s float64
-			for j, v := range row {
-				s += v * x[j]
-			}
+			s := k.Dot(a.Row(i), x)
 			y[i] = alpha*s + beta*y[i]
 		}
 	})
@@ -209,9 +207,11 @@ func SyrkParallel(alpha float64, a *Dense, beta float64, c *Dense) {
 }
 
 // syrkRows accumulates alpha·AᵀA into the upper-triangle rows [rlo,rhi)
-// of c, streaming A's rows exactly like Syrk.
+// of c, streaming A's rows exactly like Syrk. The inner update is the
+// axpy kernel on the row suffix: ci[j] += (alpha·av)·row[j], the same
+// association the scalar loop used.
 func syrkRows(alpha float64, a, c *Dense, rlo, rhi int) {
-	n := a.C
+	kr := simd.Active()
 	for k := 0; k < a.R; k++ {
 		row := a.Row(k)
 		for i := rlo; i < rhi; i++ {
@@ -219,10 +219,7 @@ func syrkRows(alpha float64, a, c *Dense, rlo, rhi int) {
 			if av == 0 {
 				continue
 			}
-			ci := c.Row(i)
-			for j := i; j < n; j++ {
-				ci[j] += alpha * av * row[j]
-			}
+			kr.Axpy(alpha*av, row[i:], c.Row(i)[i:])
 		}
 	}
 }
@@ -238,13 +235,7 @@ func DotParallel(x, y []float64) float64 {
 		panic("mat: DotParallel length mismatch")
 	}
 	return ParallelReduce(len(x), 4096,
-		func(lo, hi int) float64 {
-			var s float64
-			for i := lo; i < hi; i++ {
-				s += x[i] * y[i]
-			}
-			return s
-		},
+		func(lo, hi int) float64 { return simd.Dot(x[lo:hi], y[lo:hi]) },
 		func(a, b float64) float64 { return a + b })
 }
 
@@ -252,13 +243,7 @@ func DotParallel(x, y []float64) float64 {
 // reduction as DotParallel.
 func Nrm2SqParallel(x []float64) float64 {
 	return ParallelReduce(len(x), 4096,
-		func(lo, hi int) float64 {
-			var s float64
-			for i := lo; i < hi; i++ {
-				s += x[i] * x[i]
-			}
-			return s
-		},
+		func(lo, hi int) float64 { return simd.Nrm2Sq(0, x[lo:hi]) },
 		func(a, b float64) float64 { return a + b })
 }
 

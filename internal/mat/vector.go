@@ -3,7 +3,16 @@ package mat
 import (
 	"fmt"
 	"math"
+
+	"saco/internal/simd"
 )
+
+// The O(n) hot primitives below (Dot, Axpy, Scal, Nrm2Sq, ScatterAxpy,
+// SparseDot) dispatch through internal/simd; the scalar kernel set
+// there is this package's original loops, so the default-dispatch
+// results are bitwise unchanged. Shape checking stays here — the
+// kernels only guard against out-of-bounds, not against caller bugs
+// like mismatched lengths.
 
 // Dot returns the inner product of x and y.
 // It panics if the lengths differ.
@@ -11,32 +20,22 @@ func Dot(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("mat: Dot length mismatch %d != %d", len(x), len(y)))
 	}
-	var s float64
-	for i, v := range x {
-		s += v * y[i]
-	}
-	return s
+	return simd.Dot(x, y)
 }
 
-// Axpy computes y += alpha*x in place.
+// Axpy computes y += alpha*x in place; alpha == 0 leaves y untouched
+// (see the internal/simd alpha == 0 contract).
 // It panics if the lengths differ.
 func Axpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("mat: Axpy length mismatch %d != %d", len(x), len(y)))
 	}
-	if alpha == 0 {
-		return
-	}
-	for i, v := range x {
-		y[i] += alpha * v
-	}
+	simd.Axpy(alpha, x, y)
 }
 
 // Scal scales x by alpha in place.
 func Scal(alpha float64, x []float64) {
-	for i := range x {
-		x[i] *= alpha
-	}
+	simd.Scal(alpha, x)
 }
 
 // Nrm2 returns the Euclidean norm of x, guarding against overflow
@@ -65,11 +64,7 @@ func Nrm2(x []float64) float64 {
 // guard against overflow; the solvers use it on well-scaled residuals where
 // the straightforward sum is faster and deterministic.
 func Nrm2Sq(x []float64) float64 {
-	var s float64
-	for _, v := range x {
-		s += v * v
-	}
-	return s
+	return simd.Nrm2Sq(0, x)
 }
 
 // Asum returns the sum of absolute values of x (the L1 norm).
@@ -150,14 +145,13 @@ func ScatterAdd(dst, v []float64, idx []int) {
 	}
 }
 
-// ScatterAxpy performs dst[idx[k]] += alpha*v[k].
+// ScatterAxpy performs dst[idx[k]] += alpha*v[k]; alpha == 0 leaves dst
+// untouched, like every kernel in the Axpy family.
 func ScatterAxpy(alpha float64, dst, v []float64, idx []int) {
 	if len(v) != len(idx) {
 		panic("mat: ScatterAxpy length mismatch")
 	}
-	for k, j := range idx {
-		dst[j] += alpha * v[k]
-	}
+	simd.ScatterAxpy(alpha, dst, v, idx)
 }
 
 // SparseDot returns Σ_k val[k]·x[idx[k]] — the inner product of a dense
@@ -169,9 +163,5 @@ func SparseDot(x []float64, idx []int, val []float64) float64 {
 	if len(idx) != len(val) {
 		panic(fmt.Sprintf("mat: SparseDot index/value length mismatch %d != %d", len(idx), len(val)))
 	}
-	var s float64
-	for k, j := range idx {
-		s += val[k] * x[j]
-	}
-	return s
+	return simd.GatherDot(0, val, idx, x)
 }

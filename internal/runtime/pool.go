@@ -49,10 +49,20 @@ func Resolve(w int) int {
 	return stdruntime.GOMAXPROCS(0)
 }
 
+// cacheLineItems is one 64-byte cache line of float64s. For-chunk sizes
+// are rounded up to this granularity so chunk boundaries fall on cache
+// lines (when the backing array is line-aligned, as Go's allocator gives
+// large float64 slices): adjacent executors then never write the same
+// line of an output vector.
+const cacheLineItems = 8
+
 // job is a reusable parallel-region descriptor. Executors (the caller
 // plus any helping workers) claim work by atomically incrementing next:
 // chunk index c covers [c·chunk, min((c+1)·chunk, n)) for a For job, or
-// the half-open range [bounds[c], bounds[c+1]) for a Ranges job. refs
+// the half-open range [bounds[c], bounds[c+1]) for a Ranges job. Each
+// chunk's taken flag is the single claim authority — an executor runs a
+// chunk only after winning its CompareAndSwap — which is what lets the
+// affinity fast path below coexist with counter-order stealing. refs
 // counts executors still holding the descriptor; the last one out
 // signals done, which is also what makes recycling safe — a descriptor
 // is returned to the free list only after every reference is dead.
@@ -62,31 +72,53 @@ type job struct {
 	n      int   // items (For) or ranges (Ranges)
 	chunk  int   // chunk size (For); unused for Ranges
 	chunks int   // number of claimable chunks
+	taken  []atomic.Bool
 	next   atomic.Int64
 	refs   atomic.Int64
 	done   chan struct{}
 }
 
-// run claims and executes chunks until none remain.
-func (j *job) run() {
+// exec runs one claimed chunk.
+func (j *job) exec(c int) {
+	if j.bounds != nil {
+		lo, hi := j.bounds[c], j.bounds[c+1]
+		if lo < hi {
+			j.body(lo, hi)
+		}
+		return
+	}
+	lo := c * j.chunk
+	hi := lo + j.chunk
+	if hi > j.n {
+		hi = j.n
+	}
+	j.body(lo, hi)
+}
+
+// run claims and executes chunks until none remain. id is the
+// executor's stable identity: 0 for the dispatching caller, the spawn
+// index for pool workers, -1 for a foreign job drained during a join.
+//
+// An executor first tries the chunk matching its own id. Because chunk
+// boundaries depend only on (w, n, minChunk) and ids are stable for the
+// life of the process, repeated regions over the same data send each
+// worker back to the range it touched last time — the read-mostly
+// shared vectors of iterative solvers (x in repeated MulVec calls, the
+// residual in gradient sweeps) stay in that worker's private cache
+// instead of migrating every iteration. Remaining chunks are then
+// stolen in counter order, so a stalled executor never strands work.
+func (j *job) run(id int) {
+	if id >= 0 && id < j.chunks && j.taken[id].CompareAndSwap(false, true) {
+		j.exec(id)
+	}
 	for {
 		c := int(j.next.Add(1)) - 1
 		if c >= j.chunks {
 			return
 		}
-		if j.bounds != nil {
-			lo, hi := j.bounds[c], j.bounds[c+1]
-			if lo < hi {
-				j.body(lo, hi)
-			}
-			continue
+		if j.taken[c].CompareAndSwap(false, true) {
+			j.exec(c)
 		}
-		lo := c * j.chunk
-		hi := lo + j.chunk
-		if hi > j.n {
-			hi = j.n
-		}
-		j.body(lo, hi)
 	}
 }
 
@@ -98,10 +130,12 @@ func (j *job) finish() {
 	}
 }
 
-// worker is the persistent loop every pool goroutine parks in.
-func (p *Pool) worker() {
+// worker is the persistent loop every pool goroutine parks in. id is
+// the 1-based spawn index; it doubles as the worker's preferred chunk
+// in every job it helps with (the dispatching caller claims chunk 0).
+func (p *Pool) worker(id int) {
 	for j := range p.work {
-		j.run()
+		j.run(id)
 		j.finish()
 	}
 }
@@ -139,7 +173,7 @@ func (p *Pool) ensure(w int) {
 			return
 		}
 		if p.spawned.CompareAndSwap(cur, cur+1) {
-			go p.worker()
+			go p.worker(int(cur) + 1)
 		}
 	}
 }
@@ -164,6 +198,14 @@ func (p *Pool) ensure(w int) {
 func (p *Pool) execute(j *job, w int) {
 	j.next.Store(0)
 	j.refs.Store(1)
+	if cap(j.taken) >= j.chunks {
+		j.taken = j.taken[:j.chunks]
+		for i := range j.taken {
+			j.taken[i].Store(false)
+		}
+	} else {
+		j.taken = make([]atomic.Bool, j.chunks)
+	}
 	helpers := w - 1
 	p.ensure(helpers)
 deliver:
@@ -177,7 +219,7 @@ deliver:
 			break deliver
 		}
 	}
-	j.run()
+	j.run(0)
 	if j.refs.Add(-1) == 0 {
 		p.putJob(j)
 		return
@@ -195,7 +237,7 @@ deliver:
 				}
 				continue
 			}
-			other.run()
+			other.run(-1)
 			other.finish()
 		case <-j.done:
 			p.putJob(j)
@@ -209,9 +251,11 @@ deliver:
 // to GOMAXPROCS at call time). It runs inline when the region is too
 // small to split or only one executor is requested, so callers never pay
 // dispatch on the tiny per-iteration blocks that dominate the solvers'
-// inner loops. Chunk boundaries depend only on (w, n, minChunk), so any
-// kernel that partitions independent output elements is bitwise
-// identical at every width.
+// inner loops. Chunk sizes above one cache line are rounded up to whole
+// lines (cacheLineItems), so executors writing adjacent chunks of an
+// output vector never share a line. Chunk boundaries still depend only
+// on (w, n, minChunk), so any kernel that partitions independent output
+// elements is bitwise identical at every width.
 func (p *Pool) For(w, n, minChunk int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -227,12 +271,21 @@ func (p *Pool) For(w, n, minChunk int, body func(lo, hi int)) {
 		body(0, n)
 		return
 	}
+	chunk := (n + w - 1) / w
+	if chunk > cacheLineItems {
+		chunk = (chunk + cacheLineItems - 1) &^ (cacheLineItems - 1)
+	}
+	chunks := (n + chunk - 1) / chunk
+	if chunks <= 1 {
+		body(0, n)
+		return
+	}
 	j := p.getJob()
 	j.body = body
 	j.bounds = nil
 	j.n = n
-	j.chunk = (n + w - 1) / w
-	j.chunks = (n + j.chunk - 1) / j.chunk
+	j.chunk = chunk
+	j.chunks = chunks
 	p.execute(j, w)
 }
 

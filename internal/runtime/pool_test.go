@@ -311,3 +311,52 @@ func BenchmarkDispatchWidths(b *testing.B) {
 		})
 	}
 }
+
+// TestForChunkAlignment: every chunk boundary (except 0 and n) falls on
+// a cache-line multiple once chunks exceed one line, so adjacent
+// executors never write the same 64-byte line of an output vector.
+func TestForChunkAlignment(t *testing.T) {
+	// n/w > cacheLineItems throughout; smaller chunks stay unaligned by
+	// design (rounding them up would serialize the region).
+	for _, w := range []int{2, 3, 5, 8, 16} {
+		for _, n := range []int{200, 1000, 4097} {
+			var mu sync.Mutex
+			var bounds []int
+			For(w, n, 1, func(lo, hi int) {
+				mu.Lock()
+				bounds = append(bounds, lo, hi)
+				mu.Unlock()
+			})
+			for _, b := range bounds {
+				if b == 0 || b == n {
+					continue
+				}
+				if b%cacheLineItems != 0 {
+					t.Fatalf("w=%d n=%d: boundary %d not a multiple of %d", w, n, b, cacheLineItems)
+				}
+			}
+		}
+	}
+}
+
+// TestForAffinityCoversExactlyOnce stresses the taken-flag claim path:
+// repeated regions at widths around the chunk count must still visit
+// every index exactly once even when affinity claims and counter steals
+// race.
+func TestForAffinityCoversExactlyOnce(t *testing.T) {
+	const n = 1024
+	for iter := 0; iter < 200; iter++ {
+		w := 2 + iter%7
+		hits := make([]int32, n)
+		For(w, n, 8, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("iter=%d w=%d: index %d visited %d times", iter, w, i, h)
+			}
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"saco/internal/libsvm"
+	"saco/internal/simd"
 )
 
 // Options tunes the serving layer; the zero value is usable.
@@ -287,6 +288,10 @@ type statsResponse struct {
 	Publishes     uint64  `json:"registry_publishes"`
 	Swaps         uint64  `json:"registry_swaps"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Kernels names the internal/simd dispatch set scoring every batch,
+	// so a recorded benchmark or incident capture identifies the kernels
+	// that served it.
+	Kernels string `json:"kernels"`
 }
 
 // handleStats reports the serving counters and the current model's
@@ -301,6 +306,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Publishes:     s.reg.Publishes(),
 		Swaps:         s.reg.Swaps(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
+		Kernels:       simd.Active().Name(),
 	}
 	if m := s.reg.Current(); m != nil {
 		resp.ModelVersion = m.Version

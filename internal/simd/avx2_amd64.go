@@ -1,0 +1,37 @@
+//go:build amd64
+
+package simd
+
+// The avx2 set: hand-written AVX2 assembly for the elementwise
+// contiguous kernels (axpy, scal). These vectorize bitwise-safely: each
+// element undergoes exactly one multiply and one add (VMULPD then
+// VADDPD — never VFMADD, whose single rounding would differ from the
+// scalar mul-then-add), and lanes never interact, so the result is
+// identical to the scalar loop bit for bit. Reduction kernels are
+// bound by their loop-carried add chain and cannot be vectorized
+// without reassociating, so they inherit the unrolled (bitwise)
+// implementations; the reassoc set is the opt-in for that trade.
+//
+// The gather/scatter/merge kernels stay in Go on purpose: assembly
+// loops cannot bounds-check idx against x/dst, and the indexed loads
+// dominate their runtime anyway.
+
+// axpyAVX2 computes y[i] += alpha·x[i] over len(x) elements. Caller
+// guarantees len(y) >= len(x) and alpha != 0.
+func axpyAVX2(alpha float64, x, y []float64)
+
+// scalAVX2 computes x[i] *= alpha in place.
+func scalAVX2(alpha float64, x []float64)
+
+func newAVX2Set() *Kernels {
+	if !hasAVX2 {
+		return nil
+	}
+	k := *unrolledSet
+	k.name = "avx2"
+	k.axpy = axpyAVX2
+	k.scal = scalAVX2
+	return &k
+}
+
+var avx2Set = newAVX2Set()

@@ -1,0 +1,89 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX2 elementwise kernels. Both loops process 8 float64s per
+// iteration in two YMM registers using separate VMULPD + VADDPD —
+// deliberately not VFMADD, whose fused single rounding would break
+// bitwise parity with the scalar mul-then-add. Lanes never interact,
+// so results match the scalar loop bit for bit. Tails run in scalar
+// SSE after VZEROUPPER (which clears only bits 128..255, so X0 keeps
+// alpha).
+
+// func axpyAVX2(alpha float64, x, y []float64)
+// y[i] += alpha * x[i] for i < len(x); caller guarantees len(y) >= len(x).
+TEXT ·axpyAVX2(SB), NOSPLIT, $0-56
+	VBROADCASTSD alpha+0(FP), Y0
+	MOVQ x_base+8(FP), SI
+	MOVQ x_len+16(FP), CX
+	MOVQ y_base+32(FP), DI
+	MOVQ CX, BX
+	ANDQ $-8, BX
+	XORQ AX, AX
+
+axpy_block:
+	CMPQ AX, BX
+	JGE  axpy_tail_setup
+	VMOVUPD (SI)(AX*8), Y1
+	VMOVUPD 32(SI)(AX*8), Y2
+	VMULPD  Y0, Y1, Y1
+	VMULPD  Y0, Y2, Y2
+	VADDPD  (DI)(AX*8), Y1, Y1
+	VADDPD  32(DI)(AX*8), Y2, Y2
+	VMOVUPD Y1, (DI)(AX*8)
+	VMOVUPD Y2, 32(DI)(AX*8)
+	ADDQ $8, AX
+	JMP  axpy_block
+
+axpy_tail_setup:
+	VZEROUPPER
+
+axpy_tail:
+	CMPQ AX, CX
+	JGE  axpy_done
+	MOVSD (SI)(AX*8), X1
+	MULSD X0, X1
+	ADDSD (DI)(AX*8), X1
+	MOVSD X1, (DI)(AX*8)
+	INCQ AX
+	JMP  axpy_tail
+
+axpy_done:
+	RET
+
+// func scalAVX2(alpha float64, x []float64)
+// x[i] *= alpha in place.
+TEXT ·scalAVX2(SB), NOSPLIT, $0-32
+	VBROADCASTSD alpha+0(FP), Y0
+	MOVQ x_base+8(FP), SI
+	MOVQ x_len+16(FP), CX
+	MOVQ CX, BX
+	ANDQ $-8, BX
+	XORQ AX, AX
+
+scal_block:
+	CMPQ AX, BX
+	JGE  scal_tail_setup
+	VMOVUPD (SI)(AX*8), Y1
+	VMOVUPD 32(SI)(AX*8), Y2
+	VMULPD  Y0, Y1, Y1
+	VMULPD  Y0, Y2, Y2
+	VMOVUPD Y1, (SI)(AX*8)
+	VMOVUPD Y2, 32(SI)(AX*8)
+	ADDQ $8, AX
+	JMP  scal_block
+
+scal_tail_setup:
+	VZEROUPPER
+
+scal_tail:
+	CMPQ AX, CX
+	JGE  scal_done
+	MOVSD (SI)(AX*8), X1
+	MULSD X0, X1
+	MOVSD X1, (SI)(AX*8)
+	INCQ AX
+	JMP  scal_tail
+
+scal_done:
+	RET

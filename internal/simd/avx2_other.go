@@ -1,0 +1,6 @@
+//go:build !amd64
+
+package simd
+
+// No AVX2 on this architecture; dispatch falls back to unrolled.
+var avx2Set *Kernels

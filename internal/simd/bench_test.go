@@ -1,0 +1,78 @@
+package simd_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"saco/internal/simd"
+)
+
+// Per-set microbenchmarks for the hot kernels. cmd/sabench is the
+// checked-in trajectory and CI delta gate; these exist for quick ad-hoc
+// `go test -bench` comparisons and stay cheap at -benchtime=1x.
+
+const benchN = 4096
+
+func benchVecs() (x, y []float64) {
+	rng := rand.New(rand.NewSource(1))
+	x = make([]float64, benchN)
+	y = make([]float64, benchN)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	return
+}
+
+func perSet(b *testing.B, f func(b *testing.B, k *simd.Kernels)) {
+	for _, name := range simd.Names() {
+		k, _ := simd.Lookup(name)
+		b.Run(name, func(b *testing.B) { f(b, k) })
+	}
+}
+
+var sinkF float64
+
+func BenchmarkDot(b *testing.B) {
+	x, y := benchVecs()
+	perSet(b, func(b *testing.B, k *simd.Kernels) {
+		b.SetBytes(benchN * 16)
+		for i := 0; i < b.N; i++ {
+			sinkF = k.Dot(x, y)
+		}
+	})
+}
+
+func BenchmarkAxpy(b *testing.B) {
+	x, y := benchVecs()
+	perSet(b, func(b *testing.B, k *simd.Kernels) {
+		b.SetBytes(benchN * 24)
+		for i := 0; i < b.N; i++ {
+			k.Axpy(1.0000001, x, y)
+		}
+	})
+}
+
+func BenchmarkScal(b *testing.B) {
+	x, _ := benchVecs()
+	perSet(b, func(b *testing.B, k *simd.Kernels) {
+		b.SetBytes(benchN * 16)
+		for i := 0; i < b.N; i++ {
+			k.Scal(0.9999999, x)
+		}
+	})
+}
+
+func BenchmarkGatherDot(b *testing.B) {
+	x, y := benchVecs()
+	rng := rand.New(rand.NewSource(2))
+	idx := make([]int, benchN)
+	for i := range idx {
+		idx[i] = rng.Intn(benchN)
+	}
+	perSet(b, func(b *testing.B, k *simd.Kernels) {
+		for i := 0; i < b.N; i++ {
+			sinkF = k.GatherDot(0, y, idx, x)
+		}
+	})
+}

@@ -1,0 +1,43 @@
+//go:build amd64
+
+package simd
+
+// cpuid executes CPUID with the given leaf/subleaf. Implemented in
+// cpu_amd64.s.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0 (extended control register 0). Only called after
+// CPUID reports OSXSAVE. Implemented in cpu_amd64.s.
+func xgetbv() (eax, edx uint32)
+
+// detectAVX2 reports whether both the CPU and the OS support AVX2:
+// the CPU must advertise AVX (leaf 1 ECX bit 28), OSXSAVE (bit 27) and
+// AVX2 (leaf 7 EBX bit 5), and the OS must have enabled XMM and YMM
+// state saving (XCR0 bits 1 and 2). This is the standard Intel-manual
+// detection sequence; without the XCR0 check, YMM registers could be
+// corrupted across context switches on a non-AVX-aware kernel.
+func detectAVX2() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, c, _ := cpuid(1, 0)
+	const osxsaveBit = 1 << 27
+	const avxBit = 1 << 28
+	if c&osxsaveBit == 0 || c&avxBit == 0 {
+		return false
+	}
+	if lo, _ := xgetbv(); lo&0x6 != 0x6 {
+		return false
+	}
+	_, b, _, _ := cpuid(7, 0)
+	const avx2Bit = 1 << 5
+	return b&avx2Bit != 0
+}
+
+// hasAVX2 is fixed at startup; kernel dispatch never re-probes.
+var hasAVX2 = detectAVX2()
+
+// HasAVX2 reports whether the avx2 kernel set is available (CPU and OS
+// support), for capability reporting in benchmarks and CLIs.
+func HasAVX2() bool { return hasAVX2 }

@@ -1,0 +1,8 @@
+//go:build !amd64
+
+package simd
+
+// HasAVX2 reports whether the avx2 kernel set is available; never on
+// non-amd64 architectures. (A NEON set for arm64 is the natural next
+// addition and would slot in exactly like avx2_amd64.go.)
+func HasAVX2() bool { return false }

@@ -1,0 +1,83 @@
+package simd_test
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"saco/internal/simd"
+)
+
+// FuzzKernels drives every kernel set with arbitrary bit patterns —
+// including NaNs, infinities, denormals and -0 that byte-level fuzzing
+// produces for free — and checks the cross-set contracts: bitwise sets
+// match scalar (up to NaN payload identity), and the reassociating set
+// stays within 1e-12 relative on finite data.
+func FuzzKernels(f *testing.F) {
+	f.Add([]byte{}, 0.0)
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}, 1.5)
+	big := make([]byte, 61*8)
+	for i := range big {
+		big[i] = byte(i * 37)
+	}
+	f.Add(big, -0.25)
+	f.Fuzz(func(t *testing.T, data []byte, alpha float64) {
+		n := len(data) / 16
+		if n > 256 {
+			n = 256
+		}
+		x := make([]float64, n)
+		y := make([]float64, n)
+		idx := make([]int, n)
+		finite := math.IsInf(alpha, 0) == false && !math.IsNaN(alpha)
+		for i := 0; i < n; i++ {
+			x[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*16:]))
+			y[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*16+8:]))
+			idx[i] = int(data[i*16]) % n
+			if math.IsNaN(x[i]) || math.IsInf(x[i], 0) || math.IsNaN(y[i]) || math.IsInf(y[i], 0) {
+				finite = false
+			}
+		}
+		ref, _ := simd.Lookup("scalar")
+		wantDot := ref.Dot(x, y)
+		wantN2 := ref.Nrm2Sq(alpha, x)
+		wantAxpy := append([]float64(nil), y...)
+		ref.Axpy(alpha, x, wantAxpy)
+		var wantGD float64
+		wantScat := append([]float64(nil), y...)
+		if n > 0 {
+			wantGD = ref.GatherDot(alpha, y, idx, x)
+			ref.ScatterAxpy(alpha, wantScat, x, idx)
+		}
+		for _, name := range simd.Names() {
+			k, _ := simd.Lookup(name)
+			if k.Bitwise() {
+				if got := k.Dot(x, y); !bitsEqNaN(got, wantDot) {
+					t.Fatalf("%s Dot: %x vs %x", name, got, wantDot)
+				}
+				if got := k.Nrm2Sq(alpha, x); !bitsEqNaN(got, wantN2) {
+					t.Fatalf("%s Nrm2Sq: %x vs %x", name, got, wantN2)
+				}
+				ya := append([]float64(nil), y...)
+				k.Axpy(alpha, x, ya)
+				if !slicesEq(ya, wantAxpy, bitsEqNaN) {
+					t.Fatalf("%s Axpy mismatch", name)
+				}
+				if n > 0 {
+					if got := k.GatherDot(alpha, y, idx, x); !bitsEqNaN(got, wantGD) {
+						t.Fatalf("%s GatherDot: %x vs %x", name, got, wantGD)
+					}
+					sc := append([]float64(nil), y...)
+					k.ScatterAxpy(alpha, sc, x, idx)
+					if !slicesEq(sc, wantScat, bitsEqNaN) {
+						t.Fatalf("%s ScatterAxpy mismatch", name)
+					}
+				}
+			} else if finite {
+				if got := k.Dot(x, y); relDiff(got, wantDot) > 1e-12 {
+					t.Fatalf("%s Dot off by %g: %v vs %v", name, relDiff(got, wantDot), got, wantDot)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package simd
+
+// The reassoc set: reduction kernels with four independent
+// accumulators. Splitting the sum across lanes breaks the loop-carried
+// add chain — the ~4-cycle addition latency that bounds every bitwise
+// dot variant to one element per chain step — so dot-like kernels run
+// several times faster. The price is a reassociated summation order:
+//
+//	(s0 + s1) + (s2 + s3), each s_l = Σ x[4k+l]·y[4k+l], then the tail
+//
+// which is still fully deterministic (the order depends only on the
+// input length) but NOT bitwise-equal to the scalar fold. This set is
+// therefore an explicit opt-in (SACO_KERNELS=reassoc), excluded from
+// the deterministic backend matrix, and compared only under a
+// 1e-12-relative tolerance in tests. Elementwise kernels carry no
+// chain, so they reuse the unrolled (bitwise) implementations.
+
+var reassocSet = &Kernels{
+	name:        "reassoc",
+	bitwise:     false,
+	dot:         reassocDot,
+	nrm2sq:      reassocNrm2Sq,
+	axpy:        unrolledAxpy,
+	scal:        unrolledScal,
+	gatherDot:   reassocGatherDot,
+	gatherAxpy:  unrolledGatherAxpy,
+	scatterAxpy: unrolledScatterAxpy,
+	mergeDot:    scalarMergeDot, // merges are inherently sequential
+	spmvRows:    reassocSpMVRows,
+}
+
+func reassocDot(x, y []float64) float64 {
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < len(x); i++ {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+func reassocNrm2Sq(acc float64, x []float64) float64 {
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		s0 += x[i] * x[i]
+		s1 += x[i+1] * x[i+1]
+		s2 += x[i+2] * x[i+2]
+		s3 += x[i+3] * x[i+3]
+	}
+	acc += (s0 + s1) + (s2 + s3)
+	for ; i < len(x); i++ {
+		acc += x[i] * x[i]
+	}
+	return acc
+}
+
+func reassocGatherDot(acc float64, val []float64, idx []int, x []float64) float64 {
+	var s0, s1, s2, s3 float64
+	k := 0
+	for ; k+4 <= len(idx); k += 4 {
+		s0 += val[k] * x[idx[k]]
+		s1 += val[k+1] * x[idx[k+1]]
+		s2 += val[k+2] * x[idx[k+2]]
+		s3 += val[k+3] * x[idx[k+3]]
+	}
+	acc += (s0 + s1) + (s2 + s3)
+	for ; k < len(idx); k++ {
+		acc += val[k] * x[idx[k]]
+	}
+	return acc
+}
+
+func reassocSpMVRows(rowPtr, colIdx []int, val, x, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		p, end := rowPtr[i], rowPtr[i+1]
+		y[i] = reassocGatherDot(0, val[p:end], colIdx[p:end], x)
+	}
+}

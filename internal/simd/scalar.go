@@ -1,0 +1,94 @@
+package simd
+
+// The scalar set: the repository's original pure-Go loops, moved here
+// verbatim from internal/mat and internal/sparse. These bodies are the
+// bitwise reference — every other set's property tests compare against
+// them, and the deterministic backend matrix is defined by their
+// summation orders. Do not "improve" them.
+
+var scalarSet = &Kernels{
+	name:        "scalar",
+	bitwise:     true,
+	dot:         scalarDot,
+	nrm2sq:      scalarNrm2Sq,
+	axpy:        scalarAxpy,
+	scal:        scalarScal,
+	gatherDot:   scalarGatherDot,
+	gatherAxpy:  scalarGatherAxpy,
+	scatterAxpy: scalarScatterAxpy,
+	mergeDot:    scalarMergeDot,
+	spmvRows:    scalarSpMVRows,
+}
+
+func scalarDot(x, y []float64) float64 {
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+func scalarNrm2Sq(acc float64, x []float64) float64 {
+	for _, v := range x {
+		acc += v * v
+	}
+	return acc
+}
+
+func scalarAxpy(alpha float64, x, y []float64) {
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+func scalarScal(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+func scalarGatherDot(acc float64, val []float64, idx []int, x []float64) float64 {
+	for k, j := range idx {
+		acc += val[k] * x[j]
+	}
+	return acc
+}
+
+func scalarGatherAxpy(alpha float64, dst, src []float64, idx []int) {
+	for k, j := range idx {
+		dst[k] += alpha * src[j]
+	}
+}
+
+func scalarScatterAxpy(alpha float64, dst, v []float64, idx []int) {
+	for k, j := range idx {
+		dst[j] += alpha * v[k]
+	}
+}
+
+func scalarMergeDot(acc float64, ia []int, va []float64, ib []int, vb []float64) float64 {
+	p, q := 0, 0
+	for p < len(ia) && q < len(ib) {
+		switch cp, cq := ia[p], ib[q]; {
+		case cp == cq:
+			acc += va[p] * vb[q]
+			p++
+			q++
+		case cp < cq:
+			p++
+		default:
+			q++
+		}
+	}
+	return acc
+}
+
+func scalarSpMVRows(rowPtr, colIdx []int, val, x, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		var s float64
+		for k := rowPtr[i]; k < rowPtr[i+1]; k++ {
+			s += val[k] * x[colIdx[k]]
+		}
+		y[i] = s
+	}
+}

@@ -1,0 +1,406 @@
+package simd_test
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"saco/internal/simd"
+)
+
+// Lengths cover 0..3× the widest vector width (8 float64s per AVX2
+// iteration pair) plus a few larger sizes, so every tail path from 0
+// to 7 leftovers is hit both before and after full blocks.
+var testLens = []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 13, 15, 16, 17, 23, 24, 25, 31, 32, 33, 64, 100}
+
+// Offsets shift slices off their allocation start so the asm kernels
+// see unaligned bases.
+var testOffsets = []int{0, 1, 3}
+
+var testAlphas = []float64{1, -1, 0.5, 2.25, 1e-300, -3.75}
+
+func randSlice(rng *rand.Rand, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = rng.NormFloat64()
+	}
+	return s
+}
+
+func randIdx(rng *rand.Rand, n, bound int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = rng.Intn(bound)
+	}
+	return idx
+}
+
+// offsetCopy returns a copy of s whose backing array starts off
+// elements earlier, so &out[0] is not allocation-aligned.
+func offsetCopy(s []float64, off int) []float64 {
+	buf := make([]float64, len(s)+off)
+	out := buf[off:]
+	copy(out, s)
+	return out
+}
+
+func bitsEq(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+// bitsEqNaN is bitsEq except that any NaN matches any NaN. NaN payload
+// propagation through a+b depends on hardware operand order and is not
+// part of the determinism contract; everything else — including the
+// sign of zero — is compared exactly.
+func bitsEqNaN(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return bitsEq(a, b)
+}
+
+func slicesEq(a, b []float64, eq func(x, y float64) bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !eq(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	m := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return d / m
+}
+
+func lookup(t *testing.T, name string) *simd.Kernels {
+	t.Helper()
+	k, ok := simd.Lookup(name)
+	if !ok {
+		t.Fatalf("kernel set %q not registered (have %v)", name, simd.Names())
+	}
+	return k
+}
+
+func TestRegistry(t *testing.T) {
+	for _, name := range []string{"scalar", "unrolled", "reassoc"} {
+		lookup(t, name)
+	}
+	if _, ok := simd.Lookup("avx2"); ok != simd.HasAVX2() {
+		t.Errorf("avx2 registered=%v but HasAVX2()=%v", ok, simd.HasAVX2())
+	}
+	for _, name := range simd.BitwiseNames() {
+		if name == "reassoc" {
+			t.Errorf("reassoc must not appear in BitwiseNames()")
+		}
+		if !lookup(t, name).Bitwise() {
+			t.Errorf("BitwiseNames() lists %q but Bitwise() is false", name)
+		}
+	}
+	if !lookup(t, "scalar").Bitwise() {
+		t.Errorf("scalar set must be bitwise")
+	}
+	if lookup(t, "reassoc").Bitwise() {
+		t.Errorf("reassoc set must not claim bitwise")
+	}
+}
+
+func TestUse(t *testing.T) {
+	orig := simd.Active().Name()
+	t.Cleanup(func() {
+		if err := simd.Use(orig); err != nil {
+			t.Fatalf("restoring kernel set %q: %v", orig, err)
+		}
+	})
+	if err := simd.Use("no-such-set"); err == nil {
+		t.Fatalf("Use of unknown set did not error")
+	}
+	if got := simd.Active().Name(); got != orig {
+		t.Fatalf("failed Use switched the active set to %q", got)
+	}
+	for _, name := range simd.Names() {
+		if err := simd.Use(name); err != nil {
+			t.Fatalf("Use(%q): %v", name, err)
+		}
+		if got := simd.Active().Name(); got != name {
+			t.Fatalf("Active()=%q after Use(%q)", got, name)
+		}
+	}
+}
+
+// TestBitwiseParity is the core tentpole property: on finite data,
+// every kernel of every bitwise set reproduces the scalar reference
+// bit for bit, across all tail lengths, unaligned bases and alphas.
+func TestBitwiseParity(t *testing.T) {
+	ref := lookup(t, "scalar")
+	for _, name := range simd.BitwiseNames() {
+		if name == "scalar" {
+			continue
+		}
+		k := lookup(t, name)
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			for _, n := range testLens {
+				for _, off := range testOffsets {
+					x := offsetCopy(randSlice(rng, n), off)
+					y := offsetCopy(randSlice(rng, n), off)
+
+					if got, want := k.Dot(x, y), ref.Dot(x, y); !bitsEq(got, want) {
+						t.Fatalf("Dot n=%d off=%d: got %x want %x", n, off, got, want)
+					}
+					for _, acc := range []float64{0, 1.5, -2.25} {
+						if got, want := k.Nrm2Sq(acc, x), ref.Nrm2Sq(acc, x); !bitsEq(got, want) {
+							t.Fatalf("Nrm2Sq n=%d off=%d acc=%g: got %x want %x", n, off, acc, got, want)
+						}
+					}
+					for _, alpha := range testAlphas {
+						yk, yr := offsetCopy(y, off), offsetCopy(y, off)
+						k.Axpy(alpha, x, yk)
+						ref.Axpy(alpha, x, yr)
+						if !slicesEq(yk, yr, bitsEq) {
+							t.Fatalf("Axpy n=%d off=%d alpha=%g mismatch", n, off, alpha)
+						}
+						xk, xr := offsetCopy(x, off), offsetCopy(x, off)
+						k.Scal(alpha, xk)
+						ref.Scal(alpha, xr)
+						if !slicesEq(xk, xr, bitsEq) {
+							t.Fatalf("Scal n=%d off=%d alpha=%g mismatch", n, off, alpha)
+						}
+					}
+
+					if n > 0 {
+						idx := randIdx(rng, n, n)
+						val := randSlice(rng, n)
+						if got, want := k.GatherDot(0.5, val, idx, x), ref.GatherDot(0.5, val, idx, x); !bitsEq(got, want) {
+							t.Fatalf("GatherDot n=%d off=%d: got %x want %x", n, off, got, want)
+						}
+						dk, dr := offsetCopy(y, off), offsetCopy(y, off)
+						k.GatherAxpy(0.5, dk, x, idx)
+						ref.GatherAxpy(0.5, dr, x, idx)
+						if !slicesEq(dk, dr, bitsEq) {
+							t.Fatalf("GatherAxpy n=%d off=%d mismatch", n, off)
+						}
+						sk, sr := offsetCopy(y, off), offsetCopy(y, off)
+						k.ScatterAxpy(-1.5, sk, val, idx)
+						ref.ScatterAxpy(-1.5, sr, val, idx)
+						if !slicesEq(sk, sr, bitsEq) {
+							t.Fatalf("ScatterAxpy n=%d off=%d mismatch", n, off)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSpecialValues pushes NaN, ±Inf, ±0 and denormal payloads through
+// every set. Bitwise sets must match scalar exactly up to NaN payload
+// identity (see bitsEqNaN); reassoc must at least propagate non-finite
+// values the same way.
+func TestSpecialValues(t *testing.T) {
+	ref := lookup(t, "scalar")
+	specials := []float64{
+		math.NaN(), -math.NaN(), math.Inf(1), math.Inf(-1),
+		0, math.Copysign(0, -1), 5e-324, -5e-324, 1.5, -2.5,
+	}
+	// Cycle the special values through a 19-element vector so blocks and
+	// tails both see them.
+	mk := func(rot int) []float64 {
+		s := make([]float64, 19)
+		for i := range s {
+			s[i] = specials[(i+rot)%len(specials)]
+		}
+		return s
+	}
+	for _, name := range simd.Names() {
+		k := lookup(t, name)
+		t.Run(name, func(t *testing.T) {
+			for rot := 0; rot < len(specials); rot++ {
+				x, y := mk(rot), mk(rot+3)
+				got, want := k.Dot(x, y), ref.Dot(x, y)
+				if !bitsEqNaN(got, want) {
+					t.Fatalf("Dot rot=%d: got %x want %x", rot, got, want)
+				}
+				for _, alpha := range []float64{1, -0.5} {
+					yk, yr := append([]float64(nil), y...), append([]float64(nil), y...)
+					k.Axpy(alpha, x, yk)
+					ref.Axpy(alpha, x, yr)
+					if !slicesEq(yk, yr, bitsEqNaN) {
+						t.Fatalf("Axpy rot=%d alpha=%g mismatch", rot, alpha)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAlphaZeroNoOp pins the unified alpha == 0 contract: the Axpy
+// family leaves the destination untouched — exact bits, including NaN
+// payloads and -0 — in every kernel set. Scal is deliberately outside
+// the family.
+func TestAlphaZeroNoOp(t *testing.T) {
+	poison := []float64{
+		math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1), 1.25, -3,
+	}
+	src := []float64{math.Inf(1), math.NaN(), 2, -4, 8, 16}
+	idx := []int{5, 0, 3, 1, 4, 2}
+	for _, name := range simd.Names() {
+		k := lookup(t, name)
+		t.Run(name, func(t *testing.T) {
+			check := func(op string, f func(dst []float64)) {
+				dst := append([]float64(nil), poison...)
+				f(dst)
+				for i := range dst {
+					if !bitsEq(dst[i], poison[i]) {
+						t.Fatalf("%s(alpha=0) modified dst[%d]: %x -> %x",
+							op, i, math.Float64bits(poison[i]), math.Float64bits(dst[i]))
+					}
+				}
+			}
+			check("Axpy", func(dst []float64) { k.Axpy(0, src, dst) })
+			check("GatherAxpy", func(dst []float64) { k.GatherAxpy(0, dst, src, idx) })
+			check("ScatterAxpy", func(dst []float64) { k.ScatterAxpy(0, dst, src, idx) })
+
+			// Scal(0, x) really zeroes (and 0·Inf, 0·NaN are NaN).
+			x := append([]float64(nil), poison...)
+			k.Scal(0, x)
+			for i, v := range x {
+				orig := poison[i]
+				if math.IsNaN(orig) || math.IsInf(orig, 0) {
+					if !math.IsNaN(v) {
+						t.Fatalf("Scal(0) of %g gave %g, want NaN", orig, v)
+					}
+				} else if v != 0 {
+					t.Fatalf("Scal(0) left x[%d]=%g", i, v)
+				}
+			}
+		})
+	}
+}
+
+// TestScatterAxpyDuplicates pins accumulate-in-index-order semantics
+// for repeated scatter indices across every set.
+func TestScatterAxpyDuplicates(t *testing.T) {
+	ref := lookup(t, "scalar")
+	idx := []int{2, 2, 2, 0, 2, 1, 0, 2, 2}
+	v := []float64{1e16, 1, -1e16, 3, 2, 7, -3, 0.5, 0.25}
+	for _, name := range simd.Names() {
+		k := lookup(t, name)
+		dk := make([]float64, 3)
+		dr := make([]float64, 3)
+		k.ScatterAxpy(1.5, dk, v, idx)
+		ref.ScatterAxpy(1.5, dr, v, idx)
+		if !slicesEq(dk, dr, bitsEq) {
+			t.Errorf("%s: duplicate-index scatter diverged: got %v want %v", name, dk, dr)
+		}
+	}
+}
+
+func TestMergeDot(t *testing.T) {
+	ref := lookup(t, "scalar")
+	cases := []struct {
+		ia []int
+		va []float64
+		ib []int
+		vb []float64
+	}{
+		{nil, nil, nil, nil},
+		{[]int{0, 2, 5}, []float64{1, 2, 3}, []int{1, 3, 6}, []float64{4, 5, 6}},
+		{[]int{0, 2, 5}, []float64{1, 2, 3}, []int{0, 2, 5}, []float64{4, 5, 6}},
+		{[]int{1, 4, 7, 9}, []float64{1, -2, 3, -4}, []int{4, 9}, []float64{0.5, 0.25}},
+	}
+	for _, name := range simd.Names() {
+		k := lookup(t, name)
+		for ci, c := range cases {
+			got := k.MergeDot(1.75, c.ia, c.va, c.ib, c.vb)
+			want := ref.MergeDot(1.75, c.ia, c.va, c.ib, c.vb)
+			if !bitsEq(got, want) {
+				t.Errorf("%s case %d: MergeDot got %v want %v", name, ci, got, want)
+			}
+		}
+	}
+}
+
+func TestSpMVRows(t *testing.T) {
+	ref := lookup(t, "scalar")
+	rng := rand.New(rand.NewSource(11))
+	const rows, cols = 17, 29
+	rowPtr := make([]int, rows+1)
+	var colIdx []int
+	var val []float64
+	for i := 0; i < rows; i++ {
+		nnz := rng.Intn(9) // rows with 0..8 entries, including empties
+		cs := rng.Perm(cols)[:nnz]
+		sort.Ints(cs)
+		for _, c := range cs {
+			colIdx = append(colIdx, c)
+			val = append(val, rng.NormFloat64())
+		}
+		rowPtr[i+1] = len(colIdx)
+	}
+	x := randSlice(rng, cols)
+	want := make([]float64, rows)
+	ref.SpMVRows(rowPtr, colIdx, val, x, want, 0, rows)
+	for _, name := range simd.BitwiseNames() {
+		k := lookup(t, name)
+		got := make([]float64, rows)
+		// Split the row range to exercise lo > 0.
+		k.SpMVRows(rowPtr, colIdx, val, x, got, 0, 5)
+		k.SpMVRows(rowPtr, colIdx, val, x, got, 5, rows)
+		if !slicesEq(got, want, bitsEq) {
+			t.Errorf("%s: SpMVRows diverged: got %v want %v", name, got, want)
+		}
+	}
+}
+
+// TestReassocTolerance gates the opt-in reassociating set: 1e-12
+// relative agreement with scalar on finite data, and NaN propagation
+// preserved.
+func TestReassocTolerance(t *testing.T) {
+	k := lookup(t, "reassoc")
+	ref := lookup(t, "scalar")
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range testLens {
+		x, y := randSlice(rng, n), randSlice(rng, n)
+		if got, want := k.Dot(x, y), ref.Dot(x, y); relDiff(got, want) > 1e-12 {
+			t.Errorf("reassoc Dot n=%d: %v vs %v (rel %g)", n, got, want, relDiff(got, want))
+		}
+		if got, want := k.Nrm2Sq(0.5, x), ref.Nrm2Sq(0.5, x); relDiff(got, want) > 1e-12 {
+			t.Errorf("reassoc Nrm2Sq n=%d: %v vs %v", n, got, want)
+		}
+		if n > 0 {
+			idx := randIdx(rng, n, n)
+			got, want := k.GatherDot(0, y, idx, x), ref.GatherDot(0, y, idx, x)
+			if relDiff(got, want) > 1e-12 {
+				t.Errorf("reassoc GatherDot n=%d: %v vs %v", n, got, want)
+			}
+		}
+	}
+	x := randSlice(rng, 13)
+	x[9] = math.NaN()
+	if got := k.Dot(x, x); !math.IsNaN(got) {
+		t.Errorf("reassoc Dot lost NaN: got %v", got)
+	}
+}
+
+func TestLengthGuards(t *testing.T) {
+	k := simd.Active()
+	mustPanic := func(op string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s with short companion slice did not panic", op)
+			}
+		}()
+		f()
+	}
+	x := []float64{1, 2, 3}
+	short := []float64{1}
+	mustPanic("Dot", func() { k.Dot(x, short) })
+	mustPanic("Axpy", func() { k.Axpy(1, x, short) })
+	mustPanic("GatherDot", func() { k.GatherDot(0, short, []int{0, 1, 2}, x) })
+	mustPanic("ScatterAxpy", func() { k.ScatterAxpy(1, x, short, []int{0, 1, 2}) })
+	mustPanic("GatherAxpy", func() { k.GatherAxpy(1, short, x, []int{0, 1, 2}) })
+}

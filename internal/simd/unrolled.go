@@ -1,0 +1,128 @@
+package simd
+
+// The unrolled set: 4×-unrolled Go with a single accumulator. Each
+// reduction performs its additions in exactly the scalar order — the
+// unroll only removes loop-counter overhead and lets the CPU's
+// out-of-order window hide load and multiply latency behind the
+// loop-carried add chain — so every kernel is bitwise identical to
+// scalar. The elementwise kernels (axpy, scal, gatherAxpy,
+// scatterAxpy) carry no chain at all and unroll for pure throughput.
+
+var unrolledSet = &Kernels{
+	name:        "unrolled",
+	bitwise:     true,
+	dot:         unrolledDot,
+	nrm2sq:      unrolledNrm2Sq,
+	axpy:        unrolledAxpy,
+	scal:        unrolledScal,
+	gatherDot:   unrolledGatherDot,
+	gatherAxpy:  unrolledGatherAxpy,
+	scatterAxpy: unrolledScatterAxpy,
+	mergeDot:    scalarMergeDot, // data-dependent merge: no lanes to unroll
+	spmvRows:    unrolledSpMVRows,
+}
+
+func unrolledDot(x, y []float64) float64 {
+	var s float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		s += x[i] * y[i]
+		s += x[i+1] * y[i+1]
+		s += x[i+2] * y[i+2]
+		s += x[i+3] * y[i+3]
+	}
+	for ; i < len(x); i++ {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+func unrolledNrm2Sq(acc float64, x []float64) float64 {
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		acc += x[i] * x[i]
+		acc += x[i+1] * x[i+1]
+		acc += x[i+2] * x[i+2]
+		acc += x[i+3] * x[i+3]
+	}
+	for ; i < len(x); i++ {
+		acc += x[i] * x[i]
+	}
+	return acc
+}
+
+func unrolledAxpy(alpha float64, x, y []float64) {
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < len(x); i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
+func unrolledScal(alpha float64, x []float64) {
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		x[i] *= alpha
+		x[i+1] *= alpha
+		x[i+2] *= alpha
+		x[i+3] *= alpha
+	}
+	for ; i < len(x); i++ {
+		x[i] *= alpha
+	}
+}
+
+func unrolledGatherDot(acc float64, val []float64, idx []int, x []float64) float64 {
+	k := 0
+	for ; k+4 <= len(idx); k += 4 {
+		acc += val[k] * x[idx[k]]
+		acc += val[k+1] * x[idx[k+1]]
+		acc += val[k+2] * x[idx[k+2]]
+		acc += val[k+3] * x[idx[k+3]]
+	}
+	for ; k < len(idx); k++ {
+		acc += val[k] * x[idx[k]]
+	}
+	return acc
+}
+
+func unrolledGatherAxpy(alpha float64, dst, src []float64, idx []int) {
+	k := 0
+	for ; k+4 <= len(idx); k += 4 {
+		dst[k] += alpha * src[idx[k]]
+		dst[k+1] += alpha * src[idx[k+1]]
+		dst[k+2] += alpha * src[idx[k+2]]
+		dst[k+3] += alpha * src[idx[k+3]]
+	}
+	for ; k < len(idx); k++ {
+		dst[k] += alpha * src[idx[k]]
+	}
+}
+
+func unrolledScatterAxpy(alpha float64, dst, v []float64, idx []int) {
+	// Duplicate indices must accumulate in index order, and the unrolled
+	// statements execute in exactly that order, so the semantics match
+	// the scalar loop even on repeated idx entries.
+	k := 0
+	for ; k+4 <= len(idx); k += 4 {
+		dst[idx[k]] += alpha * v[k]
+		dst[idx[k+1]] += alpha * v[k+1]
+		dst[idx[k+2]] += alpha * v[k+2]
+		dst[idx[k+3]] += alpha * v[k+3]
+	}
+	for ; k < len(idx); k++ {
+		dst[idx[k]] += alpha * v[k]
+	}
+}
+
+func unrolledSpMVRows(rowPtr, colIdx []int, val, x, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		p, end := rowPtr[i], rowPtr[i+1]
+		y[i] = unrolledGatherDot(0, val[p:end], colIdx[p:end], x)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"saco/internal/mat"
 	rt "saco/internal/runtime"
+	"saco/internal/simd"
 )
 
 // CSC is a compressed sparse column matrix. Column j occupies the
@@ -71,11 +72,7 @@ func (a *CSC) Density() float64 {
 
 // ColNormSq returns ‖A_:j‖², the 1×1 Gram matrix of coordinate descent.
 func (a *CSC) ColNormSq(j int) float64 {
-	var s float64
-	for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
-		s += a.Val[p] * a.Val[p]
-	}
-	return s
+	return simd.Nrm2Sq(0, a.Val[a.ColPtr[j]:a.ColPtr[j+1]])
 }
 
 // ColTMulVec computes dst[k] = A_:cols[k] · v, i.e. dst = A_Sᵀ·v. This is
@@ -89,13 +86,11 @@ func (a *CSC) ColTMulVec(cols []int, v []float64, dst []float64) {
 	// Each dst[k] is an independent column dot with a fixed summation
 	// order, so partitioning the output keeps results bitwise identical.
 	rt.For(a.KernelWorkers(), len(cols), 1, func(lo, hi int) {
+		kr := simd.Active()
 		for k := lo; k < hi; k++ {
 			j := cols[k]
-			var s float64
-			for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
-				s += a.Val[p] * v[a.RowIdx[p]]
-			}
-			dst[k] = s
+			p0, p1 := a.ColPtr[j], a.ColPtr[j+1]
+			dst[k] = kr.GatherDot(0, a.Val[p0:p1], a.RowIdx[p0:p1], v)
 		}
 	})
 }
@@ -109,14 +104,10 @@ func (a *CSC) ColMulAdd(cols []int, coef []float64, v []float64) {
 	if len(v) != a.M || len(coef) != len(cols) {
 		panic("sparse: ColMulAdd shape mismatch")
 	}
+	kr := simd.Active()
 	for k, j := range cols {
-		c := coef[k]
-		if c == 0 {
-			continue
-		}
-		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
-			v[a.RowIdx[p]] += c * a.Val[p]
-		}
+		p0, p1 := a.ColPtr[j], a.ColPtr[j+1]
+		kr.ScatterAxpy(coef[k], v, a.Val[p0:p1], a.RowIdx[p0:p1])
 	}
 }
 
@@ -134,13 +125,14 @@ func (a *CSC) ColGram(cols []int, dst *mat.Dense) {
 	// the shrinking row lengths so the batched sµ×sµ Gram of the SA
 	// solvers spreads evenly over the pool. Entry values are unchanged —
 	// each is still one sorted-merge colDot.
+	// The mirror writes happen after the parallel join: writing dst(j,i)
+	// from the worker that owns row i lands on cache lines owned by other
+	// workers' rows and bounces the Gram block between cores.
 	gramRows := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			ci := cols[i]
 			for j := i; j < s; j++ {
-				v := a.colDot(ci, cols[j])
-				dst.Set(i, j, v)
-				dst.Set(j, i, v)
+				dst.Set(i, j, a.colDot(ci, cols[j]))
 			}
 		}
 	}
@@ -149,6 +141,7 @@ func (a *CSC) ColGram(cols []int, dst *mat.Dense) {
 	} else {
 		gramRows(0, s)
 	}
+	dst.MirrorUpper()
 }
 
 // ColTMulVecAcc accumulates dst[k] += A_:cols[k] · v term by term,
@@ -162,12 +155,10 @@ func (a *CSC) ColTMulVecAcc(cols []int, v []float64, dst []float64) {
 	if len(v) != a.M || len(dst) != len(cols) {
 		panic(fmt.Sprintf("sparse: ColTMulVecAcc shape mismatch A=%dx%d len(v)=%d", a.M, a.N, len(v)))
 	}
+	kr := simd.Active()
 	for k, j := range cols {
-		s := dst[k]
-		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
-			s += a.Val[p] * v[a.RowIdx[p]]
-		}
-		dst[k] = s
+		p0, p1 := a.ColPtr[j], a.ColPtr[j+1]
+		dst[k] = kr.GatherDot(dst[k], a.Val[p0:p1], a.RowIdx[p0:p1], v)
 	}
 }
 
@@ -193,10 +184,7 @@ func (a *CSC) ColGramAcc(cols []int, dst *mat.Dense) {
 // ColNormSqAcc returns acc + ‖A_:j‖² accumulated term by term, the
 // row-block continuation of ColNormSq.
 func (a *CSC) ColNormSqAcc(j int, acc float64) float64 {
-	for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
-		acc += a.Val[p] * a.Val[p]
-	}
-	return acc
+	return simd.Nrm2Sq(acc, a.Val[a.ColPtr[j]:a.ColPtr[j+1]])
 }
 
 // colDot returns A_:i · A_:j via a sorted merge of the two columns.
@@ -206,20 +194,7 @@ func (a *CSC) colDot(i, j int) float64 { return a.colDotAcc(i, j, 0) }
 func (a *CSC) colDotAcc(i, j int, s float64) float64 {
 	p, pEnd := a.ColPtr[i], a.ColPtr[i+1]
 	q, qEnd := a.ColPtr[j], a.ColPtr[j+1]
-	for p < pEnd && q < qEnd {
-		rp, rq := a.RowIdx[p], a.RowIdx[q]
-		switch {
-		case rp == rq:
-			s += a.Val[p] * a.Val[q]
-			p++
-			q++
-		case rp < rq:
-			p++
-		default:
-			q++
-		}
-	}
-	return s
+	return simd.MergeDot(s, a.RowIdx[p:pEnd], a.Val[p:pEnd], a.RowIdx[q:qEnd], a.Val[q:qEnd])
 }
 
 // MulVec computes y = A·x by column accumulation.
@@ -228,14 +203,10 @@ func (a *CSC) MulVec(x, y []float64) {
 		panic("sparse: CSC.MulVec shape mismatch")
 	}
 	mat.Fill(y, 0)
+	kr := simd.Active()
 	for j := 0; j < a.N; j++ {
-		xj := x[j]
-		if xj == 0 {
-			continue
-		}
-		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
-			y[a.RowIdx[p]] += xj * a.Val[p]
-		}
+		p0, p1 := a.ColPtr[j], a.ColPtr[j+1]
+		kr.ScatterAxpy(x[j], y, a.Val[p0:p1], a.RowIdx[p0:p1])
 	}
 }
 
@@ -246,12 +217,10 @@ func (a *CSC) MulVecT(x, y []float64) {
 		panic("sparse: CSC.MulVecT shape mismatch")
 	}
 	rt.For(a.KernelWorkers(), a.N, 64, func(lo, hi int) {
+		kr := simd.Active()
 		for j := lo; j < hi; j++ {
-			var s float64
-			for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
-				s += a.Val[p] * x[a.RowIdx[p]]
-			}
-			y[j] = s
+			p0, p1 := a.ColPtr[j], a.ColPtr[j+1]
+			y[j] = kr.GatherDot(0, a.Val[p0:p1], a.RowIdx[p0:p1], x)
 		}
 	})
 }

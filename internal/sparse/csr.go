@@ -5,6 +5,7 @@ import (
 
 	"saco/internal/mat"
 	rt "saco/internal/runtime"
+	"saco/internal/simd"
 )
 
 // CSR is a compressed sparse row matrix. Row i occupies the half-open
@@ -75,13 +76,7 @@ func (a *CSR) MulVec(x, y []float64) {
 		panic(fmt.Sprintf("sparse: MulVec shape mismatch A=%dx%d len(x)=%d len(y)=%d", a.M, a.N, len(x), len(y)))
 	}
 	rt.For(a.KernelWorkers(), a.M, 128, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			var s float64
-			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-				s += a.Val[k] * x[a.ColIdx[k]]
-			}
-			y[i] = s
-		}
+		simd.SpMVRows(a.RowPtr, a.ColIdx, a.Val, x, y, lo, hi)
 	})
 }
 
@@ -91,14 +86,14 @@ func (a *CSR) MulVecT(x, y []float64) {
 		panic(fmt.Sprintf("sparse: MulVecT shape mismatch A=%dx%d len(x)=%d len(y)=%d", a.M, a.N, len(x), len(y)))
 	}
 	mat.Fill(y, 0)
+	k := simd.Active()
 	for i := 0; i < a.M; i++ {
 		xi := x[i]
 		if xi == 0 {
 			continue
 		}
-		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-			y[a.ColIdx[k]] += a.Val[k] * xi
-		}
+		p0, p1 := a.RowPtr[i], a.RowPtr[i+1]
+		k.ScatterAxpy(xi, y, a.Val[p0:p1], a.ColIdx[p0:p1])
 	}
 }
 
@@ -109,13 +104,11 @@ func (a *CSR) RowMulVec(rows []int, x []float64, dst []float64) {
 		panic("sparse: RowMulVec shape mismatch")
 	}
 	rt.For(a.KernelWorkers(), len(rows), 1, func(lo, hi int) {
+		kr := simd.Active()
 		for k := lo; k < hi; k++ {
 			r := rows[k]
-			var s float64
-			for p := a.RowPtr[r]; p < a.RowPtr[r+1]; p++ {
-				s += a.Val[p] * x[a.ColIdx[p]]
-			}
-			dst[k] = s
+			p0, p1 := a.RowPtr[r], a.RowPtr[r+1]
+			dst[k] = kr.GatherDot(0, a.Val[p0:p1], a.ColIdx[p0:p1], x)
 		}
 	})
 }
@@ -126,18 +119,13 @@ func (a *CSR) RowTAxpy(row int, alpha float64, x []float64) {
 	if len(x) != a.N {
 		panic("sparse: RowTAxpy shape mismatch")
 	}
-	for p := a.RowPtr[row]; p < a.RowPtr[row+1]; p++ {
-		x[a.ColIdx[p]] += alpha * a.Val[p]
-	}
+	p0, p1 := a.RowPtr[row], a.RowPtr[row+1]
+	simd.ScatterAxpy(alpha, x, a.Val[p0:p1], a.ColIdx[p0:p1])
 }
 
 // RowNormSq returns ‖A_row‖², the diagonal Gram entry η of Alg. 3 line 7.
 func (a *CSR) RowNormSq(row int) float64 {
-	var s float64
-	for p := a.RowPtr[row]; p < a.RowPtr[row+1]; p++ {
-		s += a.Val[p] * a.Val[p]
-	}
-	return s
+	return simd.Nrm2Sq(0, a.Val[a.RowPtr[row]:a.RowPtr[row+1]])
 }
 
 // RowGram computes dst = A_R·AᵀR for the row set R (|R|×|R|), the s×s Gram
@@ -152,13 +140,16 @@ func (a *CSR) RowGram(rows []int, dst *mat.Dense) {
 	// Triangle rows are independent and balanced with TriangleRanges;
 	// every entry remains one sorted-merge rowDot, so the s×s SA-SVM Gram
 	// is bitwise identical on every backend.
+	// Only the upper triangle is written inside the parallel region; the
+	// mirror happens after the join. Mirroring inline would write dst(j,i)
+	// from the worker that owns row i — a cache line owned by another
+	// worker's rows — and the resulting false sharing bounces the Gram
+	// block between cores on every entry.
 	gramRows := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			ri := rows[i]
 			for j := i; j < s; j++ {
-				v := a.rowDot(ri, rows[j])
-				dst.Set(i, j, v)
-				dst.Set(j, i, v)
+				dst.Set(i, j, a.rowDot(ri, rows[j]))
 			}
 		}
 	}
@@ -167,27 +158,14 @@ func (a *CSR) RowGram(rows []int, dst *mat.Dense) {
 	} else {
 		gramRows(0, s)
 	}
+	dst.MirrorUpper()
 }
 
 // rowDot returns A_i · A_j via a sorted merge of the two rows.
 func (a *CSR) rowDot(i, j int) float64 {
 	p, pEnd := a.RowPtr[i], a.RowPtr[i+1]
 	q, qEnd := a.RowPtr[j], a.RowPtr[j+1]
-	var s float64
-	for p < pEnd && q < qEnd {
-		cp, cq := a.ColIdx[p], a.ColIdx[q]
-		switch {
-		case cp == cq:
-			s += a.Val[p] * a.Val[q]
-			p++
-			q++
-		case cp < cq:
-			p++
-		default:
-			q++
-		}
-	}
-	return s
+	return simd.MergeDot(0, a.ColIdx[p:pEnd], a.Val[p:pEnd], a.ColIdx[q:qEnd], a.Val[q:qEnd])
 }
 
 // RowDot returns A_i · B_j via a sorted merge of row i of a and row j of
@@ -202,21 +180,7 @@ func RowDot(a *CSR, i int, b *CSR, j int) float64 {
 	}
 	p, pEnd := a.RowPtr[i], a.RowPtr[i+1]
 	q, qEnd := b.RowPtr[j], b.RowPtr[j+1]
-	var s float64
-	for p < pEnd && q < qEnd {
-		cp, cq := a.ColIdx[p], b.ColIdx[q]
-		switch {
-		case cp == cq:
-			s += a.Val[p] * b.Val[q]
-			p++
-			q++
-		case cp < cq:
-			p++
-		default:
-			q++
-		}
-	}
-	return s
+	return simd.MergeDot(0, a.ColIdx[p:pEnd], a.Val[p:pEnd], b.ColIdx[q:qEnd], b.Val[q:qEnd])
 }
 
 // SliceRows returns the submatrix of rows [r0, r1) with the same column

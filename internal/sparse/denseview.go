@@ -5,6 +5,7 @@ import (
 
 	"saco/internal/mat"
 	rt "saco/internal/runtime"
+	"saco/internal/simd"
 )
 
 // DenseCols adapts a dense matrix to the column-sampling access pattern of
@@ -47,15 +48,9 @@ func (d DenseCols) ColTMulVec(cols []int, v []float64, dst []float64) {
 		for k := klo; k < khi; k++ {
 			dst[k] = 0
 		}
+		kr := simd.Active()
 		for i := 0; i < d.A.R; i++ {
-			vi := v[i]
-			if vi == 0 {
-				continue
-			}
-			row := d.A.Row(i)
-			for k := klo; k < khi; k++ {
-				dst[k] += row[cols[k]] * vi
-			}
+			kr.GatherAxpy(v[i], dst[klo:khi], d.A.Row(i), cols[klo:khi])
 		}
 	})
 }
@@ -66,13 +61,9 @@ func (d DenseCols) ColMulAdd(cols []int, coef []float64, v []float64) {
 		panic("sparse: DenseCols.ColMulAdd shape mismatch")
 	}
 	rt.For(d.KernelWorkers(), d.A.R, 128, func(lo, hi int) {
+		kr := simd.Active()
 		for i := lo; i < hi; i++ {
-			row := d.A.Row(i)
-			var s float64
-			for k, j := range cols {
-				s += row[j] * coef[k]
-			}
-			v[i] += s
+			v[i] += kr.GatherDot(0, coef, cols, d.A.Row(i))
 		}
 	})
 }
@@ -88,6 +79,7 @@ func (d DenseCols) ColGram(cols []int, dst *mat.Dense) {
 	}
 	dst.Zero()
 	gramRows := func(alo, ahi int) {
+		kr := simd.Active()
 		for i := 0; i < d.A.R; i++ {
 			row := d.A.Row(i)
 			for a := alo; a < ahi; a++ {
@@ -95,10 +87,7 @@ func (d DenseCols) ColGram(cols []int, dst *mat.Dense) {
 				if va == 0 {
 					continue
 				}
-				drow := dst.Row(a)
-				for b := a; b < s; b++ {
-					drow[b] += va * row[cols[b]]
-				}
+				kr.GatherAxpy(va, dst.Row(a)[a:], row, cols[a:])
 			}
 		}
 	}
@@ -107,11 +96,7 @@ func (d DenseCols) ColGram(cols []int, dst *mat.Dense) {
 	} else {
 		gramRows(0, s)
 	}
-	for i := 1; i < s; i++ {
-		for j := 0; j < i; j++ {
-			dst.Set(i, j, dst.At(j, i))
-		}
-	}
+	dst.MirrorUpper()
 }
 
 // MulVec computes y = A·x across the kernel workers (row partition).
@@ -186,13 +171,13 @@ func (d DenseRows) RowGram(rows []int, dst *mat.Dense) {
 	if dst.R != s || dst.C != s {
 		panic("sparse: DenseRows.RowGram dst shape mismatch")
 	}
+	// Upper triangle only inside the parallel region; mirroring after the
+	// join avoids false sharing on other workers' Gram rows.
 	gramRows := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			ri := d.A.Row(rows[i])
 			for j := i; j < s; j++ {
-				v := mat.Dot(ri, d.A.Row(rows[j]))
-				dst.Set(i, j, v)
-				dst.Set(j, i, v)
+				dst.Set(i, j, mat.Dot(ri, d.A.Row(rows[j])))
 			}
 		}
 	}
@@ -201,6 +186,7 @@ func (d DenseRows) RowGram(rows []int, dst *mat.Dense) {
 	} else {
 		gramRows(0, s)
 	}
+	dst.MirrorUpper()
 }
 
 // MulVec computes y = A·x across the kernel workers (row partition).

@@ -5,6 +5,7 @@ import (
 
 	"saco/internal/mat"
 	rt "saco/internal/runtime"
+	"saco/internal/simd"
 )
 
 // Batched model-scoring kernels: y = A·x for a *sparse* coefficient
@@ -47,23 +48,10 @@ func (a *CSR) MulSparseVec(idx []int, val []float64, y []float64) {
 	}
 	checkSparseVec(a.N, idx, val)
 	rt.For(a.KernelWorkers(), a.M, 64, func(lo, hi int) {
+		kr := simd.Active()
 		for i := lo; i < hi; i++ {
-			var s float64
-			p, q := a.RowPtr[i], 0
-			end := a.RowPtr[i+1]
-			for p < end && q < len(idx) {
-				switch c, j := a.ColIdx[p], idx[q]; {
-				case c == j:
-					s += a.Val[p] * val[q]
-					p++
-					q++
-				case c < j:
-					p++
-				default:
-					q++
-				}
-			}
-			y[i] = s
+			p, end := a.RowPtr[i], a.RowPtr[i+1]
+			y[i] = kr.MergeDot(0, a.ColIdx[p:end], a.Val[p:end], idx, val)
 		}
 	})
 }

@@ -1,0 +1,136 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+
+	"saco/internal/mat"
+)
+
+// One test per Axpy-family variant: alpha == 0 (or an all-zero
+// coefficient) must leave the destination untouched bit for bit — no
+// -0 → +0 normalization, no NaN produced from 0·Inf — in the plain
+// kernel AND its atomic mirror, for both sparse matrices and dense
+// views. This pins the unified semantic documented in internal/simd
+// (historically CSR.RowTAxpyAtomic and mat.ScatterAxpy disagreed with
+// the rest of the family).
+
+// poison returns a destination whose bits detect any write: NaN, ±Inf,
+// -0 and ordinary values.
+func poison(n int) []float64 {
+	specials := []float64{math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1), 1.25, -3}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = specials[i%len(specials)]
+	}
+	return out
+}
+
+func assertUntouched(t *testing.T, what string, got, want []float64) {
+	t.Helper()
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: alpha==0 modified dst[%d]: %x -> %x",
+				what, i, math.Float64bits(want[i]), math.Float64bits(got[i]))
+		}
+	}
+}
+
+func zeroAlphaFixture(t *testing.T) (*CSR, *CSC, *mat.Dense) {
+	t.Helper()
+	a, err := NewCSR(3, 4,
+		[]int{0, 2, 3, 5},
+		[]int{0, 2, 1, 0, 3},
+		[]float64{1, math.Inf(1), -2, math.NaN(), 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, a.ToCSC(), a.ToDense()
+}
+
+func TestZeroAlphaCSRRowTAxpy(t *testing.T) {
+	a, _, _ := zeroAlphaFixture(t)
+	want := poison(a.N)
+	got := append([]float64(nil), want...)
+	a.RowTAxpy(2, 0, got)
+	assertUntouched(t, "CSR.RowTAxpy", got, want)
+}
+
+func TestZeroAlphaCSRRowTAxpyAtomic(t *testing.T) {
+	a, _, _ := zeroAlphaFixture(t)
+	want := poison(a.N)
+	v := mat.NewAtomicVecFrom(want)
+	a.RowTAxpyAtomic(2, 0, v)
+	assertUntouched(t, "CSR.RowTAxpyAtomic", v.Snapshot(nil), want)
+}
+
+func TestZeroAlphaDenseRowsRowTAxpy(t *testing.T) {
+	_, _, d := zeroAlphaFixture(t)
+	rows := DenseRows{A: d}
+	want := poison(d.C)
+	got := append([]float64(nil), want...)
+	rows.RowTAxpy(2, 0, got)
+	assertUntouched(t, "DenseRows.RowTAxpy", got, want)
+}
+
+func TestZeroAlphaDenseRowsRowTAxpyAtomic(t *testing.T) {
+	_, _, d := zeroAlphaFixture(t)
+	rows := DenseRows{A: d}
+	want := poison(d.C)
+	v := mat.NewAtomicVecFrom(want)
+	rows.RowTAxpyAtomic(2, 0, v)
+	assertUntouched(t, "DenseRows.RowTAxpyAtomic", v.Snapshot(nil), want)
+}
+
+func TestZeroAlphaCSCColMulAdd(t *testing.T) {
+	_, c, _ := zeroAlphaFixture(t)
+	want := poison(c.M)
+	got := append([]float64(nil), want...)
+	c.ColMulAdd([]int{0, 2, 3}, []float64{0, 0, 0}, got)
+	assertUntouched(t, "CSC.ColMulAdd", got, want)
+}
+
+func TestZeroAlphaCSCColMulAddAtomic(t *testing.T) {
+	_, c, _ := zeroAlphaFixture(t)
+	want := poison(c.M)
+	v := mat.NewAtomicVecFrom(want)
+	c.ColMulAddAtomic([]int{0, 2, 3}, []float64{0, 0, 0}, v)
+	assertUntouched(t, "CSC.ColMulAddAtomic", v.Snapshot(nil), want)
+}
+
+// The dense column view is documented out-of-family: ColMulAdd
+// accumulates a per-row dot that includes the zero coefficients and
+// adds the (exact zero) sum to v, and its atomic mirror must match that
+// — the pair's mutual consistency is the contract, asserted here on
+// finite data where both resolve to the same bits.
+func TestZeroAlphaDenseColsPairConsistent(t *testing.T) {
+	_, _, d := zeroAlphaFixture(t)
+	// Replace non-finite entries: the pair contract is bit-equality of
+	// plain vs atomic, checked on data where += 0 is well defined.
+	for i, v := range d.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			d.Data[i] = 0.5
+		}
+	}
+	cols := DenseCols{A: d}
+	base := []float64{1.25, math.Copysign(0, -1), -3, 2}[:d.R]
+	plain := append([]float64(nil), base...)
+	cols.ColMulAdd([]int{0, 2}, []float64{0, 0}, plain)
+	v := mat.NewAtomicVecFrom(base)
+	cols.ColMulAddAtomic([]int{0, 2}, []float64{0, 0}, v)
+	assertUntouched(t, "DenseCols plain vs atomic", v.Snapshot(nil), plain)
+}
+
+func TestZeroAlphaMatAxpy(t *testing.T) {
+	want := poison(7)
+	got := append([]float64(nil), want...)
+	mat.Axpy(0, []float64{1, math.Inf(1), math.NaN(), 2, 3, 4, 5}, got)
+	assertUntouched(t, "mat.Axpy", got, want)
+}
+
+func TestZeroAlphaMatScatterAxpy(t *testing.T) {
+	want := poison(7)
+	got := append([]float64(nil), want...)
+	mat.ScatterAxpy(0, got, []float64{math.Inf(1), math.NaN(), 2}, []int{1, 4, 6})
+	assertUntouched(t, "mat.ScatterAxpy", got, want)
+}
