@@ -111,7 +111,7 @@ type options struct {
 // solve joins the world, runs this rank's share of the solve, and (on
 // rank 0) reports the result in sasolve's output format, so a cluster
 // run byte-diffs against the simulated backend.
-func solve(stdout io.Writer, o *options) error {
+func solve(stdout io.Writer, o *options) (err error) {
 	if o.size <= 0 || o.rank < 0 || o.rank >= o.size {
 		return usageError{fmt.Sprintf("-rank %d -size %d: need 0 <= rank < size", o.rank, o.size)}
 	}
@@ -155,7 +155,14 @@ func solve(stdout io.Writer, o *options) error {
 	if err != nil {
 		return err
 	}
-	defer t.Close()
+	// A transport close failure is a real deployment signal (a peer hung
+	// up mid-teardown, a socket leaked): surface it unless the solve
+	// already failed for a more interesting reason.
+	defer func() {
+		if cerr := t.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("closing transport: %w", cerr)
+		}
+	}()
 	c := mpi.NewComm(t, m, 1)
 	src := dist.CSRSource{A: a}
 	cl := dist.Options{P: o.size, Machine: m}

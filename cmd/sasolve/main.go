@@ -124,7 +124,7 @@ type options struct {
 // flow back through error returns, so deferred cleanup (profiles, temp
 // shard caches) always runs — unlike the old os.Exit path, which could
 // leave a truncated CPU profile behind.
-func solve(stdout io.Writer, o *options) error {
+func solve(stdout io.Writer, o *options) (err error) {
 	exec, err := resolveBackend(o.backend, o.workers)
 	if err != nil {
 		return err
@@ -176,12 +176,16 @@ func solve(stdout io.Writer, o *options) error {
 			return err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			f.Close()
+			f.Close() //saco:nolint commerr best-effort close on an already-failing path; the first error is propagating and the success path checks Close
 			return err
 		}
+		// StopCPUProfile flushes the profile through f; a failed close
+		// here means a truncated profile, which must not report success.
 		defer func() {
 			pprof.StopCPUProfile()
-			f.Close()
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("closing cpu profile: %w", cerr)
+			}
 		}()
 	}
 
@@ -391,7 +395,7 @@ func solve(stdout io.Writer, o *options) error {
 		}
 		runtime.GC() // settle allocations so the profile shows retained heap
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			f.Close()
+			f.Close() //saco:nolint commerr best-effort close on an already-failing path; the first error is propagating and the success path checks Close
 			return err
 		}
 		if err := f.Close(); err != nil {
@@ -424,12 +428,12 @@ func writeModel(path string, x []float64) error {
 	bw := bufio.NewWriter(f)
 	for _, v := range x {
 		if _, err := fmt.Fprintf(bw, "%.17g\n", v); err != nil {
-			f.Close()
+			f.Close() //saco:nolint commerr best-effort close on an already-failing path; the first error is propagating and the success path checks Close
 			return err
 		}
 	}
 	if err := bw.Flush(); err != nil {
-		f.Close()
+		f.Close() //saco:nolint commerr best-effort close on an already-failing path; the first error is propagating and the success path checks Close
 		return err
 	}
 	return f.Close()

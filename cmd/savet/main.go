@@ -1,0 +1,191 @@
+// Command savet runs the repository's static-analysis suite
+// (internal/lint): the machine-checked form of the ROADMAP's
+// determinism and concurrency contracts.
+//
+// Standalone (the documented interface, used by CI and `make lint`):
+//
+//	go run ./cmd/savet ./...
+//	savet -only detfloat,commerr ./internal/...
+//	savet -list
+//
+// It also speaks enough of the `go vet -vettool` unit-checker protocol
+// to run as a vet tool:
+//
+//	go build -o savet ./cmd/savet && go vet -vettool=$(pwd)/savet ./...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"saco/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	// `go vet` probes its tool with -V=full and then invokes it once
+	// per package with a single *.cfg argument.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		fmt.Fprintln(stdout, "savet version 1")
+		return 0
+	}
+	// cmd/go also probes `tool -flags` for pass-through flag definitions;
+	// savet exposes none.
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Fprintln(stdout, "[]")
+		return 0
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return runVetCfg(args[0], stderr)
+	}
+
+	fs := flag.NewFlagSet("savet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: savet [-list] [-only a,b] packages...\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		var err error
+		analyzers, err = selectAnalyzers(analyzers, *only)
+		if err != nil {
+			fmt.Fprintln(stderr, "savet:", err)
+			return 2
+		}
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		fs.Usage()
+		return 2
+	}
+	pkgs, err := lint.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "savet:", err)
+		return 2
+	}
+	diags, err := lint.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "savet:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "savet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+func selectAnalyzers(all []*lint.Analyzer, names string) ([]*lint.Analyzer, error) {
+	byName := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, n := range strings.Split(names, ",") {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (try -list)", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// inModuleScope reports whether a vet-config import path names one of
+// this module's plain (non-test-variant) packages.
+func inModuleScope(path string) bool {
+	if path != "saco" && !strings.HasPrefix(path, "saco/") {
+		return false
+	}
+	return !strings.Contains(path, ".test") && !strings.Contains(path, " [")
+}
+
+// vetConfig is the subset of cmd/go's vet.cfg the tool needs.
+type vetConfig struct {
+	ImportPath  string
+	GoFiles     []string
+	PackageFile map[string]string
+	VetxOutput  string
+}
+
+// runVetCfg analyzes one package as described by a cmd/go vet config.
+func runVetCfg(cfgPath string, stderr io.Writer) int {
+	b, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "savet:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(b, &cfg); err != nil {
+		fmt.Fprintln(stderr, "savet: parsing vet config:", err)
+		return 2
+	}
+	// The driver expects a facts file even though savet keeps no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(stderr, "savet:", err)
+			return 2
+		}
+	}
+	// go vet also feeds the tool dependency packages (for facts) and
+	// test variants ("p [p.test]", "p.test", "p_test"). savet's
+	// contracts target the module's own non-test code — the same scope
+	// the standalone sweep covers — so everything else is a no-op.
+	if !inModuleScope(cfg.ImportPath) {
+		return 0
+	}
+	var files []string
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return 0
+	}
+	cfg.GoFiles = files
+	fset := token.NewFileSet()
+	imp := lint.NewImporter(fset, cfg.PackageFile)
+	pkg, err := lint.CheckFiles(fset, imp, cfg.ImportPath, cfg.GoFiles)
+	if err != nil {
+		fmt.Fprintln(stderr, "savet:", err)
+		return 2
+	}
+	diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, lint.All())
+	if err != nil {
+		fmt.Fprintln(stderr, "savet:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestVersionProbe(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-V=full"}, &out, &errOut); code != 0 {
+		t.Fatalf("-V=full: exit %d, stderr %q", code, errOut.String())
+	}
+	if !strings.HasPrefix(out.String(), "savet version ") {
+		t.Fatalf("-V=full output %q lacks the version banner go vet matches on", out.String())
+	}
+}
+
+func TestList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list: exit %d, stderr %q", code, errOut.String())
+	}
+	for _, name := range []string{"detfloat", "mapiter", "nondet", "commerr", "atomicguard"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"no packages", nil},
+		{"unknown analyzer", []string{"-only", "nosuch", "./..."}},
+		{"bad flag", []string{"-frobnicate"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			if code := run(tc.args, &out, &errOut); code != 2 {
+				t.Fatalf("args %v: exit %d, want 2 (stderr %q)", tc.args, code, errOut.String())
+			}
+			if errOut.Len() == 0 {
+				t.Fatalf("args %v: expected a usage message on stderr", tc.args)
+			}
+		})
+	}
+}
+
+// The standalone sweep over the repository itself must be clean — the
+// same gate CI enforces. Skipped in -short mode: it loads and
+// type-checks the whole module.
+func TestSweepClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	var out, errOut bytes.Buffer
+	code := run([]string{"saco/..."}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("savet saco/...: exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+}
+
+// End-to-end through the real `go vet -vettool` driver: builds the
+// binary and lets cmd/go speak the unit-checker protocol (the -V probe,
+// the .cfg invocation, the vetx facts file) against one small package.
+func TestVetToolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the savet binary and invokes go vet")
+	}
+	bin := t.TempDir() + "/savet"
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building savet: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "saco/internal/rng")
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool on a clean package: %v\n%s", err, out)
+	}
+}

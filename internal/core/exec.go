@@ -91,7 +91,7 @@ func (e Exec) width() int {
 	if e.Workers > 0 {
 		return e.Workers
 	}
-	return runtime.GOMAXPROCS(0)
+	return runtime.GOMAXPROCS(0) //saco:nolint nondet resolves Exec.Workers for the pool; worker count never reaches chunking or summation order
 }
 
 // kernelParallelizer is the optional capability the sparse matrix types

@@ -212,11 +212,11 @@ func WriteFile(path string, a *sparse.CSR, labels []float64) error {
 		return err
 	}
 	if err := Write(f, a, labels); err != nil {
-		f.Close()
+		f.Close() //saco:nolint commerr best-effort close on an already-failing path; the first error is propagating and the success path checks Close
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		f.Close() //saco:nolint commerr best-effort close on an already-failing path; the first error is propagating and the success path checks Close
 		return err
 	}
 	return f.Close()

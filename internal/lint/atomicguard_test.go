@@ -1,0 +1,30 @@
+package lint_test
+
+import (
+	"testing"
+
+	"saco/internal/lint"
+	"saco/internal/lint/linttest"
+)
+
+// The field rules, with the fixture masquerading as saco/internal/mat
+// so its AtomicVec is the guarded type: home-file access is legal only
+// underneath sync/atomic, any other file may not touch the field at
+// all.
+func TestAtomicGuardFields(t *testing.T) {
+	linttest.Run(t, lint.AtomicGuard, "testdata/atomicguard/mat", "saco/internal/mat")
+}
+
+// The package-variable rule for simd's dispatch pointer: loads and
+// swaps outside kernels.go are flagged, accessors and shadowing locals
+// are not.
+func TestAtomicGuardVars(t *testing.T) {
+	linttest.Run(t, lint.AtomicGuard, "testdata/atomicguard/simd", "saco/internal/simd")
+}
+
+// The registry keys on the real package paths: the same shapes in an
+// unrelated package define their own unguarded types and are clean.
+func TestAtomicGuardScope(t *testing.T) {
+	linttest.RunClean(t, lint.AtomicGuard, "testdata/atomicguard/mat", "saco/internal/core")
+	linttest.RunClean(t, lint.AtomicGuard, "testdata/atomicguard/simd", "saco/internal/core")
+}

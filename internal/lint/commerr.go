@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CommErr flags discarded errors from the communication and I/O
+// surfaces that PR 6 and PR 3 deliberately made error-returning:
+//
+//   - any error-returning method defined in internal/mpi — the
+//     Transport point-to-point contract (Send/Recv/Close) and the
+//     collectives — called with its error dropped (expression
+//     statement, defer, go, or an assignment to _), and
+//   - (*os.File).Close and .Sync with the error dropped, in the
+//     streaming/IO packages and the CLIs, where a swallowed close
+//     error hides a short write or lost flush.
+//
+// Best-effort teardown on an already-failing path is sometimes right —
+// that is what //saco:nolint commerr <reason> is for.
+var CommErr = &Analyzer{
+	Name: "commerr",
+	Doc: "flags discarded errors from internal/mpi Send/Recv/Close and collectives, " +
+		"and from file Close/Sync in the streaming packages and CLIs",
+	Run: runCommErr,
+}
+
+func runCommErr(pass *Pass) error {
+	inspectStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		kind := commErrTarget(pass, call)
+		if kind == "" {
+			return true
+		}
+		if why, discarded := discards(pass, call, stack); discarded {
+			pass.Report(call.Pos(),
+				"error from %s is discarded (%s): the call is error-returning by contract — handle it, or suppress with //saco:nolint commerr <reason> if teardown is genuinely best-effort",
+				kind, why)
+		}
+		return true
+	})
+	return nil
+}
+
+// commErrTarget classifies call as one of the guarded surfaces,
+// returning a human-readable description or "" if it is not guarded.
+func commErrTarget(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !returnsError(sig) {
+		return ""
+	}
+	if fn.Pkg().Path() == "saco/internal/mpi" {
+		return "mpi." + recvName(sig) + "." + fn.Name()
+	}
+	if fn.Pkg().Path() == "os" && (fn.Name() == "Close" || fn.Name() == "Sync") &&
+		recvName(sig) == "File" && inFileErrScope(pass.Path) {
+		return "(*os.File)." + fn.Name()
+	}
+	return ""
+}
+
+// recvName returns the bare type name of a method's receiver.
+func recvName(sig *types.Signature) string {
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}
+
+// returnsError reports whether any result of sig is the error type.
+func returnsError(sig *types.Signature) bool {
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	return t.String() == "error" && types.IsInterface(t)
+}
+
+// discards reports whether the error result of call is dropped given
+// its ancestor chain, and how.
+func discards(pass *Pass, call *ast.CallExpr, stack []ast.Node) (string, bool) {
+	if len(stack) == 0 {
+		return "", false
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.ExprStmt:
+		return "result unused", true
+	case *ast.DeferStmt:
+		if parent.Call == call {
+			return "deferred with no error check", true
+		}
+	case *ast.GoStmt:
+		if parent.Call == call {
+			return "go statement drops the result", true
+		}
+	case *ast.AssignStmt:
+		// The call must be the sole RHS for result positions to line up.
+		if len(parent.Rhs) != 1 || parent.Rhs[0] != call {
+			return "", false
+		}
+		sig := callSignature(pass, call)
+		if sig == nil {
+			return "", false
+		}
+		for i := 0; i < sig.Results().Len() && i < len(parent.Lhs); i++ {
+			if !isErrorType(sig.Results().At(i).Type()) {
+				continue
+			}
+			if id, ok := parent.Lhs[i].(*ast.Ident); !ok || id.Name != "_" {
+				return "", false // the error is captured
+			}
+		}
+		return "assigned to _", true
+	}
+	return "", false
+}
+
+// callSignature returns the signature of call's callee, if known.
+func callSignature(pass *Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.(*types.Signature)
+	return sig
+}

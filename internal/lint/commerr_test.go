@@ -1,0 +1,30 @@
+package lint_test
+
+import (
+	"testing"
+
+	"saco/internal/lint"
+	"saco/internal/lint/linttest"
+)
+
+// The transport surface: the fixture imports the real saco/internal/mpi
+// package, so the guarded methods are the genuine Send/Recv/Close and
+// collectives. Dropped errors flagged in every form (expression
+// statement, defer, go, assignment to _); handled and nolint'd calls
+// allowed.
+func TestCommErrTransport(t *testing.T) {
+	linttest.Run(t, lint.CommErr, "testdata/commerr/mpi", "saco/internal/dist")
+}
+
+// The file surface: (*os.File).Close and .Sync with dropped errors in a
+// streaming package.
+func TestCommErrFile(t *testing.T) {
+	linttest.Run(t, lint.CommErr, "testdata/commerr/file", "saco/internal/stream")
+}
+
+// File Close/Sync checking is scoped to the streaming/IO packages and
+// the CLIs; in a kernel package the same drops are not commerr's
+// concern.
+func TestCommErrFileScope(t *testing.T) {
+	linttest.RunClean(t, lint.CommErr, "testdata/commerr/file", "saco/internal/core")
+}

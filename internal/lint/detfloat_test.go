@@ -1,0 +1,32 @@
+package lint_test
+
+import (
+	"testing"
+
+	"saco/internal/lint"
+	"saco/internal/lint/linttest"
+)
+
+// The main fixture: lane-split reductions and math.FMA flagged in a
+// deterministic package, single-accumulator folds and nolint'd sites
+// allowed.
+func TestDetFloat(t *testing.T) {
+	linttest.Run(t, lint.DetFloat, "testdata/detfloat/src", "saco/internal/core")
+}
+
+// cmd/sabench is outside the deterministic set (benchmarks may sum
+// however they like), so the same fixture must produce nothing there.
+func TestDetFloatScope(t *testing.T) {
+	linttest.RunClean(t, lint.DetFloat, "testdata/detfloat/src", "saco/cmd/sabench")
+}
+
+// The simd reassoc set exemption is the package plus the file name:
+// reassoc.go under saco/internal/simd is silent, the identical file
+// under any other deterministic package is flagged.
+func TestDetFloatReassocExemption(t *testing.T) {
+	linttest.RunClean(t, lint.DetFloat, "testdata/detfloat/reassoc", "saco/internal/simd")
+}
+
+func TestDetFloatReassocShapeElsewhere(t *testing.T) {
+	linttest.Run(t, lint.DetFloat, "testdata/detfloat/reassoc", "saco/internal/core")
+}

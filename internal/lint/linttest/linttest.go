@@ -1,0 +1,219 @@
+// Package linttest runs internal/lint analyzers over testdata fixture
+// packages and checks their findings against // want comments — the
+// analysistest idiom, rebuilt on the repository's stdlib-only driver.
+//
+// A fixture directory holds one package's .go files. Each expected
+// finding is declared on the line it occurs:
+//
+//	s := s0 + s1 // want "reassociated float reduction"
+//
+// The quoted string is a regexp matched against the diagnostic
+// message; several `want` strings on one line expect several findings.
+// Every diagnostic must be matched by a want and every want must be
+// matched by a diagnostic, or the test fails.
+//
+// Fixtures are type-checked under a caller-chosen import path, which is
+// how a file in testdata masquerades as, say, saco/internal/core for a
+// scope-limited analyzer — and they may import real repository packages
+// (the harness serves export data for the whole module).
+package linttest
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"saco/internal/lint"
+)
+
+var (
+	once    sync.Once
+	imp     types.Importer
+	fset    *token.FileSet
+	loadErr error
+)
+
+// importerFor lazily builds one shared importer covering the module's
+// full dependency closure plus the stdlib packages fixtures use.
+func importerFor(t *testing.T) (*token.FileSet, types.Importer) {
+	t.Helper()
+	once.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			loadErr = err
+			return
+		}
+		exports, err := lint.ExportClosure(root,
+			"saco/...", "fmt", "os", "time", "sort", "math", "math/rand", "runtime", "sync/atomic")
+		if err != nil {
+			loadErr = err
+			return
+		}
+		fset = token.NewFileSet()
+		imp = lint.NewImporter(fset, exports)
+	})
+	if loadErr != nil {
+		t.Fatalf("linttest: loading export data: %v", loadErr)
+	}
+	return fset, imp
+}
+
+// ModuleRoot locates the repository root via the go command, for tests
+// that load real packages rather than fixtures.
+func ModuleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	return root
+}
+
+// moduleRoot locates the repository root via the go command.
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not in a module")
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// Run type-checks the fixture package in dir as import path asPath,
+// runs analyzer a over it (suppression comments included, so fixtures
+// can exercise //saco:nolint), and diffs the findings against the
+// fixture's want comments.
+func Run(t *testing.T, a *lint.Analyzer, dir, asPath string) {
+	t.Helper()
+	pkg, diags := analyze(t, []*lint.Analyzer{a}, dir, asPath)
+	checkWants(t, pkg, diags)
+}
+
+// RunClean runs analyzer a over the fixture in dir under asPath and
+// asserts it reports nothing, ignoring any want comments. This is how a
+// want-bearing fixture doubles as a scope or exemption test: re-checked
+// under an out-of-scope import path (or an exempt file name), the same
+// code must produce zero findings.
+func RunClean(t *testing.T, a *lint.Analyzer, dir, asPath string) {
+	t.Helper()
+	_, diags := analyze(t, []*lint.Analyzer{a}, dir, asPath)
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic under %s: %s", asPath, d)
+	}
+}
+
+// Diagnostics returns the raw findings of the given analyzers over the
+// fixture, for tests that assert on diagnostics directly instead of via
+// want comments (the nolint machinery needs this: a want comment cannot
+// share a line with the suppression under test).
+func Diagnostics(t *testing.T, as []*lint.Analyzer, dir, asPath string) []lint.Diagnostic {
+	t.Helper()
+	_, diags := analyze(t, as, dir, asPath)
+	return diags
+}
+
+// analyze loads the fixture package in dir under asPath and runs the
+// analyzers over it.
+func analyze(t *testing.T, as []*lint.Analyzer, dir, asPath string) (*lint.Package, []lint.Diagnostic) {
+	t.Helper()
+	fset, imp := importerFor(t)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("linttest: no fixture files in %s", dir)
+	}
+	pkg, err := lint.CheckFiles(fset, imp, asPath, files)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, as)
+	if err != nil {
+		t.Fatalf("linttest: running analyzers: %v", err)
+	}
+	return pkg, diags
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+var wantStrRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// checkWants matches diagnostics against want comments line by line.
+func checkWants(t *testing.T, pkg *lint.Package, diags []lint.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for name, src := range pkg.Src {
+		for i, lineText := range strings.Split(string(src), "\n") {
+			m := wantRE.FindStringSubmatch(lineText)
+			if m == nil {
+				continue
+			}
+			k := key{name, i + 1}
+			for _, qs := range wantStrRE.FindAllString(m[1], -1) {
+				unq, err := unquote(qs)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want string %s: %v", name, i+1, qs, err)
+				}
+				re, err := regexp.Compile(unq)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", name, i+1, unq, err)
+				}
+				wants[k] = append(wants[k], re)
+			}
+		}
+	}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		idx := -1
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			t.Errorf("unexpected diagnostic at %s", d)
+			continue
+		}
+		wants[k] = append(wants[k][:idx], wants[k][idx+1:]...)
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+		}
+	}
+}
+
+// unquote strips a want string's quotes, unescaping only \" and \\ so
+// regexp escapes like \( pass through to the regexp compiler verbatim.
+func unquote(s string) (string, error) {
+	var out strings.Builder
+	body := s[1 : len(s)-1]
+	for i := 0; i < len(body); i++ {
+		if body[i] == '\\' && i+1 < len(body) && (body[i+1] == '"' || body[i+1] == '\\') {
+			i++
+		}
+		out.WriteByte(body[i])
+	}
+	return out.String(), nil
+}

@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// Src maps each file name to its raw bytes; the nolint filter needs
+	// line text to tell trailing comments from standalone ones.
+	Src map[string][]byte
+}
+
+// listEntry is the subset of `go list -json` output the loader needs.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+}
+
+// ExportClosure resolves patterns with `go list` in dir and returns
+// just the import-path → export-data map; the fixture test harness
+// uses it to type-check testdata packages against the real repository
+// types.
+func ExportClosure(dir string, patterns ...string) (map[string]string, error) {
+	_, exports, err := listExports(dir, patterns...)
+	return exports, err
+}
+
+// listExports resolves patterns with `go list -export -deps -json` run
+// in dir, returning the target packages (everything matched by
+// patterns that is neither a dependency-only entry nor part of the
+// standard library) and a map from import path to export-data file
+// covering the full dependency closure. The go command compiles
+// through its build cache, so repeated runs are cheap and fully
+// offline.
+func listExports(dir string, patterns ...string) ([]listEntry, map[string]string, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	exports := make(map[string]string)
+	var targets []listEntry
+	dec := json.NewDecoder(&out)
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+		if !e.DepOnly && !e.Standard {
+			targets = append(targets, e)
+		}
+	}
+	return targets, exports, nil
+}
+
+// NewImporter returns a types.Importer that serves every import from
+// the export-data files in exports — the mechanism `go vet` uses to
+// type-check one package at a time.
+func NewImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// Load resolves patterns (relative to dir, "" meaning the current
+// directory) and returns the matched packages parsed and type-checked.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	targets, exports, err := listExports(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := NewImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		var names []string
+		for _, f := range t.GoFiles {
+			names = append(names, filepath.Join(t.Dir, f))
+		}
+		p, err := CheckFiles(fset, imp, t.ImportPath, names)
+		if err != nil {
+			return nil, err
+		}
+		p.Dir = t.Dir
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// CheckFiles parses and type-checks one package from explicit file
+// names under the import path asPath, resolving imports through imp.
+// It is the entry point for drivers that already know the file set —
+// the `go vet -vettool` protocol and the fixture test harness.
+func CheckFiles(fset *token.FileSet, imp types.Importer, asPath string, fileNames []string) (*Package, error) {
+	src := make(map[string][]byte, len(fileNames))
+	var files []*ast.File
+	for _, name := range fileNames {
+		b, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		src[name] = b
+		f, err := parser.ParseFile(fset, name, b, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(asPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", asPath, err)
+	}
+	return &Package{
+		Path:  asPath,
+		Fset:  fset,
+		Files: files,
+		Pkg:   pkg,
+		Info:  info,
+		Src:   src,
+	}, nil
+}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapIter flags range statements over maps in deterministic packages.
+// Go randomizes map iteration order on purpose; in a package whose
+// outputs are asserted bitwise-reproducible, feeding that order into
+// float accumulation, ordered output, or shard/manifest serialization
+// is a replay-breaking bug. The one recognized-safe shape is
+// collect-then-sort: a loop whose body only appends keys or values to
+// one slice which the same function later passes to a sort.* /
+// slices.Sort* call.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc: "flags range over maps in deterministic packages " +
+		"(map order is random; collect keys and sort, or keep a slice)",
+	Run: runMapIter,
+}
+
+func runMapIter(pass *Pass) error {
+	if !deterministicPkgs[pass.Path] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// Track the enclosing function body so the collect-then-sort
+		// escape can look for the later sort call.
+		inspectStack([]*ast.File{f}, func(n ast.Node, stack []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if collectThenSort(pass, rs, enclosingBody(stack)) {
+				return true
+			}
+			pass.Report(rs.For,
+				"iteration over map %s in a deterministic package: map order is random; "+
+					"collect the keys into a slice and sort it (or keep the data in a slice) before consuming",
+				types.ExprString(rs.X))
+			return true
+		})
+	}
+	return nil
+}
+
+// enclosingBody returns the body of the innermost function declaration
+// or literal on the stack.
+func enclosingBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// collectThenSort reports whether rs is the sanctioned shape: every
+// statement in its body appends to the same slice variable, and the
+// enclosing function later sorts that slice.
+func collectThenSort(pass *Pass, rs *ast.RangeStmt, body *ast.BlockStmt) bool {
+	if body == nil || len(rs.Body.List) == 0 {
+		return false
+	}
+	var target *types.Var
+	for _, stmt := range rs.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		v, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok {
+			if v, ok = pass.Info.Defs[id].(*types.Var); !ok {
+				return false
+			}
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if fid, ok := call.Fun.(*ast.Ident); !ok || fid.Name != "append" {
+			return false
+		}
+		if target == nil {
+			target = v
+		} else if target != v {
+			return false
+		}
+	}
+	if target == nil {
+		return false
+	}
+	// Look for a later sort.*(...) or slices.Sort*(...) mentioning the
+	// collected slice.
+	sorted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprMentions(pass, arg, target) {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// exprMentions reports whether v is referenced anywhere inside e.
+func exprMentions(pass *Pass, e ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == v {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

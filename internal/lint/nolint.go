@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// nolintPrefix introduces a suppression comment:
+//
+//	//saco:nolint <analyzer>[,<analyzer>] <reason>
+//
+// The reason is mandatory — a suppression without one is itself a
+// diagnostic — so every accepted deviation from the determinism and
+// concurrency contracts carries its justification in the source.
+const nolintPrefix = "//saco:nolint"
+
+// nolintEntry is one parsed suppression comment.
+type nolintEntry struct {
+	names  []string // analyzers suppressed
+	line   int      // line the suppression applies to
+	pos    token.Position
+	broken string // non-empty: why the comment itself is malformed
+}
+
+// suppressions scans a package's comments for //saco:nolint entries.
+// A trailing comment (code before it on the line) suppresses its own
+// line; a standalone comment suppresses the next line.
+func suppressions(p *Package) []nolintEntry {
+	var entries []nolintEntry
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Pos()).Filename
+		src := p.Src[name]
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, nolintPrefix) {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				e := nolintEntry{pos: pos, line: pos.Line}
+				if standalone(src, pos) {
+					e.line++
+				}
+				rest := strings.TrimPrefix(c.Text, nolintPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // some other directive, e.g. //saco:nolintXYZ
+				}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					e.broken = "suppression names no analyzer (want //saco:nolint <analyzer> <reason>)"
+				case len(fields) == 1:
+					e.broken = "suppression has no reason — the reason is mandatory (want //saco:nolint <analyzer> <reason>)"
+				default:
+					e.names = strings.Split(fields[0], ",")
+				}
+				entries = append(entries, e)
+			}
+		}
+	}
+	return entries
+}
+
+// standalone reports whether the comment at pos is alone on its line
+// (only whitespace before it), in which case it applies to the line
+// below rather than its own.
+func standalone(src []byte, pos token.Position) bool {
+	if src == nil || pos.Offset > len(src) {
+		return false
+	}
+	lineStart := bytes.LastIndexByte(src[:pos.Offset], '\n') + 1
+	return len(bytes.TrimSpace(src[lineStart:pos.Offset])) == 0
+}
+
+// applySuppressions drops diagnostics matched by a //saco:nolint entry
+// and appends a diagnostic for every malformed or unknown-name
+// suppression. known is the set of valid analyzer names.
+func applySuppressions(diags []Diagnostic, entries []nolintEntry, known map[string]bool) []Diagnostic {
+	type key struct {
+		file string
+		line int
+		name string
+	}
+	suppressed := make(map[key]bool)
+	var out []Diagnostic
+	for _, e := range entries {
+		if e.broken != "" {
+			out = append(out, Diagnostic{Analyzer: "nolint", Pos: e.pos, Message: e.broken})
+			continue
+		}
+		for _, n := range e.names {
+			if !known[n] {
+				out = append(out, Diagnostic{
+					Analyzer: "nolint", Pos: e.pos,
+					Message: fmt.Sprintf("suppression names unknown analyzer %q", n),
+				})
+				continue
+			}
+			suppressed[key{e.pos.Filename, e.line, n}] = true
+		}
+	}
+	for _, d := range diags {
+		if suppressed[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

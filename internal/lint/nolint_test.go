@@ -1,0 +1,114 @@
+package lint_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"saco/internal/lint"
+	"saco/internal/lint/linttest"
+)
+
+// The suppression machinery, asserted directly on the diagnostic list
+// (a want comment cannot share a line with the suppression under test).
+// The fixture is a hot-path package full of time.Now calls; nondet
+// supplies the findings and the //saco:nolint comments vary in
+// validity.
+func TestNolint(t *testing.T) {
+	const dir = "testdata/nolint/src"
+	diags := linttest.Diagnostics(t, lint.All(), dir, "saco/internal/core")
+
+	line := lineLocator(t, dir+"/src.go")
+	type want struct {
+		analyzer string
+		line     int
+		contains string
+	}
+	wants := []want{
+		// A suppression without a reason is malformed, and the finding
+		// it failed to suppress survives alongside the complaint.
+		{"nolint", line("func missingReason") + 1, "no reason"},
+		{"nondet", line("func missingReason") + 1, "time.Now"},
+		// An unknown analyzer name is reported and suppresses nothing.
+		{"nolint", line("func unknownName") + 1, `unknown analyzer "nodnet"`},
+		{"nondet", line("func unknownName") + 1, "time.Now"},
+		// Naming the wrong (but real) analyzer is well-formed, yet the
+		// nondet finding is untouched.
+		{"nondet", line("func wrongName") + 1, "time.Now"},
+		// No suppression at all.
+		{"nondet", line("func bare") + 1, "time.Now"},
+	}
+
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if matched[i] || d.Analyzer != w.analyzer || d.Pos.Line != w.line {
+				continue
+			}
+			if !strings.Contains(d.Message, w.contains) {
+				continue
+			}
+			matched[i], found = true, true
+			break
+		}
+		if !found {
+			t.Errorf("missing diagnostic: [%s] line %d containing %q", w.analyzer, w.line, w.contains)
+		}
+	}
+	// Everything else — in particular the valid trailing and standalone
+	// suppressions in ok and okStandalone — must be silent.
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+// Suppression names validate against the whole suite even when only a
+// subset of analyzers runs: `savet -only mapiter` over code carrying
+// valid nondet suppressions must not misreport them as unknown names.
+// Only the genuinely malformed comments still surface.
+func TestNolintKnownNamesWithSubset(t *testing.T) {
+	diags := linttest.Diagnostics(t, []*lint.Analyzer{lint.MapIter},
+		"testdata/nolint/src", "saco/internal/core")
+	var got []string
+	for _, d := range diags {
+		if strings.Contains(d.Message, `unknown analyzer "nondet"`) ||
+			strings.Contains(d.Message, `unknown analyzer "mapiter"`) {
+			t.Errorf("valid suite name misreported as unknown: %s", d)
+		}
+		got = append(got, d.Analyzer+": "+d.Message)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want exactly the two malformed suppressions:\n%s",
+			len(diags), strings.Join(got, "\n"))
+	}
+}
+
+// lineLocator maps a unique substring of the fixture to its 1-based
+// line number, so the assertions track the source instead of hard-coded
+// positions.
+func lineLocator(t *testing.T, path string) func(marker string) int {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading fixture: %v", err)
+	}
+	lines := strings.Split(string(src), "\n")
+	return func(marker string) int {
+		hit := 0
+		for i, l := range lines {
+			if strings.Contains(l, marker) {
+				if hit != 0 {
+					t.Fatalf("marker %q is not unique in %s", marker, path)
+				}
+				hit = i + 1
+			}
+		}
+		if hit == 0 {
+			t.Fatalf("marker %q not found in %s", marker, path)
+		}
+		return hit
+	}
+}

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// NonDet flags ambient nondeterminism in the solver/kernel hot paths:
+// math/rand (global or locally seeded — per-worker streams must come
+// from internal/rng, whose sequences are part of the trajectory's
+// bitwise class), time.Now (modeled clocks come from the cost model and
+// piggyback on transport frames; wall clocks belong in harnesses), and
+// runtime.GOMAXPROCS (worker-count sizing that leaks into chunking or
+// summation order makes the trajectory depend on the machine).
+var NonDet = &Analyzer{
+	Name: "nondet",
+	Doc: "flags math/rand, time.Now and GOMAXPROCS-dependent sizing in solver/kernel " +
+		"hot paths (streams come from internal/rng, clocks from the cost model)",
+	Run: runNonDet,
+}
+
+func runNonDet(pass *Pass) error {
+	if !hotPathPkgs[pass.Path] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Report(imp.Pos(),
+					"%s in a hot-path package: per-worker streams must come from internal/rng so the sequence is part of the deterministic trajectory", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case isPkgFunc(pass.Info, call, "time", "Now"):
+				pass.Report(call.Pos(),
+					"time.Now in a hot-path package: modeled clocks come from internal/costmodel and must be transport-invariant; wall clocks belong in harnesses")
+			case isPkgFunc(pass.Info, call, "runtime", "GOMAXPROCS"):
+				pass.Report(call.Pos(),
+					"runtime.GOMAXPROCS in a hot-path package: machine-dependent sizing must never reach chunking or summation order (resolve widths through the audited runtime.Resolve path)")
+			}
+			return true
+		})
+	}
+	return nil
+}

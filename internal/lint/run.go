@@ -1,0 +1,71 @@
+package lint
+
+import "sort"
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		DetFloat,
+		MapIter,
+		NonDet,
+		CommErr,
+		AtomicGuard,
+	}
+}
+
+// Names returns the set of valid analyzer names, including the
+// "nolint" pseudo-analyzer that reports malformed suppressions.
+func Names(as []*Analyzer) map[string]bool {
+	known := map[string]bool{"nolint": true}
+	for _, a := range as {
+		known[a.Name] = true
+	}
+	return known
+}
+
+// RunAnalyzers runs every analyzer over every package, applies
+// //saco:nolint suppressions, and returns the surviving diagnostics
+// sorted by position.
+func RunAnalyzers(pkgs []*Package, as []*Analyzer) ([]Diagnostic, error) {
+	// Suppressions validate against the whole suite (plus any extra
+	// analyzers passed in), not just the selected subset: running
+	// `savet -only detfloat` over a tree with valid nondet suppressions
+	// must not misreport them as unknown names.
+	known := Names(All())
+	for name := range Names(as) {
+		known[name] = true
+	}
+	var all []Diagnostic
+	for _, p := range pkgs {
+		var diags []Diagnostic
+		for _, a := range as {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     p.Fset,
+				Files:    p.Files,
+				Pkg:      p.Pkg,
+				Info:     p.Info,
+				Path:     p.Path,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+		all = append(all, applySuppressions(diags, suppressions(p), known)...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].Pos, all[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return all[i].Analyzer < all[j].Analyzer
+	})
+	return all, nil
+}

@@ -1,0 +1,53 @@
+// Fixture for atomicguard's field rules, type-checked as
+// saco/internal/mat. This file is the guarded field's home (atomic.go):
+// element access is legal only underneath a sync/atomic call.
+package src
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+type AtomicVec struct {
+	bits []uint64
+}
+
+func NewAtomicVec(n int) *AtomicVec {
+	return &AtomicVec{bits: make([]uint64, n)}
+}
+
+// Element access through sync/atomic: the contract.
+func (v *AtomicVec) Load(i int) float64 {
+	return math.Float64frombits(atomic.LoadUint64(&v.bits[i]))
+}
+
+func (v *AtomicVec) Store(i int, x float64) {
+	atomic.StoreUint64(&v.bits[i], math.Float64bits(x))
+}
+
+// Structure access (len, range index) is legal; it touches no element.
+func (v *AtomicVec) Len() int { return len(v.bits) }
+
+func (v *AtomicVec) Snapshot(dst []float64) {
+	for i := range v.bits {
+		dst[i] = math.Float64frombits(atomic.LoadUint64(&v.bits[i]))
+	}
+}
+
+// A plain element load tears under concurrent CAS writers.
+func (v *AtomicVec) torn(i int) uint64 {
+	return v.bits[i] // want "non-atomic element access"
+}
+
+// A plain element store is worse.
+func (v *AtomicVec) clobber(i int, x uint64) {
+	v.bits[i] = x // want "non-atomic element access"
+}
+
+// Pre-publication initialization is the sanctioned exception — with
+// its reason on record.
+func (v *AtomicVec) init(src []float64) {
+	for i, x := range src {
+		v.bits[i] = math.Float64bits(x) //saco:nolint atomicguard fixture: pre-publication init, the vector is not shared yet
+	}
+}

@@ -1,0 +1,17 @@
+// A second file of the same package: even naming the guarded field is
+// out of contract here — everything goes through the accessors.
+package src
+
+import "sync/atomic"
+
+func peek(v *AtomicVec) []uint64 {
+	return v.bits // want "outside its home file"
+}
+
+func pokeAtomically(v *AtomicVec, i int, x uint64) {
+	atomic.StoreUint64(&v.bits[i], x) // want "outside its home file"
+}
+
+func throughAccessor(v *AtomicVec, i int) float64 {
+	return v.Load(i)
+}

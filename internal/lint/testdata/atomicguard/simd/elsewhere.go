@@ -1,0 +1,16 @@
+// Outside kernels.go the dispatch pointer is off limits, even through
+// its own atomic methods — swaps must go through Use.
+package src
+
+func sneakySwap(k *Kernels) {
+	active.Store(k) // want "outside its home file"
+}
+
+func throughAccessor() *Kernels {
+	return Active()
+}
+
+func shadowed() int {
+	active := 3 // a local sharing the name is fine
+	return active
+}

@@ -1,0 +1,16 @@
+// Fixture for atomicguard's package-variable rule, type-checked as
+// saco/internal/simd. This file is the dispatch pointer's home
+// (kernels.go): loads and swaps here are the audited surface.
+package src
+
+import "sync/atomic"
+
+type Kernels struct {
+	name string
+}
+
+var active atomic.Pointer[Kernels]
+
+func Active() *Kernels { return active.Load() }
+
+func Use(k *Kernels) { active.Store(k) }

@@ -1,0 +1,46 @@
+// Fixture for the commerr analyzer's file rule, type-checked as
+// saco/internal/stream (one of the packages where a dropped Close or
+// Sync hides a short write).
+package src
+
+import "os"
+
+func spill(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close() // want "error from \\(\\*os.File\\).Close is discarded"
+		return err
+	}
+	f.Sync() // want "error from \\(\\*os.File\\).Sync is discarded"
+	return f.Close()
+}
+
+func read(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() // want "deferred with no error check"
+	var b [64]byte
+	n, err := f.Read(b[:])
+	return b[:n], err
+}
+
+// The checked forms are the contract.
+func checked(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close() //saco:nolint commerr fixture: best-effort close, the write error is propagating
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}

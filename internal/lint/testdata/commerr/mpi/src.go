@@ -1,0 +1,58 @@
+// Fixture for the commerr analyzer's transport rule, type-checked as
+// saco/internal/dist against the real saco/internal/mpi types.
+package src
+
+import "saco/internal/mpi"
+
+func dropClose(t mpi.Transport) {
+	t.Close() // want "error from mpi.Transport.Close is discarded"
+}
+
+func deferClose(t mpi.Transport) {
+	defer t.Close() // want "deferred with no error check"
+}
+
+func blankClose(t mpi.Transport) {
+	_ = t.Close() // want "assigned to _"
+}
+
+func dropSend(t mpi.Transport, m mpi.Message) {
+	t.Send(1, m) // want "error from mpi.Transport.Send is discarded"
+}
+
+func dropRecvErr(t mpi.Transport) mpi.Message {
+	m, _ := t.Recv(0) // want "assigned to _"
+	return m
+}
+
+func dropCollective(c *mpi.Comm) {
+	c.Barrier() // want "error from mpi.Comm.Barrier is discarded"
+}
+
+// Handling the error is the contract.
+func handledClose(t mpi.Transport) error {
+	return t.Close()
+}
+
+func handledRecv(t mpi.Transport) (mpi.Message, error) {
+	return t.Recv(0)
+}
+
+func checkedDefer(t mpi.Transport) (err error) {
+	defer func() {
+		if cerr := t.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return nil
+}
+
+// Error-free transport methods are not error-returning: no finding.
+func rank(t mpi.Transport) int {
+	return t.Rank()
+}
+
+// Best-effort teardown is sanctioned only with a written reason.
+func teardown(t mpi.Transport) {
+	t.Close() //saco:nolint commerr fixture: best-effort teardown on a failing path
+}

@@ -1,0 +1,24 @@
+// The internal/simd opt-in reassoc set: the one file where lane-split
+// reductions are the contract (tolerance-gated, excluded from the
+// deterministic matrix). Type-checked as saco/internal/simd with this
+// file name, detfloat must stay silent (linttest.RunClean ignores the
+// want below); re-checked under any other import path, the identical
+// code is flagged — the exemption is the package plus the file name,
+// not the shape.
+package src
+
+func reassocDot(x, y []float64) float64 {
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	s := (s0 + s1) + (s2 + s3) // want "reassociated float reduction"
+	for ; i < len(x); i++ {
+		s += x[i] * y[i]
+	}
+	return s
+}

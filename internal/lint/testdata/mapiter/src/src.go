@@ -1,0 +1,61 @@
+// Fixture for the mapiter analyzer, type-checked as a deterministic
+// package (saco/internal/stream).
+package src
+
+import "sort"
+
+// Map order feeding a float accumulator: the sum is reproducible only
+// by accident of Go's randomized iteration.
+func sumMap(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m { // want "iteration over map"
+		s += v
+	}
+	return s
+}
+
+// Map order feeding ordered output (a manifest/serialization shape).
+func serialize(m map[string]int, emit func(string)) {
+	for k := range m { // want "iteration over map"
+		emit(k)
+	}
+}
+
+// The sanctioned shape: collect the keys, sort, then consume.
+func sortedKeys(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Collect-then-sort through sort.Slice works too.
+func sortedVals(m map[string]float64) []float64 {
+	var vals []float64
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// Ranging a slice is always fine.
+func sumSlice(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+// An order-invariant fold can be suppressed, with its reason.
+func count(m map[int]int) int {
+	n := 0
+	//saco:nolint mapiter pure cardinality: the count is iteration-order-invariant
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,41 @@
+// Fixture for the suppression machinery itself, type-checked as a
+// hot-path package (saco/internal/core) so nondet provides the
+// findings to suppress. Asserted directly by nolint_test.go rather
+// than via want comments (a want comment cannot share a line with the
+// suppression under test).
+package src
+
+import "time"
+
+// Valid trailing suppression — silent.
+func ok() time.Time {
+	return time.Now() //saco:nolint nondet fixture: justified deviation
+}
+
+// A standalone suppression applies to the next line — silent.
+func okStandalone() time.Time {
+	//saco:nolint nondet fixture: justified deviation, standalone form
+	return time.Now()
+}
+
+// Suppression without a reason — malformed, and the finding
+// it failed to suppress survives too.
+func missingReason() time.Time {
+	return time.Now() //saco:nolint nondet
+}
+
+// Suppression naming an unknown analyzer — malformed, finding
+// survives.
+func unknownName() time.Time {
+	return time.Now() //saco:nolint nodnet typo in the analyzer name
+}
+
+// Suppression naming a different analyzer — finding survives.
+func wrongName() time.Time {
+	return time.Now() //saco:nolint mapiter reason aimed at the wrong analyzer
+}
+
+// Unsuppressed finding.
+func bare() time.Time {
+	return time.Now()
+}

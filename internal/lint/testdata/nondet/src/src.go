@@ -1,0 +1,35 @@
+// Fixture for the nondet analyzer, type-checked as a hot-path package
+// (saco/internal/core).
+package src
+
+import (
+	"math/rand" // want "math/rand"
+	"runtime"
+	"time"
+)
+
+func ambient(r *rand.Rand) float64 {
+	return r.Float64()
+}
+
+func stamp() time.Time {
+	return time.Now() // want "time.Now"
+}
+
+func width() int {
+	return runtime.GOMAXPROCS(0) // want "GOMAXPROCS"
+}
+
+func sanctionedWidth() int {
+	return runtime.GOMAXPROCS(0) //saco:nolint nondet fixture: the audited width-resolution seam
+}
+
+// Using the time package without consulting a wall clock is fine.
+func later(t time.Time, d time.Duration) time.Time {
+	return t.Add(d)
+}
+
+// NumCPU is not GOMAXPROCS; other runtime introspection stays legal.
+func cpus() int {
+	return runtime.NumCPU()
+}

@@ -30,7 +30,7 @@ func NewAtomicVec(n int) *AtomicVec {
 func NewAtomicVecFrom(src []float64) *AtomicVec {
 	v := NewAtomicVec(len(src))
 	for i, x := range src {
-		v.bits[i] = math.Float64bits(x)
+		v.bits[i] = math.Float64bits(x) //saco:nolint atomicguard pre-publication init: the vector is not shared yet, plain stores cannot tear
 	}
 	return v
 }

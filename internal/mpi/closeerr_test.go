@@ -1,0 +1,73 @@
+package mpi
+
+import (
+	"errors"
+	"testing"
+)
+
+// closeFailTransport is a stub endpoint whose Close fails; the bodies
+// under test never actually message.
+type closeFailTransport struct {
+	rank, size int
+	closeErr   error
+}
+
+func (t *closeFailTransport) Rank() int               { return t.rank }
+func (t *closeFailTransport) Size() int               { return t.size }
+func (t *closeFailTransport) Send(int, Message) error { return nil }
+func (t *closeFailTransport) Recv(int) (Message, error) {
+	return Message{}, errors.New("closeFailTransport: no messages")
+}
+func (t *closeFailTransport) Close() error { return t.closeErr }
+
+// A transport close failure on an otherwise-clean rank must surface
+// from the driver instead of being swallowed by the deferred teardown
+// (the commerr finding this regression test pins down).
+func TestRunWorldSurfacesCloseError(t *testing.T) {
+	boom := errors.New("socket leaked")
+	_, err := runWorld(3, 1, Machine{}, func(c *Comm) error { return nil },
+		func(rank int) (Transport, error) {
+			var cerr error
+			if rank == 1 {
+				cerr = boom
+			}
+			return &closeFailTransport{rank: rank, size: 3, closeErr: cerr}, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("runWorld error = %v, want the rank-1 close failure", err)
+	}
+}
+
+// When the rank body itself failed, that root cause wins over the
+// close error — teardown noise must not mask the real failure.
+func TestRunWorldBodyErrorBeatsCloseError(t *testing.T) {
+	bodyErr := errors.New("solver diverged")
+	closeErr := errors.New("socket leaked")
+	_, err := runWorld(2, 1, Machine{},
+		func(c *Comm) error {
+			if c.Rank() == 0 {
+				return bodyErr
+			}
+			return nil
+		},
+		func(rank int) (Transport, error) {
+			return &closeFailTransport{rank: rank, size: 2, closeErr: closeErr}, nil
+		})
+	if !errors.Is(err, bodyErr) {
+		t.Fatalf("runWorld error = %v, want the body error", err)
+	}
+}
+
+// Clean bodies over clean transports: no error at all.
+func TestRunWorldCleanClose(t *testing.T) {
+	stats, err := runWorld(2, 1, Machine{}, func(c *Comm) error { return nil },
+		func(rank int) (Transport, error) {
+			return &closeFailTransport{rank: rank, size: 2}, nil
+		})
+	if err != nil {
+		t.Fatalf("runWorld: %v", err)
+	}
+	if len(stats.PerRank) != 2 {
+		t.Fatalf("PerRank = %d entries, want 2", len(stats.PerRank))
+	}
+}

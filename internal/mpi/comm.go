@@ -196,7 +196,7 @@ func RunHybrid(ctx context.Context, p, cores int, m Machine, body func(c *Comm) 
 func runWorld(p, cores int, m Machine, body func(c *Comm) error, dial func(rank int) (Transport, error)) (*Stats, error) {
 	errs := make([]error, p)
 	stats := make([]RankStats, p)
-	start := time.Now()
+	start := time.Now() //saco:nolint nondet wall-clock harness stat (Stats.Wall) only; modeled time comes from the costmodel clocks piggybacked on frames
 	var wg sync.WaitGroup
 	for r := 0; r < p; r++ {
 		wg.Add(1)
@@ -207,7 +207,15 @@ func runWorld(p, cores int, m Machine, body func(c *Comm) error, dial func(rank 
 				errs[rank] = err
 				return
 			}
-			defer t.Close()
+			// A close failure on an otherwise-clean rank is a real
+			// error (leaked socket, peer torn down mid-frame): record
+			// it so firstError can surface it instead of silently
+			// swallowing the teardown.
+			defer func() {
+				if cerr := t.Close(); cerr != nil && errs[rank] == nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d: closing transport: %w", rank, cerr)
+				}
+			}()
 			comm := NewComm(t, m, cores)
 			errs[rank] = body(comm)
 			stats[rank] = comm.st

@@ -135,7 +135,7 @@ func DialTCP(ctx context.Context, rank, size int, addr string, opt *TCPOptions) 
 		err = t.bootstrapPeer(ctx, addr)
 	}
 	if err != nil {
-		t.Close()
+		t.Close() //saco:nolint commerr best-effort teardown of a half-built mesh; the bootstrap error is propagating
 		return nil, fmt.Errorf("mpi: rank %d: tcp bootstrap: %w", rank, err)
 	}
 	for p := 0; p < size; p++ {
@@ -378,7 +378,7 @@ func (t *transportTCP) Send(dst int, msg Message) error {
 	for i, v := range msg.Data {
 		binary.LittleEndian.PutUint64(buf[frameHdrBytes+8*i:], math.Float64bits(v))
 	}
-	conn.SetWriteDeadline(time.Now().Add(t.opt.SendTimeout))
+	conn.SetWriteDeadline(time.Now().Add(t.opt.SendTimeout)) //saco:nolint nondet socket write deadline: I/O pacing only, never trajectory time
 	if _, err := conn.Write(buf); err != nil {
 		return &PeerError{Rank: t.rank, Peer: dst, Op: "send", Tag: msg.Tag, Err: err}
 	}
@@ -542,7 +542,7 @@ func bootTCPRoot(ctx context.Context, ln net.Listener, size int, opt *TCPOptions
 	err := t.acceptPeers(ctx, ln)
 	ln.Close() // rendezvous is over either way
 	if err != nil {
-		t.Close()
+		t.Close() //saco:nolint commerr best-effort teardown of a half-built mesh; the bootstrap error is propagating
 		return nil, fmt.Errorf("mpi: rank 0: tcp bootstrap: %w", err)
 	}
 	for p := 1; p < size; p++ {

@@ -46,7 +46,7 @@ func Resolve(w int) int {
 	if w > 0 {
 		return w
 	}
-	return stdruntime.GOMAXPROCS(0)
+	return stdruntime.GOMAXPROCS(0) //saco:nolint nondet width sizes the worker pool only; For chunk geometry and Reduce summation order are fixed independently of it
 }
 
 // cacheLineItems is one 64-byte cache line of float64s. For-chunk sizes

@@ -475,12 +475,16 @@ func (c *shardCache) insertLocked(i int, block shardBlock) *cacheEntry {
 }
 
 // evictLocked drops least-recently-used entries above the budget,
-// sparing keep (the entry just produced).
+// sparing keep (the entry just produced). Victim selection tie-breaks
+// on the lower shard index so the choice — and therefore the cache's
+// load/eviction counters — is identical on every run even when two
+// entries share a use tick; map iteration order never leaks out.
 func (c *shardCache) evictLocked(keep int) {
 	for len(c.entries) > c.max {
 		victim, oldest := -1, int64(1<<62)
+		//saco:nolint mapiter min-selection with a deterministic (used, idx) tie-break: the result is iteration-order-invariant
 		for idx, e := range c.entries {
-			if idx != keep && e.used < oldest {
+			if idx != keep && (e.used < oldest || (e.used == oldest && idx < victim)) {
 				victim, oldest = idx, e.used
 			}
 		}

@@ -257,11 +257,11 @@ func writeShard(path string, layout Layout, codec Codec, block shardBlock) error
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
-		f.Close()
+		f.Close() //saco:nolint commerr best-effort close on an already-failing path; the first error is propagating and the success path checks Close
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		f.Close() //saco:nolint commerr best-effort close on an already-failing path; the first error is propagating and the success path checks Close
 		return err
 	}
 	return f.Close()
@@ -547,7 +547,7 @@ func writeManifest(d *Dataset) (err error) {
 	hdr[56] = byte(d.layout)
 	hdr[57] = byte(d.codec)
 	if _, err := bw.Write(hdr[:]); err != nil {
-		f.Close()
+		f.Close() //saco:nolint commerr best-effort close on an already-failing path; the first error is propagating and the success path checks Close
 		return err
 	}
 	var rec [12]byte
@@ -555,7 +555,7 @@ func writeManifest(d *Dataset) (err error) {
 		binary.LittleEndian.PutUint32(rec[:], uint32(sh.Rows))
 		binary.LittleEndian.PutUint64(rec[4:], uint64(sh.NNZ))
 		if _, err := bw.Write(rec[:]); err != nil {
-			f.Close()
+			f.Close() //saco:nolint commerr best-effort close on an already-failing path; the first error is propagating and the success path checks Close
 			return err
 		}
 	}
@@ -563,15 +563,15 @@ func writeManifest(d *Dataset) (err error) {
 	if err := writeChunked(bw, buf, len(d.B), 8, func(k int, b []byte) {
 		binary.LittleEndian.PutUint64(b, math.Float64bits(d.B[k]))
 	}); err != nil {
-		f.Close()
+		f.Close() //saco:nolint commerr best-effort close on an already-failing path; the first error is propagating and the success path checks Close
 		return err
 	}
 	if err := bw.Flush(); err != nil {
-		f.Close()
+		f.Close() //saco:nolint commerr best-effort close on an already-failing path; the first error is propagating and the success path checks Close
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		f.Close() //saco:nolint commerr best-effort close on an already-failing path; the first error is propagating and the success path checks Close
 		return err
 	}
 	return f.Close()
@@ -600,7 +600,7 @@ func readManifest(dir string) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //saco:nolint commerr read-only fd; a close failure after a successful read cannot lose data
 	br := bufio.NewReaderSize(f, 1<<20)
 	var hdr [56]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {

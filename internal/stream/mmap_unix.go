@@ -22,7 +22,7 @@ func mmapFile(path string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //saco:nolint commerr the fd may close once the mapping exists; the mapping survives and no write is outstanding
 	st, err := f.Stat()
 	if err != nil {
 		return nil, err

@@ -162,7 +162,7 @@ func BuildFile(path, dir string, opt BuildOptions) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //saco:nolint commerr read-only fd; a close failure after a successful read cannot lose data
 	st, err := f.Stat()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,19 @@
+//go:build tools
+
+// This file is the conventional home of tool-dependency pins
+// (anonymous imports under a "tools" build tag, so `go mod tidy` keeps
+// the versions in go.mod).
+//
+// It is deliberately empty: the static-analysis suite (internal/lint,
+// cmd/savet) is written against the standard library alone — its
+// analyzers mirror the golang.org/x/tools/go/analysis API shape but do
+// not import it, so the module keeps its zero-dependency contract and
+// builds in fully offline environments. If the repository ever adopts
+// x/tools (multichecker, analysistest, facts), pin it here:
+//
+//	import (
+//		_ "golang.org/x/tools/go/analysis/multichecker"
+//	)
+//
+// and vendor it, so offline builds keep working.
+package tools
