@@ -24,7 +24,12 @@
 //	    ...
 //	  ],
 //	  "solver": {"bench": "lasso-2048x1024", "scalar_ms": ...,
-//	             "dispatched_ms": ..., "speedup": ...}
+//	             "dispatched_ms": ..., "speedup": ...},
+//	  "serve": {"bench": "serve-predict-4096", "clients": ...,
+//	            "p99_budget_ms": 5,            // admission queue-delay budget
+//	            "raw_req_s": ..., "raw_p99_ms": ...,          // unbounded queue
+//	            "admission_req_s": ..., "admission_p99_ms": ...,
+//	            "admission_shed_rate": ...}    // fraction answered 429
 //	}
 //
 // Future PRs append comparable points with -append; points are only
@@ -83,6 +88,7 @@ type benchEntry struct {
 	Short      bool          `json:"short,omitempty"`
 	Kernels    []kernelPoint `json:"kernels"`
 	Solver     *solverPoint  `json:"solver,omitempty"`
+	Serve      *servePoint   `json:"serve,omitempty"`
 }
 
 type options struct {
@@ -183,6 +189,14 @@ func bench(o options, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "%-18s scalar %10.1f ms      %-8s %10.1f ms      %+6.1f%%\n",
 			sp.Bench, sp.ScalarMs, dispatched.Name(), sp.DispatchMs,
 			100*(sp.DispatchMs-sp.ScalarMs)/sp.ScalarMs)
+
+		sv, err := serveBench(o)
+		if err != nil {
+			return err
+		}
+		entry.Serve = sv
+		fmt.Fprintf(stdout, "%-18s raw %8.0f req/s (p99 %6.2f ms)   admission %8.0f req/s (p99 %6.2f ms, %4.1f%% shed, %.0f ms budget)\n",
+			sv.Bench, sv.RawReqS, sv.RawP99Ms, sv.AdmReqS, sv.AdmP99Ms, 100*sv.AdmShedRate, sv.P99BudgetMs)
 	}
 
 	if o.outPath != "" {

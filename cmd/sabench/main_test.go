@@ -39,6 +39,10 @@ func TestTrajectoryRoundTrip(t *testing.T) {
 	if e.Solver == nil || e.Solver.ScalarMs <= 0 || e.Solver.DispatchMs <= 0 {
 		t.Fatalf("solver point missing or unmeasured: %+v", e.Solver)
 	}
+	if e.Serve == nil || e.Serve.RawReqS <= 0 || e.Serve.AdmReqS <= 0 ||
+		e.Serve.RawP99Ms <= 0 || e.Serve.AdmP99Ms <= 0 {
+		t.Fatalf("serving point missing or unmeasured: %+v", e.Serve)
+	}
 	if !strings.Contains(out.String(), "trajectory entry written") {
 		t.Fatalf("no write confirmation in output: %q", out.String())
 	}

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"saco"
+)
+
+// servePoint is one serving-path measurement: closed-loop clients
+// hammer /predict through the micro-batching dispatcher, once with an
+// effectively unbounded queue (raw) and once with admission control
+// (bounded queue + a queue-delay budget matching the p99 target). The
+// pair records the tradeoff the serving layer makes under overload:
+// raw keeps every request but lets tail latency grow with the queue;
+// admission control holds p99 near the budget by shedding the excess.
+type servePoint struct {
+	Bench       string  `json:"bench"`
+	Clients     int     `json:"clients"`
+	P99BudgetMs float64 `json:"p99_budget_ms"`
+	RawReqS     float64 `json:"raw_req_s"`
+	RawP99Ms    float64 `json:"raw_p99_ms"`
+	AdmReqS     float64 `json:"admission_req_s"`
+	AdmP99Ms    float64 `json:"admission_p99_ms"`
+	AdmShedRate float64 `json:"admission_shed_rate"`
+}
+
+// serveBench measures the two admission configurations over one
+// published model. Numbers are load-dependent operational throughput,
+// not kernel timings — comparable only within a machine class, like
+// the solver point.
+func serveBench(o options) (*servePoint, error) {
+	features, nnz, rowNNZ := 4096, 512, 48
+	dur := time.Second
+	if o.short {
+		features, nnz, rowNNZ = 512, 64, 16
+		dur = 250 * time.Millisecond
+	}
+	rowsPerReq := 8 // heavy enough that the closed-loop fleet overruns one worker
+	clients := 8 * runtime.GOMAXPROCS(0)
+	if clients < 16 {
+		clients = 16
+	}
+	const budgetMs = 2.0
+
+	dir, err := os.MkdirTemp("", "sabench-serve-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir) //nolint:errcheck // best-effort temp cleanup
+
+	reg, err := saco.OpenModelRegistry(dir)
+	if err != nil {
+		return nil, err
+	}
+	x := make([]float64, features)
+	for i := 0; i < nnz; i++ {
+		x[i*(features/nnz)] = 1.0 + float64(i%7)
+	}
+	if _, err := reg.Publish(saco.NewModel(saco.KindLasso, x)); err != nil {
+		return nil, err
+	}
+
+	// A LIBSVM request of rowsPerReq rows, each touching rowNNZ features
+	// spread over the model's width.
+	var req strings.Builder
+	for r := 0; r < rowsPerReq; r++ {
+		// Indices strictly increase within a row; the +r offset varies
+		// the rows without changing the access pattern class.
+		for k := 0; k < rowNNZ; k++ {
+			fmt.Fprintf(&req, "%d:%g ", 1+k*(features/rowNNZ)+r, 0.5+float64(k%5))
+		}
+		req.WriteString("\n")
+	}
+	body := req.String()
+
+	sp := &servePoint{
+		Bench:       fmt.Sprintf("serve-predict-%d", features),
+		Clients:     clients,
+		P99BudgetMs: budgetMs,
+	}
+	// Workers 1 keeps the scoring path serial so the client fleet can
+	// actually overrun it; the interesting quantity is the queue's
+	// behaviour, not kernel width.
+	raw := saco.ServeOptions{Workers: 1, MaxBatch: 64, QueueDepth: 1 << 15}
+	adm := saco.ServeOptions{Workers: 1, MaxBatch: 64, QueueDepth: 256,
+		MaxQueueDelay: time.Duration(budgetMs * float64(time.Millisecond))}
+
+	sp.RawReqS, sp.RawP99Ms, _, err = serveLoad(reg, raw, body, clients, dur)
+	if err != nil {
+		return nil, err
+	}
+	sp.AdmReqS, sp.AdmP99Ms, sp.AdmShedRate, err = serveLoad(reg, adm, body, clients, dur)
+	if err != nil {
+		return nil, err
+	}
+	return sp, nil
+}
+
+// serveLoad drives one configuration with a closed-loop client fleet
+// and returns (scored req/s, p99 ms over scored requests, shed rate).
+func serveLoad(reg *saco.ModelRegistry, opt saco.ServeOptions, body string, clients int, dur time.Duration) (reqS, p99Ms, shedRate float64, err error) {
+	srv := saco.NewServer(reg, opt)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: clients}}
+	defer client.CloseIdleConnections()
+
+	type tally struct {
+		lat  []float64 // ms, 200s only
+		shed int
+		err  error
+	}
+	tallies := make([]tally, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(dur)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(tl *tally) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				resp, err := client.Post(ts.URL+"/predict", "text/plain", strings.NewReader(body))
+				if err != nil {
+					tl.err = err
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close() //nolint:errcheck // drained response body
+				switch resp.StatusCode {
+				case http.StatusOK:
+					tl.lat = append(tl.lat, float64(time.Since(t0).Microseconds())/1000)
+				case http.StatusTooManyRequests:
+					tl.shed++
+				default:
+					tl.err = fmt.Errorf("predict answered %d", resp.StatusCode)
+					return
+				}
+			}
+		}(&tallies[c])
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	var lat []float64
+	shed := 0
+	for i := range tallies {
+		if tallies[i].err != nil {
+			return 0, 0, 0, tallies[i].err
+		}
+		lat = append(lat, tallies[i].lat...)
+		shed += tallies[i].shed
+	}
+	if len(lat) == 0 {
+		return 0, 0, 0, fmt.Errorf("serving bench scored nothing in %v", dur)
+	}
+	sort.Float64s(lat)
+	p99 := lat[min((len(lat)*99)/100, len(lat)-1)]
+	total := len(lat) + shed
+	return float64(len(lat)) / elapsed, p99, float64(shed) / float64(total), nil
+}

@@ -44,6 +44,16 @@ var guardedFields = []guardedField{
 		home: "registry.go",
 		why:  "the serving model pointer: readers must load it wait-free through Current",
 	},
+	{
+		pkg: "saco/internal/metrics", typ: "Histogram", field: "shards",
+		home: "histogram.go",
+		why:  "striped lock-free histogram counters: Observe and the snapshot methods are the only audited access",
+	},
+	{
+		pkg: "saco/internal/shard", typ: "Table", field: "cur",
+		home: "table.go",
+		why:  "the live ring pointer: request paths must load it wait-free through Current, swaps go through Set",
+	},
 }
 
 var guardedVars = []guardedVar{
@@ -58,7 +68,8 @@ var guardedVars = []guardedVar{
 var AtomicGuard = &Analyzer{
 	Name: "atomicguard",
 	Doc: "flags direct loads/stores of fields documented atomic-only (mat.AtomicVec storage, " +
-		"the serve registry model pointer, simd's dispatch pointer, runtime pool taken[] claims)",
+		"the serve registry model pointer, the shard ring pointer, metrics histogram stripes, " +
+		"simd's dispatch pointer, runtime pool taken[] claims)",
 	Run: runAtomicGuard,
 }
 

@@ -22,9 +22,24 @@ func TestAtomicGuardVars(t *testing.T) {
 	linttest.Run(t, lint.AtomicGuard, "testdata/atomicguard/simd", "saco/internal/simd")
 }
 
+// The metrics histogram stripes: the audited accessors in histogram.go
+// touch them freely (the cells are atomics themselves); any other file
+// is out of contract even for structural peeks.
+func TestAtomicGuardMetricsShards(t *testing.T) {
+	linttest.Run(t, lint.AtomicGuard, "testdata/atomicguard/metrics", "saco/internal/metrics")
+}
+
+// The shard ring pointer: Current/Set in table.go are the seam; even
+// an atomic load elsewhere is flagged.
+func TestAtomicGuardShardTable(t *testing.T) {
+	linttest.Run(t, lint.AtomicGuard, "testdata/atomicguard/shardring", "saco/internal/shard")
+}
+
 // The registry keys on the real package paths: the same shapes in an
 // unrelated package define their own unguarded types and are clean.
 func TestAtomicGuardScope(t *testing.T) {
 	linttest.RunClean(t, lint.AtomicGuard, "testdata/atomicguard/mat", "saco/internal/core")
 	linttest.RunClean(t, lint.AtomicGuard, "testdata/atomicguard/simd", "saco/internal/core")
+	linttest.RunClean(t, lint.AtomicGuard, "testdata/atomicguard/metrics", "saco/internal/core")
+	linttest.RunClean(t, lint.AtomicGuard, "testdata/atomicguard/shardring", "saco/internal/core")
 }

@@ -11,7 +11,10 @@ import (
 //   - any error-returning method defined in internal/mpi — the
 //     Transport point-to-point contract (Send/Recv/Close) and the
 //     collectives — called with its error dropped (expression
-//     statement, defer, go, or an assignment to _), and
+//     statement, defer, go, or an assignment to _),
+//   - any error-returning method defined in internal/shard — the
+//     cluster router's Forward path, where a swallowed error turns a
+//     dead peer into a silent black hole instead of a 502, and
 //   - (*os.File).Close and .Sync with the error dropped, in the
 //     streaming/IO packages and the CLIs, where a swallowed close
 //     error hides a short write or lost flush.
@@ -21,6 +24,7 @@ import (
 var CommErr = &Analyzer{
 	Name: "commerr",
 	Doc: "flags discarded errors from internal/mpi Send/Recv/Close and collectives, " +
+		"from internal/shard's router forwards, " +
 		"and from file Close/Sync in the streaming packages and CLIs",
 	Run: runCommErr,
 }
@@ -62,6 +66,9 @@ func commErrTarget(pass *Pass, call *ast.CallExpr) string {
 	}
 	if fn.Pkg().Path() == "saco/internal/mpi" {
 		return "mpi." + recvName(sig) + "." + fn.Name()
+	}
+	if fn.Pkg().Path() == "saco/internal/shard" {
+		return "shard." + recvName(sig) + "." + fn.Name()
 	}
 	if fn.Pkg().Path() == "os" && (fn.Name() == "Close" || fn.Name() == "Sync") &&
 		recvName(sig) == "File" && inFileErrScope(pass.Path) {

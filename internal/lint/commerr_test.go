@@ -16,6 +16,14 @@ func TestCommErrTransport(t *testing.T) {
 	linttest.Run(t, lint.CommErr, "testdata/commerr/mpi", "saco/internal/dist")
 }
 
+// The cluster-router surface: the fixture imports the real
+// saco/internal/shard package, so the guarded method is the genuine
+// Router.Forward. Dropped errors flagged; Dispatch (void by design),
+// handled and nolint'd calls allowed.
+func TestCommErrShardRouter(t *testing.T) {
+	linttest.Run(t, lint.CommErr, "testdata/commerr/shard", "saco/internal/serve")
+}
+
 // The file surface: (*os.File).Close and .Sync with dropped errors in a
 // streaming package.
 func TestCommErrFile(t *testing.T) {

@@ -28,6 +28,8 @@ var deterministicPkgs = map[string]bool{
 	"saco/internal/libsvm":     true,
 	"saco/internal/datagen":    true,
 	"saco/internal/serve":      true,
+	"saco/internal/metrics":    true,
+	"saco/internal/shard":      true,
 	"saco/internal/testmatrix": true,
 	"saco/cmd/sasolve":         true,
 	"saco/cmd/sarank":          true,

@@ -1,0 +1,16 @@
+// A second file of the same package: request paths read the ring
+// through Current — naming the pointer here, even atomically, skips
+// the audited seam.
+package src
+
+func sneakLoad(t *Table) *Ring {
+	return t.cur.Load() // want "outside its home file"
+}
+
+func sneakSwap(t *Table, r *Ring) {
+	t.cur.Store(r) // want "outside its home file"
+}
+
+func throughAccessor(t *Table) *Ring {
+	return t.Current()
+}

@@ -1,0 +1,18 @@
+// Fixture for the shard ring-pointer rule, type-checked as
+// saco/internal/shard. This file is the guarded field's home
+// (table.go): Current and Set are the audited accessors.
+package src
+
+import "sync/atomic"
+
+type Ring struct {
+	gen uint64
+}
+
+type Table struct {
+	cur atomic.Pointer[Ring]
+}
+
+func (t *Table) Current() *Ring { return t.cur.Load() }
+
+func (t *Table) Set(r *Ring) { t.cur.Store(r) }

@@ -1,0 +1,34 @@
+// Fixture for the commerr analyzer's shard rule, type-checked as
+// saco/internal/serve against the real saco/internal/shard types: a
+// dropped Forward error turns a dead peer into a silent black hole.
+package src
+
+import (
+	"net/http"
+
+	"saco/internal/shard"
+)
+
+func dropForward(rt *shard.Router, req *http.Request) {
+	rt.Forward(req, "peer:1", nil) // want "error from shard.Router.Forward is discarded"
+}
+
+func blankForward(rt *shard.Router, req *http.Request) *http.Response {
+	resp, _ := rt.Forward(req, "peer:1", nil) // want "assigned to _"
+	return resp
+}
+
+// Handling the error is the contract.
+func handledForward(rt *shard.Router, req *http.Request) (*http.Response, error) {
+	return rt.Forward(req, "peer:1", nil)
+}
+
+// Dispatch reports through the ResponseWriter, not an error: no finding.
+func dispatch(rt *shard.Router, w http.ResponseWriter, req *http.Request) {
+	rt.Dispatch(w, req, "alpha", nil, func() {})
+}
+
+// Best-effort cleanup is sanctioned only with a written reason.
+func bestEffort(rt *shard.Router, req *http.Request) {
+	rt.Forward(req, "peer:1", nil) //saco:nolint commerr fixture: fire-and-forget replay on a failing path
+}

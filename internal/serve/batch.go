@@ -9,23 +9,30 @@ import (
 )
 
 // The micro-batcher. Concurrent /predict requests land as predictJobs
-// on one channel; the dispatcher goroutine coalesces whatever arrives
-// within a short window (or until a row cap) into a single sparse
-// matrix and makes one batched kernel call on the persistent worker
-// pool — the serving-side analogue of the solvers' batched Gram
-// kernels, where one dispatch amortizes across many rows.
+// on one bounded channel; the dispatcher goroutine coalesces whatever
+// arrives within a short window (or until a row cap) into per-model
+// sparse matrices and makes one batched kernel call per model on the
+// persistent worker pool — the serving-side analogue of the solvers'
+// batched Gram kernels, where one dispatch amortizes across many rows.
 //
 // Correctness under hot swaps is by construction: the dispatcher loads
-// the registry pointer once per batch and scores every row of the
-// batch against that one immutable model, so no request can ever see a
-// mix of two versions, and the response reports which version scored
-// it.
+// each registry pointer once per batch group and scores every row of
+// the group against that one immutable model, so no request can ever
+// see a mix of two versions, and the response reports which version
+// scored it.
+//
+// The same queue is the admission-control surface: handlers enqueue
+// non-blocking (full queue = immediate 429), and when MaxQueueDelay is
+// set the dispatcher sheds jobs that already overstayed it before
+// spending kernel time on them.
 
 // predictJob is one request's parsed rows plus its reply channel.
 type predictJob struct {
-	cols   [][]int // per row: 0-based, strictly increasing
+	reg    *Registry // the model registry this job scores against
+	cols   [][]int   // per row: 0-based, strictly increasing
 	vals   [][]float64
-	maxCol int // largest index across rows, -1 when all rows empty
+	maxCol int       // largest index across rows, -1 when all rows empty
+	enq    time.Time // when the handler enqueued the job (shedding deadline)
 	resp   chan predictResult
 }
 
@@ -39,7 +46,7 @@ type predictResult struct {
 }
 
 // dispatch is the batcher loop: take one job, linger BatchWindow for
-// companions (up to MaxBatch rows), score the coalesced batch.
+// companions (up to MaxBatch rows), shed the stale, score the rest.
 func (s *Server) dispatch() {
 	defer close(s.done)
 	for {
@@ -63,15 +70,65 @@ func (s *Server) dispatch() {
 				}
 				timer.Stop()
 			}
-			s.scoreBatch(batch, rows)
+			batch, rows = s.shedStale(batch, rows)
+			if len(batch) == 0 {
+				continue
+			}
+			begin := time.Now()
+			s.scoreBatch(batch)
+			s.met.batchLatency.Observe(time.Since(begin).Seconds())
 		}
 	}
 }
 
-// scoreBatch scores every job in the batch against one atomic load of
-// the serving model.
-func (s *Server) scoreBatch(batch []*predictJob, totalRows int) {
-	m := s.reg.Current()
+// shedStale drops jobs that waited past MaxQueueDelay, answering each
+// with 429 + Retry-After: their latency budget is spent, so kernel time
+// is better given to the rest of the batch.
+func (s *Server) shedStale(batch []*predictJob, rows int) ([]*predictJob, int) {
+	if s.opt.MaxQueueDelay <= 0 {
+		return batch, rows
+	}
+	now := time.Now()
+	keep := batch[:0]
+	for _, j := range batch {
+		if now.Sub(j.enq) > s.opt.MaxQueueDelay {
+			s.stats.shed.Add(1)
+			s.met.shed.Inc()
+			j.resp <- predictResult{
+				status:  http.StatusTooManyRequests,
+				errText: fmt.Sprintf("overloaded: job queued longer than %v", s.opt.MaxQueueDelay),
+			}
+			rows -= len(j.cols)
+			continue
+		}
+		keep = append(keep, j)
+	}
+	return keep, rows
+}
+
+// scoreBatch partitions the batch by registry — a cluster replica's
+// batch can mix models — preserving arrival order, and scores each
+// group against one atomic load of its registry.
+func (s *Server) scoreBatch(batch []*predictJob) {
+	// First-appearance order, not map iteration: grouping must be
+	// deterministic for the batched==sequential contract's sake.
+	var order []*Registry
+	groups := make(map[*Registry][]*predictJob, 1)
+	for _, j := range batch {
+		if _, ok := groups[j.reg]; !ok {
+			order = append(order, j.reg)
+		}
+		groups[j.reg] = append(groups[j.reg], j)
+	}
+	for _, reg := range order {
+		s.scoreGroup(reg, groups[reg])
+	}
+}
+
+// scoreGroup scores every job in the group against one atomic load of
+// the group's serving model.
+func (s *Server) scoreGroup(reg *Registry, batch []*predictJob) {
+	m := reg.Current()
 	if m == nil {
 		for _, j := range batch {
 			j.resp <- predictResult{status: http.StatusServiceUnavailable, errText: "no model loaded yet"}
@@ -121,6 +178,9 @@ func (s *Server) scoreBatch(batch []*predictJob, totalRows int) {
 			s.stats.batches.Add(1)
 			s.stats.rowsScored.Add(uint64(validRows))
 			s.stats.maxBatchRows.Max(uint64(validRows))
+			s.met.batches.Inc()
+			s.met.rows.Add(uint64(validRows))
+			s.met.batchRows.Observe(float64(validRows))
 			return
 		}
 	}

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestWatcherPublishBurst: a watcher facing a rapid burst of
+// rename-publishes from another handle must converge on the newest
+// version with no torn state — every model it serves along the way is
+// whole (its version's exact artifact), and a corrupt file dropped
+// mid-burst is skipped, not served and not fatal.
+func TestWatcherPublishBurst(t *testing.T) {
+	dir := t.TempDir()
+	writer, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writer.Retain = -1 // keep the burst on disk so every version stays checkable
+	reader, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader.Watch(2 * time.Millisecond)
+	defer reader.StopWatch()
+
+	// Observe the reader concurrently with the burst: every model it
+	// serves must be a whole artifact (each publish tags its Lambda
+	// with its own nonzero count, so a mix of two versions' fields
+	// would break the tag) and versions must only move forward.
+	const publishes = 40
+	stopObs := make(chan struct{})
+	obsErr := make(chan error, 1)
+	go func() {
+		defer close(obsErr)
+		var lastV uint64
+		for {
+			select {
+			case <-stopObs:
+				return
+			default:
+			}
+			m := reader.Current()
+			if m == nil {
+				continue
+			}
+			if int(m.Lambda) != m.NNZ() {
+				obsErr <- fmt.Errorf("torn state: version %d served with %d nonzeros, tag says %v", m.Version, m.NNZ(), m.Lambda)
+				return
+			}
+			if m.Version < lastV {
+				obsErr <- fmt.Errorf("version went backwards: %d after %d", m.Version, lastV)
+				return
+			}
+			lastV = m.Version
+		}
+	}()
+
+	for v := 1; v <= publishes; v++ {
+		x := make([]float64, 64)
+		for j := 0; j <= v; j++ { // v+1 nonzeros, echoed in the Lambda tag
+			x[j] = float64(j + 1)
+		}
+		m := NewModel(KindLasso, x)
+		m.Lambda = float64(m.NNZ())
+		if _, err := writer.Publish(m); err != nil {
+			t.Fatal(err)
+		}
+		if v == publishes/2 {
+			// Drop garbage with a higher version number than anything
+			// published so far: the watcher must skip it and keep
+			// swapping to real versions underneath it. (The writer's
+			// never-reuse-a-number rule means later publishes jump past
+			// the decoy — that is correct, not an anomaly.)
+			bad := filepath.Join(dir, fmt.Sprintf(modelFilePattern, uint64(publishes+100)))
+			if err := os.WriteFile(bad, []byte("SACOMDL1 but truncated garbage"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// The watcher must converge on the writer's newest real version
+	// despite the corrupt decoy numbered above it.
+	deadline := time.Now().Add(5 * time.Second)
+	for reader.Version() != writer.Version() {
+		if time.Now().After(deadline) {
+			t.Fatalf("watcher stuck at version %d, want %d", reader.Version(), writer.Version())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stopObs)
+	if err := <-obsErr; err != nil {
+		t.Fatal(err)
+	}
+	if m := reader.Current(); m.NNZ() != publishes+1 {
+		t.Fatalf("final model has %d nonzeros, want %d", m.NNZ(), publishes+1)
+	}
+}

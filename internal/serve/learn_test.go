@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLearnIngestAndBackpressure: /learn stages labeled rows up to the
+// buffer cap, refuses whole requests past it with 429 + Retry-After,
+// and rejects label-less rows.
+func TestLearnIngestAndBackpressure(t *testing.T) {
+	reg, err := OpenRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hooked *LearnBuffer
+	s := NewServer(reg, Options{
+		Workers:  1,
+		LearnCap: 3,
+		OnLearn:  func(name string, r *Registry, buf *LearnBuffer) { hooked = buf },
+	})
+	ts := newHTTPServer(t, s)
+
+	// Two labeled rows: accepted.
+	status, body := post(t, ts.URL+"/learn", "text/plain", []byte("1 1:0.5 3:1.0\n-1 2:2.0\n"))
+	if status != http.StatusAccepted {
+		t.Fatalf("learn status %d: %s", status, body)
+	}
+	var lr learnResponse
+	if err := json.Unmarshal(body, &lr); err != nil || lr.Accepted != 2 || lr.Buffered != 2 {
+		t.Fatalf("learn reply %s (err %v)", body, err)
+	}
+	if hooked == nil || hooked.Len() != 2 {
+		t.Fatal("OnLearn hook did not fire with the live buffer")
+	}
+
+	// Two more rows do not fit in the remaining capacity of 1: the whole
+	// request is refused, nothing partial.
+	resp, err := http.Post(ts.URL+"/learn", "text/plain", strings.NewReader("1 1:1\n-1 2:1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overfull learn status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if hooked.Len() != 2 {
+		t.Fatalf("refused request leaked rows: %d buffered", hooked.Len())
+	}
+
+	// Label-less LIBSVM rows are a 400 on /learn (but fine on /predict).
+	if status, _ := post(t, ts.URL+"/learn", "text/plain", []byte("1:0.5 2:1.0\n")); status != http.StatusBadRequest {
+		t.Fatalf("label-less learn row answered %d", status)
+	}
+
+	// JSON learn grammar: rows plus parallel labels.
+	jsonBody := []byte(`{"rows":[{"indices":[1,2],"values":[1.0,2.0]}],"labels":[1]}`)
+	if status, body := post(t, ts.URL+"/learn", "application/json", jsonBody); status != http.StatusAccepted {
+		t.Fatalf("JSON learn status %d: %s", status, body)
+	}
+}
+
+// TestLearnRejectsOversizedRows: once a model serves, learn rows wider
+// than its dimensionality are refused at ingest.
+func TestLearnRejectsOversizedRows(t *testing.T) {
+	reg, err := OpenRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Publish(testModel(KindLasso, 10, 3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(reg, Options{Workers: 1, LearnCap: 100})
+	ts := newHTTPServer(t, s)
+	if status, _ := post(t, ts.URL+"/learn", "text/plain", []byte("1 99:1.0\n")); status != http.StatusBadRequest {
+		t.Fatalf("oversized learn row answered %d", status)
+	}
+}
+
+// TestRefitStreamPublishes: rows offered to a buffer flow through
+// RefitStream into published model versions, warm-started cycle over
+// cycle, without a pre-existing model.
+func TestRefitStreamPublishes(t *testing.T) {
+	reg, err := OpenRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := NewLearnBuffer(1024)
+	// y = 2·x1 on a 3-feature design: the lasso should find feature 1.
+	var cols [][]int
+	var vals [][]float64
+	var labels []float64
+	for i := 0; i < 64; i++ {
+		x := float64(i%7) - 3
+		cols = append(cols, []int{0, 2})
+		vals = append(vals, []float64{x, 0.01 * float64(i%3)})
+		labels = append(labels, 2*x)
+	}
+	if !buf.Offer(cols, vals, labels) {
+		t.Fatal("offer failed")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- RefitStream(ctx, reg, buf, RefitOptions{
+			Kind:    KindLasso,
+			Lambda:  0.01,
+			Every:   30 * time.Millisecond,
+			Workers: 2,
+			Seed:    1,
+		})
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for reg.Version() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("refit stream never published")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	m := reg.Current()
+	if m == nil || m.Kind != KindLasso || m.Features != 3 {
+		t.Fatalf("published model %+v", m)
+	}
+	if w := m.Dense()[0]; w < 1.0 || w > 3.0 {
+		t.Fatalf("learned weight %v for a y=2x signal", w)
+	}
+}

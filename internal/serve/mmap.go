@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"math"
+	"runtime"
+
+	"saco/internal/stream"
+)
+
+// LoadMode selects how a model file is materialized in memory.
+type LoadMode int
+
+const (
+	// LoadCopy reads the file into the heap (the historical path).
+	LoadCopy LoadMode = iota
+	// LoadMmap maps the file read-only and aliases the value payload in
+	// place — the model's Val slice points straight into the page cache,
+	// so loading an N-nonzero model copies the indices but not the
+	// floats, and repeated replicas on one host share the pages. Any
+	// failure to map or alias (unsupported platform, big-endian host,
+	// text-format file) silently falls back to LoadCopy; correctness is
+	// identical either way, only residency differs.
+	LoadMmap
+)
+
+// String names the mode for flags and logs.
+func (m LoadMode) String() string {
+	if m == LoadMmap {
+		return "mmap"
+	}
+	return "copy"
+}
+
+// LoadModelFileMode is LoadModelFile with an explicit materialization
+// mode. The mmap path verifies exactly what the copy path verifies —
+// magic, format version, declared sizes, CRC over the whole payload,
+// index invariants — before trusting a byte of the mapping.
+func LoadModelFileMode(path string, mode LoadMode) (*Model, error) {
+	if mode != LoadMmap || !stream.MmapSupported() {
+		return LoadModelFile(path)
+	}
+	data, err := stream.MapFile(path)
+	if err != nil {
+		return LoadModelFile(path)
+	}
+	m, ok, err := modelFromMapping(data)
+	if err != nil || !ok {
+		// Not aliasable (or not a whole binary model): release the
+		// mapping and take the copy path, which also handles the text
+		// format. Real corruption fails there identically.
+		stream.UnmapFile(data) //nolint:errcheck // best effort on the bail-out path
+		if err != nil {
+			return nil, err
+		}
+		return LoadModelFile(path)
+	}
+	// The model's Val slice aliases the mapping: unmap only once the
+	// model itself is unreachable. The registry hands models to readers
+	// by pointer, so reachability is exactly liveness of the last
+	// in-flight reader.
+	runtime.AddCleanup(m, func(d []byte) {
+		stream.UnmapFile(d) //nolint:errcheck // process teardown reclaims the mapping regardless
+	}, data)
+	return m, nil
+}
+
+// modelFromMapping builds a Model whose Val slice aliases the mapped
+// bytes. ok=false (with nil error) means the mapping cannot back a
+// zero-copy model — wrong magic (could be the text format) or an
+// unaliasable platform — and the caller should fall back; a non-nil
+// error means the file is a provably corrupt binary model.
+func modelFromMapping(data []byte) (*Model, bool, error) {
+	if len(data) < modelHeaderSize+8 || !bytes.Equal(data[:8], modelMagic[:]) {
+		return nil, false, nil
+	}
+	le := binary.LittleEndian
+	if v := le.Uint32(data[8:]); v != modelFormatVersion {
+		return nil, false, fmt.Errorf("serve: unsupported model format version %d (have %d)", v, modelFormatVersion)
+	}
+	nnz := le.Uint64(data[48:])
+	if nnz > uint64(len(data))/16 {
+		return nil, false, fmt.Errorf("serve: model header declares %d nonzeros in a %d-byte file", nnz, len(data))
+	}
+	if want := modelHeaderSize + 16*nnz + 8; uint64(len(data)) != want {
+		return nil, false, fmt.Errorf("serve: model file is %d bytes, header declares %d (nnz=%d)", len(data), want, nnz)
+	}
+	payload := data[:len(data)-8]
+	if got, stored := crc64.Checksum(payload, crcTable), le.Uint64(data[len(data)-8:]); got != stored {
+		return nil, false, fmt.Errorf("serve: model checksum mismatch (stored %016x, computed %016x): corrupted file", stored, got)
+	}
+	m := &Model{
+		Kind:      Kind(le.Uint32(data[12:])),
+		Features:  int(le.Uint64(data[16:])),
+		TrainRows: int(le.Uint64(data[24:])),
+		Lambda:    math.Float64frombits(le.Uint64(data[32:])),
+		Version:   le.Uint64(data[40:]),
+	}
+	if nnz > 0 {
+		// Indices widen uint64→int, so they copy; values are raw IEEE-754
+		// little-endian at offset 56+8·nnz — 8-aligned on a page-aligned
+		// mapping — and alias in place.
+		valOff := modelHeaderSize + 8*int(nnz)
+		vals, ok := stream.AsFloat64LE(data[valOff:], int(nnz))
+		if !ok {
+			return nil, false, nil
+		}
+		m.Val = vals
+		m.Idx = make([]int, nnz)
+		off := modelHeaderSize
+		for k := range m.Idx {
+			m.Idx[k] = int(le.Uint64(data[off:]))
+			off += 8
+		}
+	}
+	if err := m.validate(); err != nil {
+		return nil, false, err
+	}
+	return m, true, nil
+}

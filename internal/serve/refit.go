@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"saco/internal/core"
+	"saco/internal/metrics"
 	"saco/internal/sparse"
 )
 
@@ -44,6 +45,12 @@ type RefitOptions struct {
 	MaxPublishes int
 	// Log, when set, receives one progress line per publish.
 	Log io.Writer
+	// Steps, when non-nil, counts solver steps taken (wired by saserve
+	// to saco_refit_steps_total); nil is inert.
+	Steps *metrics.Counter
+	// Publishes, when non-nil, counts snapshot publishes (wired to
+	// saco_refit_publishes_total); nil is inert.
+	Publishes *metrics.Counter
 }
 
 // Refit streams the labeled rows (a, b) into a lock-free solver warm-
@@ -134,10 +141,12 @@ func Refit(ctx context.Context, reg *Registry, a *sparse.CSR, b []float64, opt R
 		go func() {
 			defer wg.Done()
 			for {
-				// Steps are cheap; amortize the cancellation check.
+				// Steps are cheap; amortize the cancellation check (and
+				// the step counter tick) over a run of them.
 				for i := 0; i < 64; i++ {
 					step()
 				}
+				opt.Steps.Add(64)
 				select {
 				case <-runCtx.Done():
 					return
@@ -156,6 +165,7 @@ func Refit(ctx context.Context, reg *Registry, a *sparse.CSR, b []float64, opt R
 		if err != nil {
 			return err
 		}
+		opt.Publishes.Inc()
 		if opt.Log != nil {
 			state := "live"
 			if quiescent {

@@ -46,6 +46,11 @@ type Registry struct {
 	// everything. Set before the first Publish.
 	Retain int
 
+	// Mode selects how Poll materializes artifacts (LoadCopy or
+	// LoadMmap). Set at open time (OpenRegistryMode); LoadMmap degrades
+	// to LoadCopy wherever mapping or aliasing is unavailable.
+	Mode LoadMode
+
 	// mu serializes the writers (Publish, Poll, Watch ticks); readers
 	// never take it.
 	mu        sync.Mutex
@@ -65,14 +70,19 @@ const defaultRetain = 16
 // foreign files are skipped — the registry serves the best model it
 // can prove whole, or none (a watcher then picks up the first whole
 // model to appear); only an unusable directory is an error.
-func OpenRegistry(dir string) (*Registry, error) {
+func OpenRegistry(dir string) (*Registry, error) { return OpenRegistryMode(dir, LoadCopy) }
+
+// OpenRegistryMode is OpenRegistry with an explicit artifact
+// materialization mode (LoadMmap maps model files read-only and serves
+// their coefficients zero-copy from the page cache).
+func OpenRegistryMode(dir string, mode LoadMode) (*Registry, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	if _, err := os.ReadDir(dir); err != nil {
 		return nil, err
 	}
-	r := &Registry{dir: dir}
+	r := &Registry{dir: dir, Mode: mode}
 	r.Poll() //nolint:errcheck // corrupt files at open are recoverable: serve none, let Poll/Watch retry
 	return r, nil
 }
@@ -187,7 +197,7 @@ func (r *Registry) Poll() (bool, error) {
 	sort.Slice(newer, func(i, j int) bool { return newer[i] > newer[j] })
 	var errs []error
 	for _, v := range newer {
-		m, err := LoadModelFile(filepath.Join(r.dir, fmt.Sprintf(modelFilePattern, v)))
+		m, err := LoadModelFileMode(filepath.Join(r.dir, fmt.Sprintf(modelFilePattern, v)), r.Mode)
 		if err != nil {
 			errs = append(errs, fmt.Errorf("version %d: %w", v, err))
 			continue

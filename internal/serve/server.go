@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"saco/internal/libsvm"
+	"saco/internal/metrics"
 	"saco/internal/simd"
 )
 
@@ -30,6 +31,32 @@ type Options struct {
 	Workers int
 	// MaxBodyBytes caps a /predict request body (default 32 MiB).
 	MaxBodyBytes int64
+
+	// QueueDepth bounds the dispatcher's job queue (default 1024).
+	// Admission control rejects — 429 with Retry-After, never blocks —
+	// the moment the queue is full, so a slow scoring path surfaces as
+	// fast feedback instead of unbounded goroutine pile-up.
+	QueueDepth int
+	// MaxQueueDelay, when positive, sheds jobs that waited in the queue
+	// longer than this before scoring (429 + Retry-After). A request
+	// that would blow its latency budget anyway is cheaper to refuse
+	// than to score.
+	MaxQueueDelay time.Duration
+
+	// LearnCap, when positive, enables POST /learn with this many
+	// buffered rows per model. Learn traffic lands in a bounded
+	// in-memory buffer drained by a live refit — backpressure is a 429,
+	// and the predict path never touches the buffer.
+	LearnCap int
+	// OnLearn, when set, is invoked once per model name on the first
+	// accepted /learn rows, with the registry the model publishes into
+	// and the buffer feeding it. Typical use: start RefitStream.
+	OnLearn func(model string, reg *Registry, buf *LearnBuffer)
+
+	// Metrics, when set, receives the serving instruments (request and
+	// shed counters, batch size/latency histograms, queue depth) and is
+	// exposed at /metrics in the Prometheus text format.
+	Metrics *metrics.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -42,8 +69,16 @@ func (o Options) withDefaults() Options {
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 32 << 20
 	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 1024
+	}
 	return o
 }
+
+// retryAfterSeconds is the Retry-After hint on every 429: long enough
+// for a batch window and queue to drain, short enough that a loaded
+// client keeps probing.
+const retryAfterSeconds = "1"
 
 // maxUint64 is an atomic running maximum.
 type maxUint64 struct{ v atomic.Uint64 }
@@ -64,30 +99,88 @@ type serverStats struct {
 	rowsScored   atomic.Uint64
 	batches      atomic.Uint64
 	errors       atomic.Uint64
+	shed         atomic.Uint64
 	maxBatchRows maxUint64
 }
 
-// Server answers prediction traffic against a Registry. Construct with
-// NewServer, mount Handler on an http.Server, Close when done.
-type Server struct {
-	reg   *Registry
-	opt   Options
-	jobs  chan *predictJob
-	stop  chan struct{}
-	done  chan struct{}
-	stats serverStats
-	start time.Time
+// serveMetrics is the optional wiring into a metrics.Registry; the
+// zero value (all nil) is inert, so every call site is branch-free.
+type serveMetrics struct {
+	requests      *metrics.Counter
+	errors        *metrics.Counter
+	rows          *metrics.Counter
+	batches       *metrics.Counter
+	shed          *metrics.Counter
+	learnRows     *metrics.Counter
+	learnRejected *metrics.Counter
+	batchRows     *metrics.Histogram
+	batchLatency  *metrics.Histogram
 }
 
-// NewServer starts the dispatcher goroutine and returns the server.
+func newServeMetrics(mr *metrics.Registry) serveMetrics {
+	if mr == nil {
+		return serveMetrics{}
+	}
+	return serveMetrics{
+		requests:      mr.Counter("saco_requests_total", "predict requests received"),
+		errors:        mr.Counter("saco_request_errors_total", "predict requests answered with an error"),
+		rows:          mr.Counter("saco_rows_scored_total", "request rows scored"),
+		batches:       mr.Counter("saco_batches_total", "batched kernel calls"),
+		shed:          mr.Counter("saco_shed_total", "requests shed by admission control"),
+		learnRows:     mr.Counter("saco_learn_rows_total", "learn rows accepted into refit buffers"),
+		learnRejected: mr.Counter("saco_learn_rejected_total", "learn rows refused by buffer backpressure"),
+		batchRows:     mr.Histogram("saco_batch_rows", "rows per batched kernel call", metrics.DefSizeBuckets),
+		batchLatency:  mr.Histogram("saco_batch_latency_seconds", "batched kernel call latency", metrics.DefLatencyBuckets),
+	}
+}
+
+// Server answers prediction traffic against a Registry (single-model
+// mode) or a Cluster's owned slice of a model fleet. Construct with
+// NewServer or NewClusterServer, mount Handler on an http.Server,
+// Close when done.
+type Server struct {
+	reg     *Registry // single-model mode; nil in cluster mode
+	cluster *Cluster  // cluster mode; nil in single-model mode
+	opt     Options
+	met     serveMetrics
+	jobs    chan *predictJob
+	stop    chan struct{}
+	done    chan struct{}
+	stats   serverStats
+	learn   *learnSet
+	start   time.Time
+}
+
+// NewServer starts the dispatcher goroutine and returns a single-model
+// server.
 func NewServer(reg *Registry, opt Options) *Server {
+	return newServer(reg, nil, opt)
+}
+
+// NewClusterServer starts a server fronting the cluster's owned
+// models: /predict and /learn resolve the model name against the shard
+// ring and forward to the owning replica when it is not this one.
+func NewClusterServer(c *Cluster, opt Options) *Server {
+	return newServer(nil, c, opt)
+}
+
+func newServer(reg *Registry, c *Cluster, opt Options) *Server {
 	s := &Server{
-		reg:   reg,
-		opt:   opt.withDefaults(),
-		jobs:  make(chan *predictJob, 1024),
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
-		start: time.Now(),
+		reg:     reg,
+		cluster: c,
+		opt:     opt.withDefaults(),
+		met:     newServeMetrics(opt.Metrics),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		start:   time.Now(),
+	}
+	s.jobs = make(chan *predictJob, s.opt.QueueDepth)
+	if s.opt.LearnCap > 0 {
+		s.learn = newLearnSet(s.opt.LearnCap)
+	}
+	if mr := s.opt.Metrics; mr != nil {
+		mr.GaugeFunc("saco_queue_depth", "predict jobs queued for the dispatcher",
+			func() float64 { return float64(len(s.jobs)) })
 	}
 	go s.dispatch()
 	return s
@@ -106,6 +199,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/predict", s.handlePredict)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
+	if s.learn != nil {
+		mux.HandleFunc("/learn", s.handleLearn)
+	}
+	if s.cluster != nil {
+		mux.HandleFunc("/cluster", s.handleClusterStatus)
+		mux.HandleFunc("/cluster/members", s.handleClusterMembers)
+	}
+	if s.opt.Metrics != nil {
+		mux.Handle("/metrics", s.opt.Metrics.Handler())
+	}
 	return mux
 }
 
@@ -128,26 +231,83 @@ type jsonRow struct {
 }
 
 // jsonPredictRequest is the JSON body: {"rows": [{"indices": [1,7],
-// "values": [0.5, 1.0]}, ...]}.
+// "values": [0.5, 1.0]}, ...]}. /learn adds a parallel "labels" array.
 type jsonPredictRequest struct {
-	Rows []jsonRow `json:"rows"`
+	Rows   []jsonRow `json:"rows"`
+	Labels []float64 `json:"labels,omitempty"`
+}
+
+// readBody drains the request body under the size cap, reporting the
+// failure to the client itself. ok=false means the response is written.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes))
+	if err != nil {
+		s.fail(w, http.StatusRequestEntityTooLarge, "request body too large or unreadable")
+		return nil, false
+	}
+	return body, true
+}
+
+// resolve routes a model-name-addressed request: in cluster mode the
+// name is required and resolved against the shard ring (forwarding to
+// the owner when it is not this replica); in single-model mode local
+// always runs against the one registry. local receives the registry
+// that owns the name on this replica, or nil when the name is owned
+// here but unknown.
+func (s *Server) resolve(w http.ResponseWriter, r *http.Request, body []byte, create bool, local func(name string, reg *Registry)) {
+	if s.cluster == nil {
+		local("", s.reg)
+		return
+	}
+	name := r.URL.Query().Get("model")
+	if name == "" {
+		s.fail(w, http.StatusBadRequest, "cluster mode requires ?model=<name>")
+		return
+	}
+	s.cluster.router.Dispatch(w, r, name, body, func() {
+		if create {
+			reg, err := s.cluster.Ensure(name)
+			if err != nil {
+				s.fail(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+			local(name, reg)
+			return
+		}
+		local(name, s.cluster.Registry(name))
+	})
 }
 
 // handlePredict parses the body (JSON or LIBSVM lines by Content-Type),
-// enqueues the rows on the micro-batcher, and waits for its verdict.
+// enqueues the rows on the micro-batcher, and waits for its verdict. In
+// cluster mode the request is first routed to the replica owning
+// ?model=.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	s.stats.requests.Add(1)
+	s.met.requests.Inc()
 	if r.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, "POST a JSON or LIBSVM body to /predict")
 		return
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes))
-	if err != nil {
-		s.fail(w, http.StatusRequestEntityTooLarge, "request body too large or unreadable")
+	body, ok := s.readBody(w, r)
+	if !ok {
 		return
 	}
+	s.resolve(w, r, body, false, func(name string, reg *Registry) {
+		if reg == nil {
+			s.fail(w, http.StatusNotFound, fmt.Sprintf("model %q has no registry on this replica", name))
+			return
+		}
+		s.predictLocal(w, r, reg, body)
+	})
+}
 
-	job := &predictJob{maxCol: -1, resp: make(chan predictResult, 1)}
+// predictLocal runs the parse → enqueue → wait cycle against one
+// registry. The enqueue is non-blocking: a full queue is an immediate
+// 429 with Retry-After (admission control), never a blocked handler.
+func (s *Server) predictLocal(w http.ResponseWriter, r *http.Request, reg *Registry, body []byte) {
+	job := &predictJob{reg: reg, maxCol: -1, enq: time.Now(), resp: make(chan predictResult, 1)}
+	var err error
 	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
 		err = job.parseJSON(body)
 	} else {
@@ -164,13 +324,16 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 
 	select {
 	case s.jobs <- job:
-	case <-s.stop:
-		s.fail(w, http.StatusServiceUnavailable, "server shutting down")
+	default:
+		s.shedReply(w, "dispatcher queue full")
 		return
 	}
 	select {
 	case res := <-job.resp:
 		if res.status != 0 {
+			if res.status == http.StatusTooManyRequests {
+				w.Header().Set("Retry-After", retryAfterSeconds)
+			}
 			s.fail(w, res.status, res.errText)
 			return
 		}
@@ -192,43 +355,91 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// shedReply is the admission-control refusal: 429, Retry-After, and a
+// tick on both the shed ledgers.
+func (s *Server) shedReply(w http.ResponseWriter, why string) {
+	s.stats.shed.Add(1)
+	s.met.shed.Inc()
+	w.Header().Set("Retry-After", retryAfterSeconds)
+	s.fail(w, http.StatusTooManyRequests, "overloaded: "+why)
+}
+
 // parseJSON fills the job from the JSON body format.
 func (j *predictJob) parseJSON(body []byte) error {
+	req, err := parseJSONRows(body, false)
+	if err != nil {
+		return err
+	}
+	j.cols, j.vals, j.maxCol = req.cols, req.vals, req.maxCol
+	return nil
+}
+
+// parsedRows is the common parsed form of a JSON or LIBSVM body.
+type parsedRows struct {
+	cols   [][]int
+	vals   [][]float64
+	labels []float64
+	maxCol int
+}
+
+// parseJSONRows parses the JSON body; withLabels additionally requires
+// one label per row (the /learn contract).
+func parseJSONRows(body []byte, withLabels bool) (parsedRows, error) {
+	out := parsedRows{maxCol: -1}
 	var req jsonPredictRequest
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		return fmt.Errorf("bad JSON body: %v", err)
+		return out, fmt.Errorf("bad JSON body: %v", err)
+	}
+	if withLabels && len(req.Labels) != len(req.Rows) {
+		return out, fmt.Errorf("%d labels for %d rows (learn requires one label per row)", len(req.Labels), len(req.Rows))
 	}
 	for r, row := range req.Rows {
 		if len(row.Indices) != len(row.Values) {
-			return fmt.Errorf("row %d: %d indices for %d values", r, len(row.Indices), len(row.Values))
+			return out, fmt.Errorf("row %d: %d indices for %d values", r, len(row.Indices), len(row.Values))
 		}
 		cols := make([]int, len(row.Indices))
 		prev := 0
 		for k, idx := range row.Indices {
 			if idx < 1 {
-				return fmt.Errorf("row %d: index %d (indices are 1-based, LIBSVM convention)", r, idx)
+				return out, fmt.Errorf("row %d: index %d (indices are 1-based, LIBSVM convention)", r, idx)
 			}
 			if idx <= prev {
-				return fmt.Errorf("row %d: index %d out of order after %d (must be strictly increasing)", r, idx, prev)
+				return out, fmt.Errorf("row %d: index %d out of order after %d (must be strictly increasing)", r, idx, prev)
 			}
 			prev = idx
 			cols[k] = idx - 1
-			if cols[k] > j.maxCol {
-				j.maxCol = cols[k]
+			if cols[k] > out.maxCol {
+				out.maxCol = cols[k]
 			}
 		}
-		j.cols = append(j.cols, cols)
-		j.vals = append(j.vals, append([]float64(nil), row.Values...))
+		out.cols = append(out.cols, cols)
+		out.vals = append(out.vals, append([]float64(nil), row.Values...))
 	}
-	return nil
+	if withLabels {
+		out.labels = append([]float64(nil), req.Labels...)
+	}
+	return out, nil
 }
 
 // parseLIBSVM fills the job from LIBSVM-format lines. A leading label
 // field is accepted and ignored (so training files can be replayed
 // against /predict verbatim); lines of bare index:value pairs work too.
 func (j *predictJob) parseLIBSVM(body []byte) error {
+	rows, err := parseLIBSVMRows(body, false)
+	if err != nil {
+		return err
+	}
+	j.cols, j.vals, j.maxCol = rows.cols, rows.vals, rows.maxCol
+	return nil
+}
+
+// parseLIBSVMRows parses LIBSVM lines; withLabels requires every line
+// to carry a leading label (the /learn contract), otherwise a missing
+// label is synthesized so training files replay against /predict.
+func parseLIBSVMRows(body []byte, withLabels bool) (parsedRows, error) {
+	out := parsedRows{maxCol: -1}
 	sc := bufio.NewScanner(bytes.NewReader(body))
 	sc.Buffer(make([]byte, 1<<16), 1<<26)
 	var parser libsvm.RowParser
@@ -243,29 +454,46 @@ func (j *predictJob) parseLIBSVM(body []byte) error {
 		// so the shared grammar applies.
 		fields := strings.Fields(line)
 		if len(fields) > 0 && strings.Contains(fields[0], ":") {
+			if withLabels {
+				return out, fmt.Errorf("line %d: learn rows require a leading label", lineNo)
+			}
 			line = "0 " + line
 		}
-		if _, err := parser.Parse(line, lineNo); err != nil {
-			return err
+		label, err := parser.Parse(line, lineNo)
+		if err != nil {
+			return out, err
 		}
-		j.cols = append(j.cols, append([]int(nil), parser.Cols...))
-		j.vals = append(j.vals, append([]float64(nil), parser.Vals...))
-		if c := parser.MaxCol(); c > j.maxCol {
-			j.maxCol = c
+		out.cols = append(out.cols, append([]int(nil), parser.Cols...))
+		out.vals = append(out.vals, append([]float64(nil), parser.Vals...))
+		if withLabels {
+			out.labels = append(out.labels, label)
+		}
+		if c := parser.MaxCol(); c > out.maxCol {
+			out.maxCol = c
 		}
 	}
-	return sc.Err()
+	return out, sc.Err()
 }
 
 // fail writes a plain-text error and counts it.
 func (s *Server) fail(w http.ResponseWriter, status int, msg string) {
 	s.stats.errors.Add(1)
+	s.met.errors.Inc()
 	http.Error(w, msg, status)
 }
 
-// handleHealthz is the liveness/readiness probe: 200 once a model is
-// servable, 503 before.
+// handleHealthz is the liveness/readiness probe: 200 once every model
+// this replica owns is servable (in single-model mode: the one model),
+// 503 before.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.cluster != nil {
+		if missing := s.cluster.missingModels(); len(missing) > 0 {
+			http.Error(w, "no model loaded for: "+strings.Join(missing, ", "), http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+		return
+	}
 	if s.reg.Current() == nil {
 		http.Error(w, "no model loaded", http.StatusServiceUnavailable)
 		return
@@ -285,8 +513,10 @@ type statsResponse struct {
 	Batches       uint64  `json:"batches"`
 	MaxBatchRows  uint64  `json:"max_batch_rows"`
 	Errors        uint64  `json:"errors"`
+	Shed          uint64  `json:"shed"`
 	Publishes     uint64  `json:"registry_publishes"`
 	Swaps         uint64  `json:"registry_swaps"`
+	OwnedModels   int     `json:"owned_models,omitempty"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	// Kernels names the internal/simd dispatch set scoring every batch,
 	// so a recorded benchmark or incident capture identifies the kernels
@@ -303,18 +533,66 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Batches:       s.stats.batches.Load(),
 		MaxBatchRows:  s.stats.maxBatchRows.Load(),
 		Errors:        s.stats.errors.Load(),
-		Publishes:     s.reg.Publishes(),
-		Swaps:         s.reg.Swaps(),
+		Shed:          s.stats.shed.Load(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Kernels:       simd.Active().Name(),
 	}
-	if m := s.reg.Current(); m != nil {
-		resp.ModelVersion = m.Version
-		resp.ModelKind = m.Kind.String()
-		resp.Features = m.Features
-		resp.ModelNNZ = m.NNZ()
-		resp.Lambda = m.Lambda
+	if s.cluster != nil {
+		resp.OwnedModels = len(s.cluster.Owned())
+	} else {
+		resp.Publishes = s.reg.Publishes()
+		resp.Swaps = s.reg.Swaps()
+		if m := s.reg.Current(); m != nil {
+			resp.ModelVersion = m.Version
+			resp.ModelKind = m.Kind.String()
+			resp.Features = m.Features
+			resp.ModelNNZ = m.NNZ()
+			resp.Lambda = m.Lambda
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp) //nolint:errcheck
+}
+
+// handleClusterStatus reports the ring and this replica's owned slice.
+func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET /cluster")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.cluster.Status()) //nolint:errcheck
+}
+
+// clusterMembersRequest is the POST /cluster/members body.
+type clusterMembersRequest struct {
+	Members []string `json:"members"`
+}
+
+// handleClusterMembers installs a new member set and rebalances the
+// owned model slice against the new ring.
+func (s *Server) handleClusterMembers(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST a JSON member list to /cluster/members")
+		return
+	}
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req clusterMembersRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad JSON body: "+err.Error())
+		return
+	}
+	if len(req.Members) == 0 {
+		s.fail(w, http.StatusBadRequest, "members must be non-empty")
+		return
+	}
+	if err := s.cluster.SetMembers(req.Members); err != nil {
+		s.fail(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.cluster.Status()) //nolint:errcheck
 }

@@ -1,0 +1,25 @@
+// Package shard scales the serving layer across replicas: a
+// consistent-hash ring maps model names onto a member set, an atomic
+// table hot-swaps the ring on membership change, and a router in front
+// of the HTTP surface forwards requests to the owning replica.
+//
+// The design follows the repository's lock-free serving contract:
+//
+//   - Ring is immutable. Member names expand into vnodes hashed onto a
+//     64-bit circle (FNV-1a); a key is owned by the first vnode at or
+//     after its hash. Vnodes smooth the key distribution and keep the
+//     name→replica mapping stable under membership change: when a
+//     member leaves, only the keys it owned move, everything else maps
+//     exactly as before.
+//   - Table holds the current ring behind an atomic pointer — the same
+//     swap discipline as the model registry. Request handlers load the
+//     ring wait-free; a membership change builds a new ring with a
+//     bumped generation and swaps it in one step, so no request ever
+//     observes a half-updated member set.
+//   - Router resolves a key against the table and either serves locally
+//     or forwards to the owner over loopback HTTP. A forward that fails
+//     re-resolves the ring and retries once if ownership moved (the
+//     retry-once-on-ring-change rule); a forwarded request landing on a
+//     non-owner answers 421 Misdirected Request, which both breaks
+//     forwarding loops and signals the sender its ring is stale.
+package shard

@@ -1,0 +1,146 @@
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the vnode count per member when a Table is built
+// with vnodes <= 0. 64 points per member keeps the largest/smallest
+// ownership arc within a few percent of even for small clusters.
+const DefaultVNodes = 64
+
+// point is one vnode on the hash circle.
+type point struct {
+	hash   uint64
+	member string
+}
+
+// Ring is an immutable consistent-hash ring over a member set. Build
+// with NewRing, share freely — all methods are read-only.
+type Ring struct {
+	members []string // sorted, unique
+	vnodes  int
+	gen     uint64 // set by the owning Table; 0 for a bare ring
+	points  []point
+}
+
+// NewRing builds a ring of vnodes points per member. Duplicate member
+// names collapse; order does not matter — the ring depends only on the
+// member set, so every replica given the same static peer list computes
+// the same ownership, with no coordination.
+func NewRing(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	uniq := make(map[string]bool, len(members))
+	for _, m := range members {
+		if m != "" {
+			uniq[m] = true
+		}
+	}
+	sorted := make([]string, 0, len(uniq))
+	for m := range uniq {
+		sorted = append(sorted, m)
+	}
+	sort.Strings(sorted)
+
+	r := &Ring{members: sorted, vnodes: vnodes}
+	r.points = make([]point, 0, len(sorted)*vnodes)
+	for _, m := range sorted {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: hash64(m + "#" + strconv.Itoa(v)), member: m})
+		}
+	}
+	// Ties broken by member name so the ring is a pure function of the
+	// member set (map iteration above never leaks: sorted first).
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// hash64 is FNV-1a followed by a 64-bit avalanche finalizer
+// (MurmurHash3's fmix64). Raw FNV-1a leaves near-identical high bits
+// for short strings sharing a prefix — "model-0".."model-9" would all
+// land on one arc of the circle — so the finalizer scatters every bit
+// before placement. Both stages are constant-defined and dependency
+// free, so the mapping is stable across runs, architectures, and
+// replicas built from the same peer list.
+func hash64(s string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(s)) //nolint:errcheck // hash.Hash.Write never errors
+	h := f.Sum64()
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Owner returns the member owning key: the first vnode clockwise from
+// the key's hash (wrapping past the top). Empty rings own nothing and
+// return "".
+func (r *Ring) Owner(key string) string {
+	if r == nil || len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}
+
+// Owns reports whether member owns key on this ring.
+func (r *Ring) Owns(member, key string) bool { return r.Owner(key) == member }
+
+// Members returns the sorted member set (a copy).
+func (r *Ring) Members() []string {
+	if r == nil {
+		return nil
+	}
+	return append([]string(nil), r.members...)
+}
+
+// Size returns the member count.
+func (r *Ring) Size() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.members)
+}
+
+// VNodes returns the per-member vnode count.
+func (r *Ring) VNodes() int {
+	if r == nil {
+		return 0
+	}
+	return r.vnodes
+}
+
+// Gen returns the ring's generation: 0 for a bare NewRing ring, the
+// table's swap sequence number once installed. A router snapshots the
+// generation before a forward and re-resolves when it changed — the
+// cheap "did membership move underneath me" test.
+func (r *Ring) Gen() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.gen
+}
+
+// String renders the ring for logs and /cluster status.
+func (r *Ring) String() string {
+	if r == nil {
+		return "ring(nil)"
+	}
+	return fmt.Sprintf("ring(gen %d, %d members × %d vnodes)", r.gen, len(r.members), r.vnodes)
+}

@@ -1,0 +1,150 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"saco/internal/metrics"
+)
+
+// ForwardedHeader marks a request that has already been routed once.
+// Its value is the advertised address of the forwarding replica. A
+// replica receiving a marked request never forwards again — it either
+// owns the key and serves, or answers 421 Misdirected Request — so a
+// stale ring can cost one extra hop, never a loop.
+const ForwardedHeader = "X-Saco-Forwarded"
+
+// errMisdirected reports a peer that refused a forward because it does
+// not consider itself the owner: the two replicas' rings disagree,
+// which the retry path treats like a ring change.
+var errMisdirected = errors.New("shard: peer answered 421 (membership disagreement)")
+
+// Router fronts a replica's HTTP surface: it resolves each key against
+// the table's current ring and either serves locally or proxies to the
+// owning replica over loopback HTTP.
+type Router struct {
+	// Table is the membership source; Current() is loaded per request.
+	Table *Table
+	// Self is this replica's advertised host:port — the identity that
+	// must appear in the peer list.
+	Self string
+	// Client performs forwards; nil uses a 10-second-timeout default.
+	Client *http.Client
+
+	// Optional wiring into the metrics subsystem; nil counters no-op.
+	Forwards      *metrics.Counter // forwards attempted
+	ForwardErrors *metrics.Counter // forwards that failed outright
+	Retries       *metrics.Counter // retry-once attempts after a ring change
+}
+
+// client returns the forward client.
+func (rt *Router) client() *http.Client {
+	if rt.Client != nil {
+		return rt.Client
+	}
+	return defaultClient
+}
+
+var defaultClient = &http.Client{Timeout: 10 * time.Second}
+
+// Forward replays r (method, path, query, content type) with body to
+// the owner replica and returns its response; the caller owns closing
+// the response body. A 421 reply returns errMisdirected — the peer
+// disowns the key, so the caller should re-resolve. The error return is
+// part of the routing contract (commerr enforces it is never dropped):
+// a swallowed forward failure would silently black-hole a request.
+func (rt *Router) Forward(r *http.Request, owner string, body []byte) (*http.Response, error) {
+	rt.Forwards.Inc()
+	url := "http://" + owner + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, bytes.NewReader(body))
+	if err != nil {
+		rt.ForwardErrors.Inc()
+		return nil, err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	req.Header.Set(ForwardedHeader, rt.Self)
+	resp, err := rt.client().Do(req)
+	if err != nil {
+		rt.ForwardErrors.Inc()
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusMisdirectedRequest {
+		resp.Body.Close() //saco:nolint commerr net/http response body close on a discarded reply is best-effort
+		rt.ForwardErrors.Inc()
+		return nil, errMisdirected
+	}
+	return resp, nil
+}
+
+// Dispatch routes one request for key: serve locally when this replica
+// owns it, otherwise forward to the owner, retrying once when the ring
+// changed underneath the first attempt (a swap bumped the generation,
+// ownership re-resolves elsewhere, or the peer answered 421). body is
+// the already-read request body; local scores the request on this
+// replica.
+func (rt *Router) Dispatch(w http.ResponseWriter, r *http.Request, key string, body []byte, local func()) {
+	ring := rt.Table.Current()
+	owner := ring.Owner(key)
+	if owner == "" {
+		http.Error(w, "shard: empty cluster (no members)", http.StatusServiceUnavailable)
+		return
+	}
+	if owner == rt.Self {
+		local()
+		return
+	}
+	if from := r.Header.Get(ForwardedHeader); from != "" {
+		// Already routed once by `from`; refusing (rather than hopping
+		// again) bounds every request to two hops and tells the sender
+		// its ring is stale.
+		http.Error(w, fmt.Sprintf("shard: %s is not the owner of %q (forwarded by %s)", rt.Self, key, from),
+			http.StatusMisdirectedRequest)
+		return
+	}
+	resp, err := rt.Forward(r, owner, body)
+	if err == nil {
+		relay(w, resp)
+		return
+	}
+	// Retry once iff the ring moved: a new generation, a new owner, or
+	// a peer that disowned the key.
+	ring2 := rt.Table.Current()
+	owner2 := ring2.Owner(key)
+	if ring2.Gen() != ring.Gen() || owner2 != owner || errors.Is(err, errMisdirected) {
+		rt.Retries.Inc()
+		if owner2 == rt.Self {
+			local()
+			return
+		}
+		if owner2 != "" && owner2 != owner {
+			resp, err2 := rt.Forward(r, owner2, body)
+			if err2 == nil {
+				relay(w, resp)
+				return
+			}
+			err = err2
+		}
+	}
+	http.Error(w, fmt.Sprintf("shard: forward of %q to %s failed: %v", key, owner, err), http.StatusBadGateway)
+}
+
+// relay copies a forwarded response through to the client.
+func relay(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close() //saco:nolint commerr read-only body; a short relay already surfaced to the client
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body) //nolint:errcheck // client gone mid-relay = nothing to do
+}

@@ -1,0 +1,285 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"saco/internal/metrics"
+)
+
+// TestRingDeterministic: the ring is a pure function of the member SET —
+// order and duplicates must not change ownership.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing([]string{"n1", "n2", "n3"}, 32)
+	b := NewRing([]string{"n3", "n1", "n2", "n2", ""}, 32)
+	if got, want := fmt.Sprint(a.Members()), fmt.Sprint(b.Members()); got != want {
+		t.Fatalf("members %s != %s", got, want)
+	}
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("model-%d", i)
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %q: owner %q vs %q", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingStability: removing one member must only remap the keys that
+// member owned; every other key keeps its owner. This is the property
+// that makes rebalancing cheap.
+func TestRingStability(t *testing.T) {
+	full := NewRing([]string{"n1", "n2", "n3", "n4"}, DefaultVNodes)
+	without := NewRing([]string{"n1", "n2", "n4"}, DefaultVNodes)
+	moved := 0
+	for i := 0; i < 2000; i++ {
+		k := fmt.Sprintf("model-%d", i)
+		was, now := full.Owner(k), without.Owner(k)
+		if was == "n3" {
+			if now == "n3" {
+				t.Fatalf("key %q still owned by removed member", k)
+			}
+			moved++
+			continue
+		}
+		if was != now {
+			t.Fatalf("key %q moved %q -> %q though its owner stayed", k, was, now)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("expected some keys to have been owned by n3")
+	}
+}
+
+// TestRingBalance: vnodes keep ownership roughly even — no member of a
+// 4-node ring should own more than half of a large key space.
+func TestRingBalance(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3", "n4"}, DefaultVNodes)
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("model-%d", i))]++
+	}
+	for m, c := range counts {
+		if c > keys/2 {
+			t.Fatalf("member %s owns %d/%d keys — distribution collapsed", m, c, keys)
+		}
+	}
+	if len(counts) != 4 {
+		t.Fatalf("only %d members own keys", len(counts))
+	}
+}
+
+// TestRingEmpty: nil and empty rings own nothing.
+func TestRingEmpty(t *testing.T) {
+	var nilRing *Ring
+	if nilRing.Owner("k") != "" || nilRing.Size() != 0 || nilRing.Gen() != 0 {
+		t.Fatal("nil ring must be inert")
+	}
+	if NewRing(nil, 8).Owner("k") != "" {
+		t.Fatal("empty ring must own nothing")
+	}
+}
+
+// TestTableGenerations: each Set installs a new ring with a strictly
+// increasing generation, visible through Current.
+func TestTableGenerations(t *testing.T) {
+	tb := NewTable([]string{"a", "b"}, 16)
+	r1 := tb.Current()
+	if r1.Gen() != 1 || r1.Size() != 2 {
+		t.Fatalf("gen %d size %d after NewTable", r1.Gen(), r1.Size())
+	}
+	r2 := tb.Set([]string{"a", "b", "c"})
+	if r2.Gen() != 2 || tb.Current() != r2 {
+		t.Fatalf("second ring gen %d, current == new: %v", r2.Gen(), tb.Current() == r2)
+	}
+	if r1.Gen() == r2.Gen() {
+		t.Fatal("generations must differ across swaps")
+	}
+}
+
+// echoServer runs an httptest server whose listen address doubles as
+// its member name, replying with its own tag so tests can see who
+// served a request.
+func echoServer(t *testing.T, tag string, hook func(w http.ResponseWriter, r *http.Request) bool) (addr string, close func()) {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hook != nil && hook(w, r) {
+			return
+		}
+		body, _ := io.ReadAll(r.Body)
+		fmt.Fprintf(w, "%s:%s:%s", tag, r.URL.Query().Get("model"), body)
+	}))
+	return strings.TrimPrefix(srv.URL, "http://"), srv.Close
+}
+
+// keyOwnedBy scans for a key the given member owns on ring r (and, if
+// alsoOn is non-nil, that alsoOwner owns on alsoOn).
+func keyOwnedBy(t *testing.T, r *Ring, member string, alsoOn *Ring, alsoOwner string) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if r.Owner(k) != member {
+			continue
+		}
+		if alsoOn != nil && alsoOn.Owner(k) != alsoOwner {
+			continue
+		}
+		return k
+	}
+	t.Fatalf("no key owned by %s found", member)
+	return ""
+}
+
+// TestRouterLocalAndForward: keys this replica owns run the local
+// closure; keys a peer owns are proxied with the forwarded marker and
+// the peer's reply is relayed verbatim.
+func TestRouterLocalAndForward(t *testing.T) {
+	peer, stop := echoServer(t, "peer", nil)
+	defer stop()
+	self := "127.0.0.1:1" // never dialed: local paths short-circuit
+	tb := NewTable([]string{self, peer}, 16)
+	reg := metrics.NewRegistry()
+	rt := &Router{Table: tb, Self: self, Forwards: reg.Counter("fwd", "h")}
+
+	localKey := keyOwnedBy(t, tb.Current(), self, nil, "")
+	remoteKey := keyOwnedBy(t, tb.Current(), peer, nil, "")
+
+	ran := false
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/predict?model="+localKey, nil)
+	rt.Dispatch(rec, req, localKey, nil, func() { ran = true })
+	if !ran {
+		t.Fatal("locally owned key must run the local closure")
+	}
+	if rt.Forwards.Value() != 0 {
+		t.Fatal("local dispatch must not forward")
+	}
+
+	rec = httptest.NewRecorder()
+	req = httptest.NewRequest("POST", "/predict?model="+remoteKey, strings.NewReader("rows"))
+	rt.Dispatch(rec, req, remoteKey, []byte("rows"), func() { t.Fatal("remote key ran locally") })
+	if rec.Code != http.StatusOK {
+		t.Fatalf("forward status %d: %s", rec.Code, rec.Body)
+	}
+	if got, want := rec.Body.String(), "peer:"+remoteKey+":rows"; got != want {
+		t.Fatalf("relayed body %q, want %q", got, want)
+	}
+	if rt.Forwards.Value() != 1 {
+		t.Fatalf("forwards counter %d, want 1", rt.Forwards.Value())
+	}
+}
+
+// TestRouterLoopGuard: a request already carrying the forwarded marker
+// is never forwarded again — a non-owner answers 421.
+func TestRouterLoopGuard(t *testing.T) {
+	tb := NewTable([]string{"127.0.0.1:1", "127.0.0.1:2"}, 16)
+	rt := &Router{Table: tb, Self: "127.0.0.1:1"}
+	key := keyOwnedBy(t, tb.Current(), "127.0.0.1:2", nil, "")
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/predict?model="+key, nil)
+	req.Header.Set(ForwardedHeader, "127.0.0.1:2")
+	rt.Dispatch(rec, req, key, nil, func() { t.Fatal("non-owner must not serve") })
+	if rec.Code != http.StatusMisdirectedRequest {
+		t.Fatalf("status %d, want 421", rec.Code)
+	}
+}
+
+// TestRouterEmptyCluster: no members → 503, not a panic.
+func TestRouterEmptyCluster(t *testing.T) {
+	rt := &Router{Table: NewTable(nil, 16), Self: "x"}
+	rec := httptest.NewRecorder()
+	rt.Dispatch(rec, httptest.NewRequest("GET", "/predict", nil), "k", nil, func() { t.Fatal("no local serve") })
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", rec.Code)
+	}
+}
+
+// TestRouterRetryOnRingChange: the first owner answers 421 (its ring
+// disagrees) and the membership changes underneath the request; the
+// router re-resolves and retries exactly once, landing on the new
+// owner.
+func TestRouterRetryOnRingChange(t *testing.T) {
+	var tb *Table
+	good, stopGood := echoServer(t, "good", nil)
+	defer stopGood()
+	var stale string
+	staleHits := 0
+	stale, stopStale := echoServer(t, "stale", func(w http.ResponseWriter, r *http.Request) bool {
+		staleHits++
+		// Membership moves while the first forward is in flight.
+		tb.Set([]string{"self.invalid:1", good})
+		http.Error(w, "not mine", http.StatusMisdirectedRequest)
+		return true
+	})
+	defer stopStale()
+
+	self := "self.invalid:1"
+	tb = NewTable([]string{self, stale, good}, 16)
+	ring1 := tb.Current()
+	ring2 := NewRing([]string{self, good}, 16)
+	// A key owned by the stale peer now and by the good peer after the
+	// change, so the retry must hop to good.
+	key := keyOwnedBy(t, ring1, stale, ring2, good)
+
+	reg := metrics.NewRegistry()
+	rt := &Router{Table: tb, Self: self, Retries: reg.Counter("retries", "h")}
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/predict?model="+key, strings.NewReader("x"))
+	rt.Dispatch(rec, req, key, []byte("x"), func() { t.Fatal("must not serve locally") })
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d after retry: %s", rec.Code, rec.Body)
+	}
+	if !strings.HasPrefix(rec.Body.String(), "good:") {
+		t.Fatalf("served by %q, want the new owner", rec.Body)
+	}
+	if staleHits != 1 || rt.Retries.Value() != 1 {
+		t.Fatalf("staleHits=%d retries=%d, want exactly one each", staleHits, rt.Retries.Value())
+	}
+}
+
+// TestRouterRetryToLocal: when the ring change makes this replica the
+// owner, the retry serves locally instead of forwarding.
+func TestRouterRetryToLocal(t *testing.T) {
+	var tb *Table
+	self := "self.invalid:1"
+	var stale string
+	stale, stopStale := echoServer(t, "stale", func(w http.ResponseWriter, r *http.Request) bool {
+		tb.Set([]string{self})
+		http.Error(w, "not mine", http.StatusMisdirectedRequest)
+		return true
+	})
+	defer stopStale()
+	tb = NewTable([]string{self, stale}, 16)
+	key := keyOwnedBy(t, tb.Current(), stale, nil, "")
+
+	rt := &Router{Table: tb, Self: self}
+	ran := false
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/predict?model="+key, nil)
+	rt.Dispatch(rec, req, key, nil, func() { ran = true })
+	if !ran {
+		t.Fatal("retry must serve locally once self owns the key")
+	}
+}
+
+// TestRouterDeadPeer: an unreachable owner with no ring change is a
+// 502, reported, not hung.
+func TestRouterDeadPeer(t *testing.T) {
+	dead := "127.0.0.1:1" // reserved port: connection refused
+	self := "self.invalid:9"
+	tb := NewTable([]string{self, dead}, 16)
+	reg := metrics.NewRegistry()
+	rt := &Router{Table: tb, Self: self, ForwardErrors: reg.Counter("errs", "h")}
+	key := keyOwnedBy(t, tb.Current(), dead, nil, "")
+	rec := httptest.NewRecorder()
+	rt.Dispatch(rec, httptest.NewRequest("POST", "/predict", nil), key, nil, func() { t.Fatal("no local serve") })
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502", rec.Code)
+	}
+	if rt.ForwardErrors.Value() == 0 {
+		t.Fatal("forward error must be counted")
+	}
+}

@@ -1,0 +1,51 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Table publishes the cluster's current ring behind an atomic pointer,
+// exactly the discipline of the model registry: readers load wait-free
+// on every request, a membership change builds a new immutable ring and
+// swaps it in one step. The cur field is atomic-only storage audited in
+// this file (see internal/lint's atomicguard registry) — everything
+// outside goes through Current and Set.
+type Table struct {
+	cur atomic.Pointer[Ring]
+
+	// mu serializes writers (Set); readers never take it.
+	mu     sync.Mutex
+	gen    uint64 // last generation handed out
+	vnodes int
+}
+
+// NewTable builds a table serving the initial member set. vnodes <= 0
+// selects DefaultVNodes; the vnode count is fixed for the table's life
+// so every generation of the ring hashes compatibly.
+func NewTable(members []string, vnodes int) *Table {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	t := &Table{vnodes: vnodes}
+	t.Set(members)
+	return t
+}
+
+// Current returns the serving ring, wait-free. The result is immutable
+// and never nil after NewTable.
+func (t *Table) Current() *Ring { return t.cur.Load() }
+
+// Set builds a ring over members with the next generation number and
+// swaps it in, returning the new ring. In-flight requests that loaded
+// the previous ring keep a consistent (if stale) view; the router's
+// retry-once rule covers the hand-off window.
+func (t *Table) Set(members []string) *Ring {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.gen++
+	r := NewRing(members, t.vnodes)
+	r.gen = t.gen
+	t.cur.Store(r)
+	return r
+}

@@ -1,0 +1,27 @@
+package stream
+
+// The exported mmap seam. The shard cache's read path (mmap_unix.go /
+// mmap_stub.go / zerocopy.go) is equally what a zero-copy model load
+// needs: map read-only, alias the float payload in place, release when
+// the last reader is gone. These thin wrappers let internal/serve reuse
+// that machinery without duplicating the platform gates.
+
+// MmapSupported reports whether this build carries a working mmap path.
+// Callers should fall back to a copying read when it returns false.
+func MmapSupported() bool { return mmapSupported }
+
+// MapFile maps path read-only and returns the mapping. The bytes stay
+// valid until UnmapFile; the mapping is PROT_READ, so writes through
+// any view of it fault. Empty files map to an empty non-nil slice.
+func MapFile(path string) ([]byte, error) { return mmapFile(path) }
+
+// UnmapFile releases a mapping returned by MapFile. Any slice aliased
+// into the mapping (AsFloat64LE) is invalid afterwards.
+func UnmapFile(data []byte) error { return munmapFile(data) }
+
+// AsFloat64LE reinterprets b as n little-endian float64 values without
+// copying, returning ok=false when the platform cannot alias safely
+// (big-endian host, short or misaligned section). The result aliases b:
+// the caller owns keeping b alive and must treat the floats as
+// read-only.
+func AsFloat64LE(b []byte, n int) ([]float64, bool) { return asFloat64LE(b, n) }

@@ -40,6 +40,7 @@ import (
 	"saco/internal/datagen"
 	"saco/internal/dist"
 	"saco/internal/libsvm"
+	"saco/internal/metrics"
 	"saco/internal/mpi"
 	"saco/internal/serve"
 	"saco/internal/simd"
@@ -425,6 +426,32 @@ type (
 	ServeServer = serve.Server
 	// RefitOptions tunes the live lock-free refit loop.
 	RefitOptions = serve.RefitOptions
+	// LoadMode selects how model artifacts materialize: LoadCopy reads
+	// them into fresh slices, LoadMmap serves coefficients zero-copy
+	// from a page-mapped file (falling back to copy where mmap is
+	// unavailable or the artifact is not the binary format).
+	LoadMode = serve.LoadMode
+	// ServeCluster shards a fleet of named models across a static peer
+	// list with a consistent-hash ring; each replica owns a slice of
+	// the model directories and forwards the rest.
+	ServeCluster = serve.Cluster
+	// ServeClusterOptions configures a ServeCluster (vnodes, load mode,
+	// rescan cadence, metrics).
+	ServeClusterOptions = serve.ClusterOptions
+	// ServeClusterStatus is the GET /cluster reply.
+	ServeClusterStatus = serve.ClusterStatus
+	// LearnBuffer is the bounded staging buffer between POST /learn and
+	// a live refit.
+	LearnBuffer = serve.LearnBuffer
+	// MetricsRegistry is a zero-dependency Prometheus-text metrics
+	// registry (counters, gauges, histograms) servable at /metrics.
+	MetricsRegistry = metrics.Registry
+)
+
+// Model artifact load modes.
+const (
+	LoadCopy = serve.LoadCopy
+	LoadMmap = serve.LoadMmap
 )
 
 // Model kinds.
@@ -450,6 +477,44 @@ func SaveModel(path string, m *Model) error { return serve.WriteModelFile(path, 
 // OpenModelRegistry opens (creating if needed) a model directory and
 // serves the newest valid version in it.
 func OpenModelRegistry(dir string) (*ModelRegistry, error) { return serve.OpenRegistry(dir) }
+
+// OpenModelRegistryMode is OpenModelRegistry with an explicit artifact
+// load mode (LoadCopy or LoadMmap).
+func OpenModelRegistryMode(dir string, mode LoadMode) (*ModelRegistry, error) {
+	return serve.OpenRegistryMode(dir, mode)
+}
+
+// NewCluster joins a static peer list as self and takes ownership of
+// this replica's ring slice of the model directories under root; pair
+// it with NewClusterServer. Close it when done.
+func NewCluster(root, self string, peers []string, opt ServeClusterOptions) (*ServeCluster, error) {
+	return serve.NewCluster(root, self, peers, opt)
+}
+
+// NewClusterServer starts a scoring server fronting a cluster's owned
+// models: /predict and /learn take a ?model= name, resolve it against
+// the shard ring, and forward to the owning replica when it is not
+// this one.
+func NewClusterServer(c *ServeCluster, opt ServeOptions) *ServeServer {
+	return serve.NewClusterServer(c, opt)
+}
+
+// NewLearnBuffer returns a staging buffer holding at most capRows
+// labeled rows (capRows <= 0 uses the serving default).
+func NewLearnBuffer(capRows int) *LearnBuffer { return serve.NewLearnBuffer(capRows) }
+
+// RefitStream drains a LearnBuffer on a cadence into a lock-free
+// HOGWILD! refit over a sliding window of recent rows, publishing a
+// model version per productive cycle until ctx is cancelled. It is the
+// consumer behind POST /learn (start it from ServeOptions.OnLearn).
+func RefitStream(ctx context.Context, reg *ModelRegistry, buf *LearnBuffer, opt RefitOptions) error {
+	return serve.RefitStream(ctx, reg, buf, opt)
+}
+
+// NewMetricsRegistry returns an empty metrics registry; pass it to
+// ServeOptions.Metrics / ServeClusterOptions.Metrics and mount its
+// Handler (the serving layer mounts it at /metrics automatically).
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 
 // NewServer starts a scoring server over a registry; mount Handler()
 // on an http.Server (or use cmd/saserve).
