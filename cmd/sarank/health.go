@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+
+	"saco/internal/dist"
+	"saco/internal/metrics"
+)
+
+// healthServer is the per-rank operational surface (-health addr):
+//
+//	GET /healthz     200 while the process is alive
+//	GET /readyz      200 once the world is joined and solving,
+//	                 503 while dialing or parked at the rendezvous
+//	GET /checkpoint  JSON of the newest completed checkpoint
+//	                 (dist.CheckpointInfo), 404 before the first save
+//	GET /metrics     Prometheus text exposition
+//
+// A nil *healthServer (no -health flag) is valid: every method is a
+// no-op, so the solve path never branches on whether the surface is up.
+type healthServer struct {
+	ln          net.Listener
+	srv         *http.Server
+	ready       atomic.Bool
+	last        atomic.Pointer[dist.CheckpointInfo]
+	checkpoints *metrics.Counter
+	restarts    *metrics.Counter
+	epoch       *metrics.Gauge
+	step        *metrics.Gauge
+}
+
+// newHealthServer binds addr and starts serving immediately — liveness
+// must answer while the rank is still parked at the rendezvous. An
+// empty addr returns (nil, nil): the surface is off.
+func newHealthServer(addr string, rank int) (*healthServer, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	h := &healthServer{}
+	reg := metrics.NewRegistry()
+	lbl := metrics.Label{Key: "rank", Value: fmt.Sprint(rank)}
+	h.checkpoints = reg.Counter("saco_rank_checkpoints_total",
+		"Checkpoints this rank has published.", lbl)
+	h.restarts = reg.Counter("saco_rank_restarts_total",
+		"Supervised world restarts after a lost peer.", lbl)
+	h.epoch = reg.Gauge("saco_rank_epoch",
+		"Control-plane epoch of the currently joined world.", lbl)
+	h.step = reg.Gauge("saco_rank_checkpoint_step",
+		"Inner iteration of the newest checkpoint.", lbl)
+	reg.GaugeFunc("saco_rank_ready",
+		"1 once the world is joined and solving, 0 otherwise.",
+		func() float64 {
+			if h.ready.Load() {
+				return 1
+			}
+			return 0
+		}, lbl)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if !h.ready.Load() {
+			http.Error(w, "joining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/checkpoint", func(w http.ResponseWriter, _ *http.Request) {
+		ck := h.last.Load()
+		if ck == nil {
+			http.Error(w, "no checkpoint yet", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(ck); err != nil {
+			return // client went away mid-write; nothing to salvage
+		}
+	})
+	mux.Handle("/metrics", reg.Handler())
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("health listener on %s: %w", addr, err)
+	}
+	h.ln = ln
+	h.srv = &http.Server{Handler: mux}
+	go func() {
+		// Serve returns http.ErrServerClosed on shutdown; any earlier
+		// error just means the surface is gone, which /healthz's absence
+		// already signals to the supervisor.
+		_ = h.srv.Serve(ln)
+	}()
+	return h, nil
+}
+
+// onSave is the dist.Checkpoint.OnSave hook.
+func (h *healthServer) onSave(i dist.CheckpointInfo) {
+	if h == nil {
+		return
+	}
+	h.last.Store(&i)
+	h.checkpoints.Inc()
+	h.step.Set(int64(i.Step))
+}
+
+func (h *healthServer) setReady(ready bool) {
+	if h != nil {
+		h.ready.Store(ready)
+	}
+}
+
+func (h *healthServer) setEpoch(epoch int) {
+	if h != nil {
+		h.epoch.Set(int64(epoch))
+	}
+}
+
+func (h *healthServer) noteRestart() {
+	if h != nil {
+		h.restarts.Inc()
+	}
+}
+
+// addr returns the bound address ("" when the surface is off) — the
+// :0 form resolves to the real port for tests.
+func (h *healthServer) addr() string {
+	if h == nil {
+		return ""
+	}
+	return h.ln.Addr().String()
+}
+
+func (h *healthServer) shutdown() {
+	if h == nil {
+		return
+	}
+	_ = h.srv.Close() // best-effort teardown on exit
+}

@@ -16,6 +16,15 @@
 //
 // Multi-machine clusters additionally set -listen (a reachable
 // interface for the mesh) and, behind NAT, -advertise.
+//
+// Long runs add the operational flags: -ckpt-dir makes every rank save
+// its solver state to CRC-checked .sack files at s-step boundaries,
+// -max-restarts lets survivors rejoin at a higher epoch and resume from
+// the agreed checkpoint when a peer is lost, a replacement process is
+// started with the same flags plus -resume, and -health serves
+// /healthz, /readyz, /checkpoint and /metrics for the supervisor.
+// Recovery is exact: the resumed trajectory is bitwise identical to an
+// uninterrupted run.
 package main
 
 import (
@@ -30,6 +39,7 @@ import (
 	"saco"
 	"saco/internal/dist"
 	"saco/internal/mpi"
+	"saco/internal/mpi/faulty"
 )
 
 func main() {
@@ -69,6 +79,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		loss       = fs.String("loss", "l1", "svm: l1 (hinge) or l2 (squared hinge)")
 		tol        = fs.Float64("tol", 0, "svm: stop at this duality gap")
 		machine    = fs.String("machine", "cray", "cost model charged to the virtual clocks: cray, ethernet, spark")
+		ckptDir    = fs.String("ckpt-dir", "", "directory for this rank's .sack checkpoints (enables checkpointing)")
+		ckptEvery  = fs.Int("ckpt-every", 1, "save a checkpoint every N outer batches")
+		resume     = fs.Bool("resume", false, "reload the agreed checkpoint and rejoin the mesh (requires -ckpt-dir)")
+		maxRestart = fs.Int("max-restarts", 0, "rejoin and resume up to N times after losing a peer (requires -ckpt-dir)")
+		health     = fs.String("health", "", "serve /healthz, /readyz, /checkpoint, /metrics on this address")
+		faultKill  = fs.Int("fault-kill-send", 0, "fault drill: kill this rank's transport before its Nth solver send, once (exercises checkpoint recovery)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -76,12 +92,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 2
 	}
-	err := solve(stdout, &options{
+	err := solve(stdout, stderr, &options{
 		rank: *rank, size: *size, addr: *addr, listen: *listen,
 		advertise: *advertise, timeout: *timeout, dataPath: *dataPath,
 		task: *task, iters: *iters, s: *s, seed: *seed, track: *track,
 		lambdaFrac: *lambdaFrac, mu: *mu, accel: *accel, lambda: *lambda,
 		loss: *loss, tol: *tol, machine: *machine,
+		ckptDir: *ckptDir, ckptEvery: *ckptEvery, resume: *resume,
+		maxRestarts: *maxRestart, health: *health, faultKillSend: *faultKill,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "sarank: %v\n", err)
@@ -106,12 +124,17 @@ type options struct {
 	lambdaFrac, lambda, tol float64
 	accel                   bool
 	loss, machine           string
+	ckptDir, health         string
+	ckptEvery, maxRestarts  int
+	resume                  bool
+	faultKillSend           int
 }
 
-// solve joins the world, runs this rank's share of the solve, and (on
-// rank 0) reports the result in sasolve's output format, so a cluster
+// solve joins the world, runs this rank's share of the solve (rejoining
+// and resuming from checkpoints when supervision is enabled), and on
+// rank 0 reports the result in sasolve's output format, so a cluster
 // run byte-diffs against the simulated backend.
-func solve(stdout io.Writer, o *options) (err error) {
+func solve(stdout, stderr io.Writer, o *options) error {
 	if o.size <= 0 || o.rank < 0 || o.rank >= o.size {
 		return usageError{fmt.Sprintf("-rank %d -size %d: need 0 <= rank < size", o.rank, o.size)}
 	}
@@ -120,6 +143,9 @@ func solve(stdout io.Writer, o *options) (err error) {
 	}
 	if o.dataPath == "" {
 		return usageError{"-data is required"}
+	}
+	if o.ckptDir == "" && (o.resume || o.maxRestarts > 0) {
+		return usageError{"-resume and -max-restarts require -ckpt-dir"}
 	}
 	var m saco.Machine
 	switch o.machine {
@@ -147,14 +173,69 @@ func solve(stdout io.Writer, o *options) (err error) {
 			o.dataPath, a.M, a.N, 100*a.Density())
 	}
 
+	hs, err := newHealthServer(o.health, o.rank)
+	if err != nil {
+		return err
+	}
+	defer hs.shutdown()
+
+	// The supervision loop: join, solve, and on a recoverable peer loss
+	// rejoin at a higher epoch and resume from the agreed checkpoint. A
+	// process started with -resume does not know the surviving world's
+	// epoch, so it dials with it unknown (-1) and adopts what the
+	// rendezvous reports.
+	epoch := 0
+	if o.resume {
+		epoch = -1
+	}
+	// The fault drill is one-shot across the whole supervised run, like
+	// a real process killed once and then restarted healthy.
+	var inj *faulty.Injector
+	if o.faultKillSend > 0 {
+		inj = faulty.New(faulty.Plan{Rank: o.rank, KillAtSend: o.faultKillSend})
+	}
+	resume := o.resume
+	for attempt := 0; ; attempt++ {
+		err := o.joinAndSolve(stdout, a, b, m, &epoch, resume, inj, hs)
+		if err == nil {
+			return nil
+		}
+		if o.maxRestarts <= 0 || attempt >= o.maxRestarts || !dist.Recoverable(err) {
+			return err
+		}
+		fmt.Fprintf(stderr, "sarank: rank %d lost a peer (%v); rejoining at epoch %d to resume (restart %d/%d)\n",
+			o.rank, err, epoch, attempt+1, o.maxRestarts)
+		hs.noteRestart()
+		resume = true
+		time.Sleep(dist.RestartBackoff(attempt + 1))
+	}
+}
+
+// joinAndSolve runs one incarnation of this rank: rendezvous at *epoch,
+// solve (resuming from the agreed checkpoint when asked), and tear the
+// transport down. On return *epoch is one above the joined world's, so
+// the next incarnation outranks any zombie of this one.
+func (o *options) joinAndSolve(stdout io.Writer, a *saco.CSR, b []float64, m saco.Machine,
+	epoch *int, resume bool, inj *faulty.Injector, hs *healthServer) (err error) {
 	t, err := mpi.DialTCP(context.Background(), o.rank, o.size, o.addr, &mpi.TCPOptions{
 		RendezvousTimeout: o.timeout,
 		ListenAddr:        o.listen,
 		AdvertiseAddr:     o.advertise,
+		Epoch:             *epoch,
 	})
 	if err != nil {
 		return err
 	}
+	// Read the agreed epoch off the raw endpoint before any fault-drill
+	// wrapper hides the accessor.
+	joined := mpi.TransportEpoch(t)
+	*epoch = joined + 1
+	hs.setEpoch(joined)
+	hs.setReady(true)
+	if inj != nil {
+		t = inj.Wrap(o.rank, t)
+	}
+	defer hs.setReady(false)
 	// A transport close failure is a real deployment signal (a peer hung
 	// up mid-teardown, a socket leaked): surface it unless the solve
 	// already failed for a more interesting reason.
@@ -166,6 +247,11 @@ func solve(stdout io.Writer, o *options) (err error) {
 	c := mpi.NewComm(t, m, 1)
 	src := dist.CSRSource{A: a}
 	cl := dist.Options{P: o.size, Machine: m}
+	if o.ckptDir != "" {
+		cl.Checkpoint = &dist.Checkpoint{
+			Dir: o.ckptDir, Every: o.ckptEvery, Resume: resume, OnSave: hs.onSave,
+		}
+	}
 
 	switch o.task {
 	case "lasso":

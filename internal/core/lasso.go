@@ -52,6 +52,12 @@ func NewBlockSampler(opt *LassoOptions, n int) *BlockSampler {
 	return &BlockSampler{r: rng.New(opt.Seed), n: n, mu: opt.mu(), groups: opt.Groups}
 }
 
+// Stream exposes the sampler's generator so checkpoint codecs can
+// snapshot and restore the sampling position (rng.State) — a restarted
+// rank must resume the exact draw sequence for the replicated-seed
+// discipline to survive the restart.
+func (s *BlockSampler) Stream() *rng.Stream { return s.r }
+
 // Next returns the next sampled block (Alg. 1 line 5 / Alg. 2 line 6).
 func (s *BlockSampler) Next() []int {
 	if s.groups != nil {

@@ -89,6 +89,13 @@ type Options struct {
 	// kernels keeps iterates bitwise identical to the single-core run;
 	// only the modeled time changes. 0 or 1 keeps ranks sequential.
 	RankWorkers int
+	// Checkpoint enables deterministic rank checkpointing and restart;
+	// nil disables it (the historical behavior).
+	Checkpoint *Checkpoint
+	// WrapTransport, when non-nil, decorates every rank's transport
+	// before the world forms — the fault-injection seam
+	// (internal/mpi/faulty) and any other interposition layer.
+	WrapTransport func(rank int, t mpi.Transport) mpi.Transport
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -106,12 +113,11 @@ func (o Options) withDefaults() (Options, error) {
 
 // run executes body as the SPMD program on the configured transport.
 func (o Options) run(body func(c *mpi.Comm) error) (*mpi.Stats, error) {
-	switch o.Transport {
-	case TransportTCP:
-		return mpi.RunTCP(o.Ctx, o.P, o.RankWorkers, o.Machine, body)
-	default:
-		return mpi.RunHybrid(o.Ctx, o.P, o.RankWorkers, o.Machine, body)
+	wopt := mpi.WorldOptions{Cores: o.RankWorkers, Wrap: o.WrapTransport}
+	if o.Transport == TransportTCP {
+		wopt.TCP = &mpi.TCPOptions{}
 	}
+	return mpi.RunWorld(o.Ctx, o.P, o.Machine, wopt, body)
 }
 
 // allreduce sums data across ranks with the configured algorithm.

@@ -31,13 +31,15 @@ func LassoFrom(src Source, b []float64, opt core.LassoOptions, cl Options) (*Las
 		return nil, err
 	}
 	results := make([]*LassoResult, cl.P)
-	stats, err := cl.run(func(c *mpi.Comm) error {
-		res, err := LassoRank(c, src, b, opt, cl)
-		if err != nil {
-			return err
+	stats, err := cl.runRecoverable(func(o Options) func(c *mpi.Comm) error {
+		return func(c *mpi.Comm) error {
+			res, err := LassoRank(c, src, b, opt, o)
+			if err != nil {
+				return err
+			}
+			results[c.Rank()] = res
+			return nil
 		}
-		results[c.Rank()] = res
-		return nil
 	})
 	if err != nil {
 		return nil, err
@@ -73,10 +75,25 @@ func LassoRank(c *mpi.Comm, src Source, b []float64, opt core.LassoOptions, cl O
 		aLoc = aLoc.WithKernelWorkers(cl.RankWorkers).(*sparse.CSC)
 	}
 	lr := newLassoRank(c, &cl, &opt, aLoc, b[lo:hi], n)
+	lr.ck = newCkptSession(cl.Checkpoint, c, lassoConfig(c, &opt, &cl, m, n))
 	if opt.Accelerated {
 		return lr.accelerated()
 	}
 	return lr.plain()
+}
+
+// lassoConfig is the fingerprinted solver configuration: everything that
+// shapes the trajectory, so a checkpoint never resumes a different run.
+func lassoConfig(c *mpi.Comm, opt *core.LassoOptions, cl *Options, m, n int) string {
+	variant := "plain"
+	if opt.Accelerated {
+		variant = "acc"
+	}
+	return fmt.Sprintf(
+		"lasso/%s m=%d n=%d p=%d seed=%d iters=%d s=%d mu=%d groups=%d reg=%t lambda=%g track=%d warm=%t bcast=%t fullgram=%t rsag=%t",
+		variant, m, n, c.Size(), opt.Seed, opt.Iters, opt.S, opt.BlockSize,
+		len(opt.Groups), opt.Reg != nil, opt.Lambda, opt.TrackEvery,
+		opt.X0 != nil, cl.BroadcastIndices, cl.FullGramPack, cl.RSAGAllreduce)
 }
 
 // lassoRank is the per-rank solver state shared by the plain and
@@ -97,6 +114,7 @@ type lassoRank struct {
 	buf  []float64 // Allreduce packing buffer
 	idxS []float64 // broadcast-indices scratch
 	res  *LassoResult
+	ck   *ckptSession // nil when checkpointing is off
 }
 
 func newLassoRank(c *mpi.Comm, cl *Options, opt *core.LassoOptions, aLoc *sparse.CSC, bLoc []float64, n int) *lassoRank {
@@ -193,6 +211,33 @@ func (lr *lassoRank) globalObjective(rLoc, x []float64) (float64, error) {
 	return 0.5*rn + lr.g.Value(x), nil
 }
 
+// snap captures this rank's checkpointable state. The vectors are
+// serialized before endBatch returns, so live buffers are safe to pass.
+func (lr *lassoRank) snap(theta float64, vecs ...[]float64) rankCkpt {
+	ck := rankCkpt{
+		Rng:   lr.smp.Stream().State(),
+		Stats: lr.c.RankStats(),
+		Theta: theta,
+		Vecs:  vecs,
+	}
+	if lr.c.Rank() == 0 {
+		ck.Trace = lr.res.Trace
+	}
+	return ck
+}
+
+// restoreCommon reinstates the non-vector state of a checkpoint: the
+// sampler's RNG cursor (replicated-seed discipline: the restored cursor
+// replays the exact draw sequence), the virtual clock and traffic
+// counters, and rank 0's convergence trace.
+func (lr *lassoRank) restoreCommon(ck *rankCkpt) {
+	lr.smp.Stream().SetState(ck.Rng)
+	lr.c.SetRankStats(ck.Stats)
+	if lr.c.Rank() == 0 {
+		lr.res.Trace = append(lr.res.Trace[:0], ck.Trace...)
+	}
+}
+
 // plain is the distributed (SA-)CD/BCD solver; compare core.lassoPlainSA
 // for the sequential inner-loop derivation (eqs. (3)–(5) with θ ≡ 1).
 func (lr *lassoRank) plain() (*LassoResult, error) {
@@ -202,8 +247,23 @@ func (lr *lassoRank) plain() (*LassoResult, error) {
 		copy(x, opt.X0)
 	}
 	rLoc := make([]float64, aLoc.M)
-	aLoc.MulVec(x, rLoc)
-	mat.Axpy(-1, lr.bLoc, rLoc)
+	h := 0
+	if ck, err := lr.ck.resume(); err != nil {
+		return nil, err
+	} else if ck != nil {
+		// The residual image is incrementally maintained, so it is
+		// restored rather than recomputed: a fresh MulVec could round
+		// differently from the accumulated updates and break bitwise
+		// identity with the uninterrupted run.
+		if err := restoreVecs(ck, x, rLoc); err != nil {
+			return nil, err
+		}
+		lr.restoreCommon(ck)
+		h = ck.Step
+	} else {
+		aLoc.MulVec(x, rLoc)
+		mat.Axpy(-1, lr.bLoc, rLoc)
+	}
 
 	deltas := mat.NewDense(lr.s, lr.mu)
 	rP := make([]float64, lr.s*lr.mu)
@@ -211,7 +271,7 @@ func (lr *lassoRank) plain() (*LassoResult, error) {
 	w := make([]float64, lr.mu)
 	gv := make([]float64, lr.mu)
 
-	for h := 0; h < opt.Iters; {
+	for h < opt.Iters {
 		sb := min(lr.s, opt.Iters-h)
 		if err := lr.sampleBatch(sb); err != nil {
 			return nil, err
@@ -268,6 +328,9 @@ func (lr *lassoRank) plain() (*LassoResult, error) {
 				}
 			}
 		}
+		if err := lr.ck.endBatch(h, func() rankCkpt { return lr.snap(0, x, rLoc) }); err != nil {
+			return nil, err
+		}
 	}
 	lr.res.X = x
 	mark := c.Mark()
@@ -292,9 +355,24 @@ func (lr *lassoRank) accelerated() (*LassoResult, error) {
 	}
 	y := make([]float64, lr.n)
 	ztLoc := make([]float64, aLoc.M)
-	aLoc.MulVec(z, ztLoc)
-	mat.Axpy(-1, lr.bLoc, ztLoc)
 	ytLoc := make([]float64, aLoc.M)
+	theta := lr.smp.Theta0()
+	h := 0
+	if ck, err := lr.ck.resume(); err != nil {
+		return nil, err
+	} else if ck != nil {
+		// All four incrementally-maintained vectors and the momentum
+		// parameter are restored, never recomputed (bitwise identity).
+		if err := restoreVecs(ck, z, y, ztLoc, ytLoc); err != nil {
+			return nil, err
+		}
+		lr.restoreCommon(ck)
+		theta = ck.Theta
+		h = ck.Step
+	} else {
+		aLoc.MulVec(z, ztLoc)
+		mat.Axpy(-1, lr.bLoc, ztLoc)
+	}
 
 	kMax := lr.s * lr.mu
 	ytP := make([]float64, kMax)
@@ -307,8 +385,7 @@ func (lr *lassoRank) accelerated() (*LassoResult, error) {
 	gv := make([]float64, lr.mu)
 	scaled := make([]float64, lr.mu)
 
-	theta := lr.smp.Theta0()
-	for h := 0; h < opt.Iters; {
+	for h < opt.Iters {
 		sb := min(lr.s, opt.Iters-h)
 		if err := lr.sampleBatch(sb); err != nil {
 			return nil, err
@@ -386,6 +463,9 @@ func (lr *lassoRank) accelerated() (*LassoResult, error) {
 			}
 		}
 		theta = thetas[sb]
+		if err := lr.ck.endBatch(h, func() rankCkpt { return lr.snap(theta, z, y, ztLoc, ytLoc) }); err != nil {
+			return nil, err
+		}
 	}
 	lr.res.X = accSolution(theta, y, z)
 	mark := c.Mark()

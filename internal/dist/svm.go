@@ -36,13 +36,15 @@ func SVMFrom(src Source, b []float64, opt core.SVMOptions, cl Options) (*SVMResu
 		return nil, err
 	}
 	results := make([]*SVMResult, cl.P)
-	stats, err := cl.run(func(c *mpi.Comm) error {
-		res, err := SVMRank(c, src, b, opt, cl)
-		if err != nil {
-			return err
+	stats, err := cl.runRecoverable(func(o Options) func(c *mpi.Comm) error {
+		return func(c *mpi.Comm) error {
+			res, err := SVMRank(c, src, b, opt, o)
+			if err != nil {
+				return err
+			}
+			results[c.Rank()] = res
+			return nil
 		}
-		results[c.Rank()] = res
-		return nil
 	})
 	if err != nil {
 		return nil, err
@@ -118,8 +120,31 @@ func SVMRank(c *mpi.Comm, src Source, b []float64, opt core.SVMOptions, cl Optio
 		return primal, dual, gap, nil
 	}
 
+	ses := newCkptSession(cl.Checkpoint, c, fmt.Sprintf(
+		"svm m=%d n=%d p=%d seed=%d iters=%d s=%d lambda=%g loss=%d tol=%g track=%d warm=%t bcast=%t fullgram=%t rsag=%t",
+		m, n, c.Size(), opt.Seed, opt.Iters, opt.S, opt.Lambda, opt.Loss,
+		opt.Tol, opt.TrackEvery, opt.Alpha0 != nil,
+		cl.BroadcastIndices, cl.FullGramPack, cl.RSAGAllreduce))
+	h := 0
+	if ck, err := ses.resume(); err != nil {
+		return nil, err
+	} else if ck != nil {
+		// α and the primal slice are incrementally maintained — restored,
+		// never recomputed, to keep bitwise identity with an
+		// uninterrupted run.
+		if err := restoreVecs(ck, alpha, xLoc); err != nil {
+			return nil, err
+		}
+		r.SetState(ck.Rng)
+		c.SetRankStats(ck.Stats)
+		if c.Rank() == 0 {
+			res.Trace = append(res.Trace[:0], ck.Trace...)
+		}
+		h = ck.Step
+	}
+
 	done := false
-	for h := 0; h < opt.Iters && !done; {
+	for h < opt.Iters && !done {
 		sb := min(s, opt.Iters-h)
 		if cl.BroadcastIndices {
 			if err := bcastRows(c, r, m, sb, rows[:sb], idxS); err != nil {
@@ -205,6 +230,15 @@ func SVMRank(c *mpi.Comm, src Source, b []float64, opt core.SVMOptions, cl Optio
 					break
 				}
 			}
+		}
+		if err := ses.endBatch(h, func() rankCkpt {
+			ck := rankCkpt{Rng: r.State(), Stats: c.RankStats(), Vecs: [][]float64{alpha, xLoc}}
+			if c.Rank() == 0 {
+				ck.Trace = res.Trace
+			}
+			return ck
+		}); err != nil {
+			return nil, err
 		}
 	}
 

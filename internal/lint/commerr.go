@@ -17,7 +17,11 @@ import (
 //     dead peer into a silent black hole instead of a 502, and
 //   - (*os.File).Close and .Sync with the error dropped, in the
 //     streaming/IO packages and the CLIs, where a swallowed close
-//     error hides a short write or lost flush.
+//     error hides a short write or lost flush, and
+//   - the net.Conn deadline setters (SetDeadline, SetReadDeadline,
+//     SetWriteDeadline), whose silent failure turns a bounded socket
+//     operation into an unbounded hang — exactly the stall the
+//     transport's peer-loss detection exists to prevent.
 //
 // Best-effort teardown on an already-failing path is sometimes right —
 // that is what //saco:nolint commerr <reason> is for.
@@ -25,7 +29,8 @@ var CommErr = &Analyzer{
 	Name: "commerr",
 	Doc: "flags discarded errors from internal/mpi Send/Recv/Close and collectives, " +
 		"from internal/shard's router forwards, " +
-		"and from file Close/Sync in the streaming packages and CLIs",
+		"from file Close/Sync in the streaming packages and CLIs, " +
+		"and from net.Conn deadline setters",
 	Run: runCommErr,
 }
 
@@ -74,7 +79,19 @@ func commErrTarget(pass *Pass, call *ast.CallExpr) string {
 		recvName(sig) == "File" && inFileErrScope(pass.Path) {
 		return "(*os.File)." + fn.Name()
 	}
+	if fn.Pkg().Path() == "net" && isDeadlineSetter(fn.Name()) {
+		// A silently failed SetWriteDeadline/SetReadDeadline turns a
+		// bounded socket operation into an unbounded one: the transport
+		// then hangs instead of surfacing a vanished peer. Guarded on
+		// every net.Conn flavor (interface and concrete receivers alike).
+		return "net." + recvName(sig) + "." + fn.Name()
+	}
 	return ""
+}
+
+// isDeadlineSetter matches the net.Conn deadline mutators.
+func isDeadlineSetter(name string) bool {
+	return name == "SetDeadline" || name == "SetReadDeadline" || name == "SetWriteDeadline"
 }
 
 // recvName returns the bare type name of a method's receiver.

@@ -36,3 +36,11 @@ func TestCommErrFile(t *testing.T) {
 func TestCommErrFileScope(t *testing.T) {
 	linttest.RunClean(t, lint.CommErr, "testdata/commerr/file", "saco/internal/core")
 }
+
+// The net.Conn deadline setters: dropped errors flagged on the
+// interface and on the concrete conns (whose setters promote from an
+// unexported embedded type), in ANY package — the fixture type-checks
+// as saco/internal/core, outside the file-rule scope, to pin that down.
+func TestCommErrNetConnDeadlines(t *testing.T) {
+	linttest.Run(t, lint.CommErr, "testdata/commerr/netconn", "saco/internal/core")
+}

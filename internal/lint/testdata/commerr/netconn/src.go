@@ -1,0 +1,50 @@
+// Fixture for the commerr analyzer's net.Conn deadline rule. A dropped
+// SetDeadline error leaves the socket unbounded — the read or write
+// that follows can hang forever instead of surfacing a vanished peer.
+// Type-checked as saco/internal/core, deliberately OUTSIDE the file
+// Close/Sync scope: the deadline rule guards every package.
+package src
+
+import (
+	"net"
+	"time"
+)
+
+func sendFrame(conn net.Conn, b []byte) error {
+	conn.SetWriteDeadline(time.Now().Add(time.Second)) // want "error from net.Conn.SetWriteDeadline is discarded"
+	_, err := conn.Write(b)
+	return err
+}
+
+func recvFrame(conn net.Conn, b []byte) error {
+	_ = conn.SetReadDeadline(time.Now().Add(time.Second)) // want "error from net.Conn.SetReadDeadline is discarded"
+	_, err := conn.Read(b)
+	return err
+}
+
+func closeLater(conn net.Conn) {
+	// Deferring a deadline reset drops its error just the same.
+	defer conn.SetDeadline(time.Time{}) // want "deferred with no error check"
+}
+
+// The concrete conns promote the setters from an unexported embedded
+// type; the rule matches them by package and method name.
+func tcpFrame(conn *net.TCPConn, b []byte) error {
+	conn.SetWriteDeadline(time.Now().Add(time.Second)) // want "error from net.conn.SetWriteDeadline is discarded"
+	_, err := conn.Write(b)
+	return err
+}
+
+// The checked forms are the contract.
+func sendChecked(conn net.Conn, b []byte) error {
+	if err := conn.SetWriteDeadline(time.Now().Add(time.Second)); err != nil {
+		return err
+	}
+	_, err := conn.Write(b)
+	return err
+}
+
+func teardown(conn net.Conn) error {
+	conn.SetDeadline(time.Time{}) //saco:nolint commerr fixture: best-effort unarm on the close path
+	return conn.Close()
+}

@@ -1,0 +1,35 @@
+package mpi
+
+import "time"
+
+// Dial retry pacing. A fixed short interval makes every waiting rank
+// hammer rank 0's rendezvous listener in lockstep — at large rank
+// counts the accept queue sees a thundering herd every 50 ms. The
+// schedule below is exponential with a cap, plus a per-rank stagger so
+// ranks spread over the retry window instead of arriving together. It
+// is a pure function of (attempt, rank): no clocks, no randomness, so
+// the nondet contract holds and the schedule is reproducible in tests.
+const (
+	dialBackoffBase    = 5 * time.Millisecond
+	dialBackoffCap     = 400 * time.Millisecond
+	dialBackoffStagger = 2 * time.Millisecond // per rank slot, mod 16
+)
+
+// dialBackoff returns the wait before retry number attempt (0-based) of
+// the given rank's dial loop: base·2^attempt capped at dialBackoffCap,
+// staggered by the rank's slot in a 16-wide comb. First retries stay
+// fast (5–10 ms, so small worlds still assemble instantly); by the cap
+// each rank retries at ~2.5 Hz instead of 20 Hz.
+func dialBackoff(attempt, rank int) time.Duration {
+	d := dialBackoffCap
+	if attempt < 7 { // 5ms << 7 already exceeds the 400ms cap
+		d = dialBackoffBase << uint(attempt)
+		if d > dialBackoffCap {
+			d = dialBackoffCap
+		}
+	}
+	if rank < 0 {
+		rank = -rank
+	}
+	return d + time.Duration(rank%16)*dialBackoffStagger
+}

@@ -1,0 +1,44 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDialBackoffGrowsAndCaps(t *testing.T) {
+	prev := time.Duration(0)
+	for attempt := 0; attempt < 6; attempt++ {
+		d := dialBackoff(attempt, 0)
+		if d <= prev {
+			t.Fatalf("attempt %d: backoff %v did not grow past %v", attempt, d, prev)
+		}
+		prev = d
+	}
+	capped := dialBackoff(20, 0)
+	if capped != dialBackoffCap {
+		t.Fatalf("attempt 20: backoff %v, want the cap %v", capped, dialBackoffCap)
+	}
+	if dialBackoff(1000, 0) != capped {
+		t.Fatalf("backoff must stay at the cap for arbitrarily late attempts")
+	}
+}
+
+func TestDialBackoffStaggersRanks(t *testing.T) {
+	// Two ranks in different stagger slots must not share an instant.
+	a := dialBackoff(10, 1)
+	b := dialBackoff(10, 2)
+	if a == b {
+		t.Fatalf("ranks 1 and 2 retry together at %v", a)
+	}
+	// The schedule is a pure function: same inputs, same wait.
+	if dialBackoff(3, 5) != dialBackoff(3, 5) {
+		t.Fatalf("dialBackoff is not deterministic")
+	}
+	// Stagger is bounded: no rank waits more than cap + 15 slots.
+	worst := dialBackoffCap + 15*dialBackoffStagger
+	for r := 0; r < 64; r++ {
+		if d := dialBackoff(30, r); d > worst {
+			t.Fatalf("rank %d: backoff %v exceeds bound %v", r, d, worst)
+		}
+	}
+}

@@ -156,6 +156,13 @@ func (c *Comm) Elapsed() float64 { return c.st.Clock }
 // multi-process rank can know about the run.
 func (c *Comm) RankStats() RankStats { return c.st }
 
+// SetRankStats overwrites this rank's cost accounting. It exists for
+// checkpoint restore: a resumed rank installs the virtual clock and
+// traffic counters it had at the checkpointed s-step boundary, so the
+// recovered run's modeled stats are bitwise identical to an
+// uninterrupted run's.
+func (c *Comm) SetRankStats(st RankStats) { c.st = st }
+
 // Run executes body on p simulated ranks and returns the per-rank
 // statistics. It is the moral equivalent of mpirun: body is the SPMD
 // program. The first error returned by any rank aborts the run's result;
@@ -177,16 +184,7 @@ func Run(ctx context.Context, p int, m Machine, body func(c *Comm) error) (*Stat
 // Communication costs are unchanged: one message per rank pair, exactly
 // like a one-rank-per-node MPI+OpenMP layout.
 func RunHybrid(ctx context.Context, p, cores int, m Machine, body func(c *Comm) error) (*Stats, error) {
-	if p <= 0 {
-		return nil, fmt.Errorf("mpi: Run with p=%d", p)
-	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	w := newSimWorld(ctx, p)
-	return runWorld(p, cores, m, body, func(rank int) (Transport, error) {
-		return w.transport(rank), nil
-	})
+	return RunWorld(ctx, p, m, WorldOptions{Cores: cores}, body)
 }
 
 // runWorld drives one single-process world: it spawns p rank

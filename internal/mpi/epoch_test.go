@@ -1,0 +1,104 @@
+package mpi
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestEpochAgreementAndZombieRejection: a rendezvous at epoch 2 must
+// refuse a stale epoch-1 dialer (a zombie of a torn-down generation)
+// while accepting an epoch-unknown peer (a freshly resumed process),
+// and both surviving endpoints must agree on the highest epoch seen.
+func TestEpochAgreementAndZombieRejection(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	rootOpt := &TCPOptions{RendezvousTimeout: 10 * time.Second, Epoch: 2}
+	rootCh := make(chan Transport, 1)
+	rootErr := make(chan error, 1)
+	go func() {
+		t0, err := bootTCPRoot(bg, ln, 2, rootOpt)
+		if err != nil {
+			rootErr <- err
+			return
+		}
+		rootCh <- t0
+	}()
+
+	// The zombie dials first with the old epoch; its bootstrap must fail
+	// (the root closes the connection without a world descriptor).
+	zombieOpt := &TCPOptions{RendezvousTimeout: 2 * time.Second, Epoch: 1}
+	if _, err := DialTCP(bg, 1, 2, addr, zombieOpt); err == nil {
+		t.Fatal("an epoch-1 dialer joined an epoch-2 world")
+	}
+
+	// The resumed peer (epoch unknown) joins and adopts the world's.
+	resumedOpt := &TCPOptions{RendezvousTimeout: 10 * time.Second, Epoch: -1}
+	t1, err := DialTCP(bg, 1, 2, addr, resumedOpt)
+	if err != nil {
+		t.Fatalf("epoch-unknown peer refused: %v", err)
+	}
+	defer t1.Close()
+	select {
+	case err := <-rootErr:
+		t.Fatalf("root bootstrap failed: %v", err)
+	case t0 := <-rootCh:
+		defer t0.Close()
+		if got := TransportEpoch(t0); got != 2 {
+			t.Fatalf("root epoch %d, want 2", got)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("root bootstrap hung")
+	}
+	if got := TransportEpoch(t1); got != 2 {
+		t.Fatalf("peer adopted epoch %d, want 2", got)
+	}
+}
+
+// TestEpochRootAdoptsSurvivors: a restarted rank 0 with an unknown epoch
+// must converge on the survivors' bumped epoch rather than resetting the
+// world to generation zero.
+func TestEpochRootAdoptsSurvivors(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	rootCh := make(chan Transport, 1)
+	rootErr := make(chan error, 1)
+	go func() {
+		t0, err := bootTCPRoot(bg, ln, 2, &TCPOptions{RendezvousTimeout: 10 * time.Second, Epoch: -1})
+		if err != nil {
+			rootErr <- err
+			return
+		}
+		rootCh <- t0
+	}()
+	t1, err := DialTCP(bg, 1, 2, addr, &TCPOptions{RendezvousTimeout: 10 * time.Second, Epoch: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+	select {
+	case err := <-rootErr:
+		t.Fatalf("root bootstrap failed: %v", err)
+	case t0 := <-rootCh:
+		defer t0.Close()
+		if got := TransportEpoch(t0); got != 3 {
+			t.Fatalf("root epoch %d, want 3 (the survivor's)", got)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("root bootstrap hung")
+	}
+	if got := TransportEpoch(t1); got != 3 {
+		t.Fatalf("survivor epoch %d, want 3", got)
+	}
+	// The simulated transport has no epochs; the helper reports 0.
+	w := newSimWorld(bg, 1)
+	if got := TransportEpoch(w.transport(0)); got != 0 {
+		t.Fatalf("sim transport epoch %d, want 0", got)
+	}
+}

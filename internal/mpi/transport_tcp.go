@@ -40,6 +40,18 @@ type TCPOptions struct {
 	// world descriptor. Default: the mesh listener's own address (works
 	// on loopback; NAT or multi-homed hosts override it).
 	AdvertiseAddr string
+	// Epoch is the control-plane generation of this world. A supervised
+	// cluster bumps it on every restart so that stale dialers from a
+	// previous generation — a zombie process still retrying the
+	// rendezvous after its world was torn down and rebuilt — are
+	// refused instead of corrupting the new mesh. Rank 0 rejects hellos
+	// carrying an epoch below its own and adopts the highest epoch it
+	// sees; the agreed value rides the world descriptor, so every
+	// endpoint learns it (Transport Epoch / TransportEpoch). Negative
+	// means unknown (a freshly resumed process that cannot know how
+	// many generations passed): such a rank joins any epoch and adopts
+	// the world's. Default 0.
+	Epoch int
 }
 
 func (o *TCPOptions) withDefaults() TCPOptions {
@@ -66,9 +78,10 @@ func (o *TCPOptions) withDefaults() TCPOptions {
 // and the ident a mesh dialer presents. Control messages are
 // length-prefixed JSON; data frames are binary (see writeFrame).
 type helloMsg struct {
-	Rank int    `json:"rank"`
-	Size int    `json:"size"`
-	Addr string `json:"addr,omitempty"`
+	Rank  int    `json:"rank"`
+	Size  int    `json:"size"`
+	Addr  string `json:"addr,omitempty"`
+	Epoch int    `json:"epoch"` // negative: unknown, join any generation
 }
 
 // worldMsg is the descriptor rank 0 broadcasts once every peer has said
@@ -77,6 +90,7 @@ type helloMsg struct {
 type worldMsg struct {
 	Size  int      `json:"size"`
 	Addrs []string `json:"addrs"`
+	Epoch int      `json:"epoch"` // the agreed control-plane generation
 }
 
 // transportTCP is the networked Transport: a full mesh of TCP
@@ -92,6 +106,7 @@ type worldMsg struct {
 type transportTCP struct {
 	rank, size int
 	opt        TCPOptions
+	epoch      int // the world's agreed control-plane generation
 	conns      []net.Conn
 	inbox      []chan Message
 	rerr       []error // sticky reader error per peer, set before inbox close
@@ -99,6 +114,20 @@ type transportTCP struct {
 	closed     chan struct{}
 	closeOnce  sync.Once
 	wbuf       []byte // send serialization buffer (single sender goroutine)
+}
+
+// Epoch returns the world's agreed control-plane generation (see
+// TCPOptions.Epoch). A supervised process passes Epoch+1 when it
+// rebuilds the mesh after a peer loss.
+func (t *transportTCP) Epoch() int { return t.epoch }
+
+// TransportEpoch returns t's control-plane epoch when the transport has
+// one (the TCP mesh); the simulated world and other transports report 0.
+func TransportEpoch(t Transport) int {
+	if e, ok := t.(interface{ Epoch() int }); ok {
+		return e.Epoch()
+	}
+	return 0
 }
 
 // DialTCP establishes one rank's endpoint of a TCP world of the given
@@ -120,6 +149,7 @@ func DialTCP(ctx context.Context, rank, size int, addr string, opt *TCPOptions) 
 		rank:   rank,
 		size:   size,
 		opt:    o,
+		epoch:  max(o.Epoch, 0),
 		conns:  make([]net.Conn, size),
 		inbox:  make([]chan Message, size),
 		rerr:   make([]error, size),
@@ -161,19 +191,32 @@ func (t *transportTCP) bootstrapRoot(ctx context.Context, addr string) error {
 // acceptPeers is the body of rank 0's rendezvous over an already-bound
 // listener: collect a hello from every peer, then broadcast the world
 // descriptor. The hello connections become the 0↔r data connections.
+// Hellos from an older control-plane epoch are refused (connection
+// closed, accept loop continues): they are zombies of a torn-down world
+// generation, and letting one in would wedge the rebuilt mesh. The
+// agreed epoch — the highest seen, so a restarted root with an unknown
+// epoch converges on the survivors' — rides the descriptor.
 func (t *transportTCP) acceptPeers(ctx context.Context, ln net.Listener) error {
 	stopGuard := closeOnDone(ctx, ln)
 	defer stopGuard()
 	addrs := make([]string, t.size)
-	for n := 1; n < t.size; n++ {
+	for have := 1; have < t.size; {
 		conn, err := ln.Accept()
 		if err != nil {
-			return fmt.Errorf("accept (have %d of %d peers): %w", n-1, t.size-1, ctxErr(ctx, err))
+			return fmt.Errorf("accept (have %d of %d peers): %w", have-1, t.size-1, ctxErr(ctx, err))
 		}
 		var hello helloMsg
 		if err := readCtl(conn, &hello); err != nil {
 			conn.Close()
 			return fmt.Errorf("read hello: %w", err)
+		}
+		if hello.Epoch >= 0 && hello.Epoch < t.epoch {
+			// A stale dialer from a previous world generation: refuse it
+			// and keep the rendezvous open for the real peers. The zombie
+			// sees EOF on the descriptor read and gives up when its own
+			// rendezvous timeout expires.
+			conn.Close()
+			continue
 		}
 		if hello.Size != t.size {
 			conn.Close()
@@ -183,10 +226,14 @@ func (t *transportTCP) acceptPeers(ctx context.Context, ln net.Listener) error {
 			conn.Close()
 			return fmt.Errorf("invalid or duplicate hello from rank %d", hello.Rank)
 		}
+		if hello.Epoch > t.epoch {
+			t.epoch = hello.Epoch
+		}
 		t.conns[hello.Rank] = conn
 		addrs[hello.Rank] = hello.Addr
+		have++
 	}
-	world := worldMsg{Size: t.size, Addrs: addrs}
+	world := worldMsg{Size: t.size, Addrs: addrs, Epoch: t.epoch}
 	for p := 1; p < t.size; p++ {
 		if err := writeCtl(t.conns[p], world); err != nil {
 			return fmt.Errorf("send world descriptor to rank %d: %w", p, err)
@@ -212,12 +259,12 @@ func (t *transportTCP) bootstrapPeer(ctx context.Context, addr string) error {
 		advertise = ln.Addr().String()
 	}
 
-	root, err := dialRetry(ctx, addr)
+	root, err := dialRetry(ctx, addr, t.rank)
 	if err != nil {
 		return fmt.Errorf("dial rendezvous %s: %w", addr, err)
 	}
 	t.conns[0] = root
-	if err := writeCtl(root, helloMsg{Rank: t.rank, Size: t.size, Addr: advertise}); err != nil {
+	if err := writeCtl(root, helloMsg{Rank: t.rank, Size: t.size, Addr: advertise, Epoch: t.opt.Epoch}); err != nil {
 		return fmt.Errorf("send hello: %w", err)
 	}
 	var world worldMsg
@@ -227,13 +274,14 @@ func (t *transportTCP) bootstrapPeer(ctx context.Context, addr string) error {
 	if world.Size != t.size || len(world.Addrs) != t.size {
 		return fmt.Errorf("world descriptor size %d, want %d", world.Size, t.size)
 	}
+	t.epoch = world.Epoch // the root's agreed generation
 
 	// Mesh rule: the lower rank listens, the higher rank dials. Every
 	// mesh listener exists before rank 0 releases the descriptor (it is
 	// opened before the hello), so the dials below cannot race a missing
 	// listener; the kernel backlog holds them until the peer accepts.
 	for q := 1; q < t.rank; q++ {
-		conn, err := dialRetry(ctx, world.Addrs[q])
+		conn, err := dialRetry(ctx, world.Addrs[q], t.rank)
 		if err != nil {
 			return fmt.Errorf("dial mesh peer rank %d at %s: %w", q, world.Addrs[q], err)
 		}
@@ -287,13 +335,13 @@ func ctxErr(ctx context.Context, err error) error {
 	return err
 }
 
-// dialRetry dials addr until it succeeds or ctx expires. Retrying makes
-// process start order irrelevant: a peer may come up before the rank it
-// must reach is listening.
-func dialRetry(ctx context.Context, addr string) (net.Conn, error) {
+// dialRetry dials addr until it succeeds or ctx expires, pacing retries
+// with dialBackoff. Retrying makes process start order irrelevant: a
+// peer may come up before the rank it must reach is listening.
+func dialRetry(ctx context.Context, addr string, rank int) (net.Conn, error) {
 	var d net.Dialer
 	var lastErr error
-	for {
+	for attempt := 0; ; attempt++ {
 		conn, err := d.DialContext(ctx, "tcp", addr)
 		if err == nil {
 			if tc, ok := conn.(*net.TCPConn); ok {
@@ -308,7 +356,7 @@ func dialRetry(ctx context.Context, addr string) (net.Conn, error) {
 				return nil, fmt.Errorf("%w (last attempt: %v)", ctx.Err(), lastErr)
 			}
 			return nil, ctx.Err()
-		case <-time.After(50 * time.Millisecond):
+		case <-time.After(dialBackoff(attempt, rank)):
 		}
 	}
 }
@@ -378,7 +426,13 @@ func (t *transportTCP) Send(dst int, msg Message) error {
 	for i, v := range msg.Data {
 		binary.LittleEndian.PutUint64(buf[frameHdrBytes+8*i:], math.Float64bits(v))
 	}
-	conn.SetWriteDeadline(time.Now().Add(t.opt.SendTimeout)) //saco:nolint nondet socket write deadline: I/O pacing only, never trajectory time
+	// A failed deadline set means the connection is already dead (closed
+	// or torn down); report it as the peer failure it is rather than
+	// silently writing without pacing and blocking on a wedged socket.
+	if err := conn.SetWriteDeadline(time.Now().Add(t.opt.SendTimeout)); err != nil { //saco:nolint nondet socket write deadline: I/O pacing only, never trajectory time
+		return &PeerError{Rank: t.rank, Peer: dst, Op: "send", Tag: msg.Tag,
+			Err: fmt.Errorf("set write deadline: %w", err)}
+	}
 	if _, err := conn.Write(buf); err != nil {
 		return &PeerError{Rank: t.rank, Peer: dst, Op: "send", Tag: msg.Tag, Err: err}
 	}
@@ -493,32 +547,7 @@ func (t *transportTCP) Close() error {
 // bitwise-identical results and modeled stats to RunHybrid — the
 // transports carry the same message DAG and piggybacked clocks.
 func RunTCP(ctx context.Context, p, cores int, m Machine, body func(c *Comm) error) (*Stats, error) {
-	if p <= 0 {
-		return nil, fmt.Errorf("mpi: RunTCP with p=%d", p)
-	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	// Reserve the rendezvous port before any rank dials: bind the
-	// listener here and hand it to rank 0, so peers never race it.
-	var lc net.ListenConfig
-	ln, err := lc.Listen(ctx, "tcp", "127.0.0.1:0")
-	if err != nil {
-		return nil, fmt.Errorf("mpi: RunTCP listen: %w", err)
-	}
-	addr := ln.Addr().String()
-	opt := &TCPOptions{}
-	if d, ok := ctx.Deadline(); ok {
-		if left := time.Until(d); left > 0 {
-			opt.RendezvousTimeout = left
-		}
-	}
-	return runWorld(p, cores, m, body, func(rank int) (Transport, error) {
-		if rank == 0 {
-			return bootTCPRoot(ctx, ln, p, opt)
-		}
-		return DialTCP(ctx, rank, p, addr, opt)
-	})
+	return RunWorld(ctx, p, m, WorldOptions{Cores: cores, TCP: &TCPOptions{}}, body)
 }
 
 // bootTCPRoot builds rank 0's endpoint over an already-bound listener
@@ -531,6 +560,7 @@ func bootTCPRoot(ctx context.Context, ln net.Listener, size int, opt *TCPOptions
 		rank:   0,
 		size:   size,
 		opt:    o,
+		epoch:  max(o.Epoch, 0),
 		conns:  make([]net.Conn, size),
 		inbox:  make([]chan Message, size),
 		rerr:   make([]error, size),

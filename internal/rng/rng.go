@@ -46,6 +46,29 @@ func New(seed uint64) *Stream {
 // correlating sequences.
 func (r *Stream) Fork() *Stream { return New(r.Uint64()) }
 
+// State is a portable snapshot of a Stream's position: the xoshiro256**
+// words plus the polar method's cached variate. Checkpoint codecs
+// serialize it so a restarted solver resumes the exact sampling sequence
+// (the replicated-seed discipline survives a rank restart).
+type State struct {
+	S        [4]uint64
+	Spare    float64
+	HasSpare bool
+}
+
+// State snapshots the stream's position.
+func (r *Stream) State() State {
+	return State{S: r.s, Spare: r.spare, HasSpare: r.hasSpare}
+}
+
+// SetState rewinds (or fast-forwards) the stream to a snapshot taken with
+// State. Two streams set to the same state produce identical sequences.
+func (r *Stream) SetState(st State) {
+	r.s = st.S
+	r.spare = st.Spare
+	r.hasSpare = st.HasSpare
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly random bits (xoshiro256**).

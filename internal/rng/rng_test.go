@@ -219,3 +219,40 @@ func BenchmarkSampleK(b *testing.B) {
 		r.SampleK(1_000_000, 8)
 	}
 }
+
+func TestStateRoundTrip(t *testing.T) {
+	r := New(99)
+	// Burn an odd number of normal draws so the spare variate is cached.
+	r.NormFloat64()
+	st := r.State()
+	if !st.HasSpare {
+		t.Fatalf("expected a cached spare variate after one NormFloat64")
+	}
+	want := make([]float64, 64)
+	for i := range want {
+		switch i % 3 {
+		case 0:
+			want[i] = r.Float64()
+		case 1:
+			want[i] = float64(r.Intn(1 << 20))
+		default:
+			want[i] = r.NormFloat64()
+		}
+	}
+	r2 := New(7) // different seed: SetState must fully overwrite it
+	r2.SetState(st)
+	for i := range want {
+		var got float64
+		switch i % 3 {
+		case 0:
+			got = r2.Float64()
+		case 1:
+			got = float64(r2.Intn(1 << 20))
+		default:
+			got = r2.NormFloat64()
+		}
+		if got != want[i] {
+			t.Fatalf("draw %d after SetState: %.17g != %.17g", i, got, want[i])
+		}
+	}
+}

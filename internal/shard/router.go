@@ -116,16 +116,22 @@ func (rt *Router) Dispatch(w http.ResponseWriter, r *http.Request, key string, b
 		return
 	}
 	// Retry once iff the ring moved: a new generation, a new owner, or
-	// a peer that disowned the key.
+	// a peer that disowned the key. The re-resolved owner may be the
+	// same replica — after a 421 or a generation bump it can have caught
+	// up with the membership we see — so the retry never conditions on
+	// the owner changing. Retries counts attempted retries only: it is
+	// bumped immediately before a local re-serve or a second forward,
+	// never when the retry is skipped.
 	ring2 := rt.Table.Current()
 	owner2 := ring2.Owner(key)
 	if ring2.Gen() != ring.Gen() || owner2 != owner || errors.Is(err, errMisdirected) {
-		rt.Retries.Inc()
 		if owner2 == rt.Self {
+			rt.Retries.Inc()
 			local()
 			return
 		}
-		if owner2 != "" && owner2 != owner {
+		if owner2 != "" {
+			rt.Retries.Inc()
 			resp, err2 := rt.Forward(r, owner2, body)
 			if err2 == nil {
 				relay(w, resp)

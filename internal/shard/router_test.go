@@ -1,0 +1,123 @@
+// Retry-matrix tests for Router.Dispatch: every cell pins down when the
+// one retry happens, who it goes to, and what the Retries counter reads
+// afterwards (attempted retries only).
+package shard
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"saco/internal/metrics"
+)
+
+func retryRouter(tb_ *Table) *Router {
+	reg := metrics.NewRegistry()
+	return &Router{
+		Table: tb_, Self: "self.invalid:1",
+		Forwards:      reg.Counter("fwd", "h"),
+		ForwardErrors: reg.Counter("fwderr", "h"),
+		Retries:       reg.Counter("retry", "h"),
+	}
+}
+
+// TestRouterRetry421SameOwner: the owner answers 421 once (its ring
+// lagged) and accepts the replay — membership never changes on our
+// side, so the re-resolved owner is the SAME replica. The router must
+// still retry (the peer can have caught up between the two attempts)
+// and succeed, with exactly one retry counted and two hits on the peer.
+func TestRouterRetry421SameOwner(t *testing.T) {
+	hits := 0
+	peer, stop := echoServer(t, "peer", func(w http.ResponseWriter, r *http.Request) bool {
+		hits++
+		if hits == 1 {
+			http.Error(w, "not mine yet", http.StatusMisdirectedRequest)
+			return true
+		}
+		return false
+	})
+	defer stop()
+	rt := retryRouter(NewTable([]string{"self.invalid:1", peer}, 16))
+	key := keyOwnedBy(t, rt.Table.Current(), peer, nil, "")
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/predict?model="+key, nil)
+	rt.Dispatch(rec, req, key, []byte("rows"), func() { t.Fatal("remote key ran locally") })
+
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200 via retry: %s", rec.Code, rec.Body)
+	}
+	if got, want := rec.Body.String(), "peer:"+key+":rows"; got != want {
+		t.Fatalf("relayed body %q, want %q", got, want)
+	}
+	if hits != 2 {
+		t.Fatalf("owner hit %d times, want the original attempt plus one retry", hits)
+	}
+	if rt.Retries.Value() != 1 {
+		t.Fatalf("retries counter %d, want 1", rt.Retries.Value())
+	}
+}
+
+// TestRouterRetryGenBumpSameOwner: the first forward fails outright and
+// the generation bumps underneath it while ownership re-resolves to the
+// same (now reachable) address — a replica restart behind a stable
+// membership view. The bump alone must trigger the retry.
+func TestRouterRetryGenBumpSameOwner(t *testing.T) {
+	var rt *Router
+	hits := 0
+	peer, stop := echoServer(t, "peer", func(w http.ResponseWriter, r *http.Request) bool {
+		hits++
+		if hits == 1 {
+			// Fail the first attempt at the HTTP layer (a 421, standing in
+			// for the hung-up replica) and bump the generation with an
+			// identical member list: same owner, new ring.
+			rt.Table.Set(rt.Table.Current().Members())
+			http.Error(w, "restarting", http.StatusMisdirectedRequest)
+			return true
+		}
+		return false
+	})
+	defer stop()
+	rt = retryRouter(NewTable([]string{"self.invalid:1", peer}, 16))
+	key := keyOwnedBy(t, rt.Table.Current(), peer, nil, "")
+	gen := rt.Table.Current().Gen()
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/predict?model="+key, nil)
+	rt.Dispatch(rec, req, key, []byte("x"), func() { t.Fatal("remote key ran locally") })
+
+	if rt.Table.Current().Gen() == gen {
+		t.Fatal("test did not bump the generation")
+	}
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200 via retry: %s", rec.Code, rec.Body)
+	}
+	if hits != 2 || rt.Retries.Value() != 1 {
+		t.Fatalf("hits=%d retries=%d, want 2 and 1", hits, rt.Retries.Value())
+	}
+}
+
+// TestRouterDeadPeerNoRingChange: the owner is unreachable and nothing
+// about the ring moved — there is no better answer, so Dispatch must
+// NOT retry (the counter stays 0) and the client gets 502.
+func TestRouterDeadPeerNoRingChange(t *testing.T) {
+	// A listener that was closed immediately: connection refused.
+	dead, stop := echoServer(t, "dead", nil)
+	stop()
+	rt := retryRouter(NewTable([]string{"self.invalid:1", dead}, 16))
+	key := keyOwnedBy(t, rt.Table.Current(), dead, nil, "")
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/predict?model="+key, nil)
+	rt.Dispatch(rec, req, key, nil, func() { t.Fatal("remote key ran locally") })
+
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502: %s", rec.Code, rec.Body)
+	}
+	if rt.Retries.Value() != 0 {
+		t.Fatalf("retries counter %d, want 0 — no retry was attempted", rt.Retries.Value())
+	}
+	if rt.ForwardErrors.Value() != 1 {
+		t.Fatalf("forward errors %d, want 1", rt.ForwardErrors.Value())
+	}
+}

@@ -1,0 +1,45 @@
+package stream
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic publishes data at path through the write seam the
+// shard store uses for its own files: write to a same-directory temp
+// file, fsync it, then rename over the destination. A reader never
+// observes a torn file — it sees either the previous content or the
+// complete new one — and a full disk cannot masquerade as a successful
+// write. The checkpoint layer (internal/dist) writes its .sack files
+// through this seam so a rank killed mid-save leaves its last good
+// checkpoint intact.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	cleanup := func() {
+		f.Close()      //saco:nolint commerr best-effort close on an already-failing path; the first error is propagating
+		os.Remove(tmp) //nolint:errcheck // best-effort removal of the temp file
+	}
+	if _, err := f.Write(data); err != nil {
+		cleanup()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp) //nolint:errcheck // best-effort removal of the temp file
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp) //nolint:errcheck // best-effort removal of the temp file
+		return fmt.Errorf("stream: publish %s: %w", path, err)
+	}
+	return nil
+}
